@@ -1,0 +1,41 @@
+// Ablation — feature engineering: does the derived total-process-count
+// feature p = n * ppn help the per-algorithm runtime models? (The paper
+// trains on (m, n, N); p is the obvious derived feature and this harness
+// quantifies its effect per learner.)
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "tune/evaluator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpicp;
+  const std::string dataset = argc > 1 ? argv[1] : "d2";
+  const bench::Dataset ds = bench::load_dataset_cached(dataset);
+  const bench::NodeSplit split = bench::node_split(ds.machine());
+  const auto default_logic = bench::make_default_for(ds);
+
+  std::printf("Ablation: instance features, dataset %s\n\n",
+              dataset.c_str());
+  support::TextTable table({"learner", "features", "mean speedup",
+                            "mean norm. runtime", "frac. optimal"});
+  for (const std::string learner : {"knn", "gam", "xgboost"}) {
+    for (const bool with_p : {true, false}) {
+      tune::SelectorOptions opts;
+      opts.learner = learner;
+      opts.features.include_total_processes = with_p;
+      tune::Selector selector(opts);
+      selector.fit(ds, split.train_full);
+      const tune::Evaluation eval =
+          tune::evaluate(ds, selector, *default_logic, split.test);
+      table.add_row(
+          {learner, with_p ? "(log2 m, n, ppn, p)" : "(log2 m, n, ppn)",
+           support::format_double(eval.summary.mean_speedup, 4),
+           support::format_double(eval.summary.mean_norm_predicted, 4),
+           support::format_double(eval.summary.fraction_optimal, 4)});
+    }
+  }
+  std::ostringstream os;
+  table.print(os);
+  std::fputs(os.str().c_str(), stdout);
+  return 0;
+}

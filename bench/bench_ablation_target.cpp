@@ -1,0 +1,228 @@
+// Ablation — prediction target: absolute running time (this paper) vs.
+// relative speed-up over the default strategy (the authors' earlier
+// PMBS'18 approach, §III.A "Avoid Bias in Training Data").
+//
+// The ratio target inherits the default strategy's discontinuities (the
+// default is a *strategy*, not one algorithm, so the denominator jumps
+// at its decision thresholds), which the paper argues hurts the model.
+// This harness quantifies that on a dataset.
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+
+#include "support/stats.hpp"
+#include "ml/knn.hpp"
+#include "ml/learner.hpp"
+#include "tune/evaluator.hpp"
+
+namespace {
+
+using namespace mpicp;
+
+/// PMBS'18-style selector: per uid, fit a model of the ratio
+/// t_default / t_uid and pick the uid with the largest predicted ratio.
+class RatioSelector {
+ public:
+  RatioSelector(const bench::Dataset& ds,
+                const bench::DefaultLogic& default_logic,
+                const std::vector<int>& train_nodes,
+                const std::string& learner) {
+    std::map<int, std::vector<const bench::Record*>> rows;
+    for (const bench::Record& rec : ds.records()) {
+      if (std::find(train_nodes.begin(), train_nodes.end(), rec.nodes) ==
+          train_nodes.end()) {
+        continue;
+      }
+      rows[rec.uid].push_back(&rec);
+    }
+    const tune::FeatureOptions fopts;
+    for (const auto& [uid, recs] : rows) {
+      ml::Matrix x(recs.size(), 4);
+      std::vector<double> y(recs.size());
+      for (std::size_t i = 0; i < recs.size(); ++i) {
+        const bench::Instance inst{recs[i]->nodes, recs[i]->ppn,
+                                   recs[i]->msize};
+        const auto feat = tune::instance_features(inst, fopts);
+        std::copy(feat.begin(), feat.end(), x.row(i).begin());
+        const double t_def =
+            ds.time_us(default_logic.select_uid(inst), inst);
+        y[i] = t_def / recs[i]->time_us;  // speed-up vs default
+      }
+      auto model = ml::make_regressor(learner);
+      model->fit(x, y);
+      models_.emplace(uid, std::move(model));
+    }
+  }
+
+  int select_uid(const bench::Instance& inst) const {
+    const auto feat = tune::instance_features(inst, {});
+    int best_uid = -1;
+    double best_ratio = 0.0;
+    for (const auto& [uid, model] : models_) {
+      const double r = model->predict_one(feat);
+      if (best_uid < 0 || r > best_ratio) {
+        best_uid = uid;
+        best_ratio = r;
+      }
+    }
+    return best_uid;
+  }
+
+ private:
+  std::map<int, std::unique_ptr<ml::Regressor>> models_;
+};
+
+/// The other approach §III.A rejects: classify the best uid directly
+/// (labels are heavily imbalanced toward the few frequently-winning
+/// algorithms). A plain k-nearest-neighbor majority vote over the
+/// training instances' best-uid labels.
+class DirectClassifier {
+ public:
+  DirectClassifier(const bench::Dataset& ds,
+                   const std::vector<int>& train_nodes, int k)
+      : k_(k) {
+    std::vector<std::vector<double>> feats;
+    for (const bench::Instance& inst : ds.instances()) {
+      if (std::find(train_nodes.begin(), train_nodes.end(), inst.nodes) ==
+          train_nodes.end()) {
+        continue;
+      }
+      feats.push_back(tune::instance_features(inst, {}));
+      labels_.push_back(ds.best(inst).uid);
+    }
+    x_ = ml::Matrix(feats.size(), 4);
+    for (std::size_t i = 0; i < feats.size(); ++i) {
+      std::copy(feats[i].begin(), feats[i].end(), x_.row(i).begin());
+    }
+    scaler_.fit(x_);
+    for (std::size_t i = 0; i < x_.rows(); ++i) {
+      const auto scaled = scaler_.transform(x_.row(i));
+      std::copy(scaled.begin(), scaled.end(), x_.row(i).begin());
+    }
+  }
+
+  int select_uid(const bench::Instance& inst) const {
+    const auto q = scaler_.transform(tune::instance_features(inst, {}));
+    // k nearest neighbors by brute force, then majority label.
+    std::vector<std::pair<double, int>> dist;
+    for (std::size_t i = 0; i < x_.rows(); ++i) {
+      double d = 0.0;
+      for (std::size_t f = 0; f < q.size(); ++f) {
+        d += (q[f] - x_(i, f)) * (q[f] - x_(i, f));
+      }
+      dist.emplace_back(d, labels_[i]);
+    }
+    std::partial_sort(dist.begin(),
+                      dist.begin() + std::min<std::size_t>(k_, dist.size()),
+                      dist.end());
+    std::map<int, int> votes;
+    for (int i = 0; i < k_ && i < static_cast<int>(dist.size()); ++i) {
+      ++votes[dist[i].second];
+    }
+    int best = 0;
+    int best_votes = 0;
+    for (const auto& [uid, v] : votes) {
+      if (v > best_votes) {
+        best = uid;
+        best_votes = v;
+      }
+    }
+    return best;
+  }
+
+ private:
+  int k_;
+  ml::Matrix x_;
+  ml::StandardScaler scaler_;
+  std::vector<int> labels_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dataset = argc > 1 ? argv[1] : "d2";
+  const bench::Dataset ds = bench::load_dataset_cached(dataset);
+  const bench::NodeSplit split = bench::node_split(ds.machine());
+  const auto default_logic = bench::make_default_for(ds);
+
+  std::printf("Ablation: prediction target, dataset %s, learner GAM\n\n",
+              dataset.c_str());
+  support::TextTable table({"target", "mean speedup", "geomean speedup",
+                            "mean norm. runtime", "frac. optimal"});
+
+  // (a) runtime target — the paper's approach.
+  tune::Selector selector(tune::SelectorOptions{.learner = "gam"});
+  selector.fit(ds, split.train_full);
+  const tune::Evaluation runtime_eval =
+      tune::evaluate(ds, selector, *default_logic, split.test);
+  table.add_row(
+      {"runtime (paper)",
+       support::format_double(runtime_eval.summary.mean_speedup, 4),
+       support::format_double(runtime_eval.summary.geomean_speedup, 4),
+       support::format_double(runtime_eval.summary.mean_norm_predicted, 4),
+       support::format_double(runtime_eval.summary.fraction_optimal, 4)});
+
+  // (b) ratio target — the PMBS'18 approach, evaluated identically.
+  const RatioSelector ratio(ds, *default_logic, split.train_full, "gam");
+  std::vector<double> speedups;
+  std::vector<double> norms;
+  std::size_t optimal = 0;
+  std::size_t count = 0;
+  for (const bench::Instance& inst : ds.instances()) {
+    if (std::find(split.test.begin(), split.test.end(), inst.nodes) ==
+        split.test.end()) {
+      continue;
+    }
+    const auto best = ds.best(inst);
+    const double t_def = ds.time_us(default_logic->select_uid(inst), inst);
+    const int uid = ratio.select_uid(inst);
+    const double t_pred = ds.time_us(uid, inst);
+    speedups.push_back(t_def / t_pred);
+    norms.push_back(t_pred / best.time_us);
+    optimal += uid == best.uid ? 1 : 0;
+    ++count;
+  }
+  table.add_row(
+      {"speed-up ratio (PMBS'18)",
+       support::format_double(support::mean(speedups), 4),
+       support::format_double(support::geomean(speedups), 4),
+       support::format_double(support::mean(norms), 4),
+       support::format_double(
+           static_cast<double>(optimal) / static_cast<double>(count), 4)});
+
+  // (c) direct classification of the best uid — the label-imbalance
+  // formulation the paper rejects.
+  const DirectClassifier classifier(ds, split.train_full, 5);
+  speedups.clear();
+  norms.clear();
+  optimal = 0;
+  count = 0;
+  for (const bench::Instance& inst : ds.instances()) {
+    if (std::find(split.test.begin(), split.test.end(), inst.nodes) ==
+        split.test.end()) {
+      continue;
+    }
+    const auto best = ds.best(inst);
+    const double t_def = ds.time_us(default_logic->select_uid(inst), inst);
+    const int uid = classifier.select_uid(inst);
+    const double t_pred = ds.time_us(uid, inst);
+    speedups.push_back(t_def / t_pred);
+    norms.push_back(t_pred / best.time_us);
+    optimal += uid == best.uid ? 1 : 0;
+    ++count;
+  }
+  table.add_row(
+      {"direct classification",
+       support::format_double(support::mean(speedups), 4),
+       support::format_double(support::geomean(speedups), 4),
+       support::format_double(support::mean(norms), 4),
+       support::format_double(
+           static_cast<double>(optimal) / static_cast<double>(count), 4)});
+
+  std::ostringstream os;
+  table.print(os);
+  std::fputs(os.str().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Shared helpers for the table/figure reproduction harnesses.
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "collbench/defaults.hpp"
+#include "collbench/generator.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+#include "tune/selector.hpp"
+
+namespace mpicp::bench {
+
+/// Load a Table II dataset from the data directory, generating (and
+/// caching) it on first use. Generation of the large datasets takes
+/// minutes; run examples/generate_datasets ahead of time to avoid it
+/// inside a bench.
+inline Dataset load_dataset_cached(const std::string& name) {
+  const DatasetSpec& spec = dataset_spec(name);
+  const auto dir = default_data_dir();
+  const auto path = dir / (name + ".csv");
+  if (!std::filesystem::exists(path)) {
+    std::printf("[%s] cache %s missing — simulating the full benchmark "
+                "grid (this can take minutes)...\n",
+                name.c_str(), path.string().c_str());
+    std::fflush(stdout);
+  }
+  return load_or_generate(spec, dir);
+}
+
+}  // namespace mpicp::bench
+
+namespace mpicp::benchharness {
+
+/// Shared driver of the Figure 4/6/7/8 panels: fit a selector on the
+/// machine's full training split, then print, for every (test node, ppn)
+/// panel and message size, the running times of the exhaustive best, the
+/// library default and the prediction, normalized to the best (the
+/// paper's y axis).
+inline void print_strategy_comparison(const std::string& dataset_name,
+                                      const std::string& learner,
+                                      const std::vector<int>& panel_nodes,
+                                      const std::vector<int>& panel_ppns) {
+  using namespace mpicp;
+  const bench::Dataset ds = bench::load_dataset_cached(dataset_name);
+  const bench::NodeSplit split = bench::node_split(ds.machine());
+
+  tune::Selector selector(tune::SelectorOptions{.learner = learner});
+  selector.fit(ds, split.train_full);
+  const auto default_logic = bench::make_default_for(ds);
+
+  std::printf("strategies: Exhaustive Search (Best) / Default (%s) / "
+              "Prediction (%s)\n\n",
+              default_logic->name().c_str(), learner.c_str());
+  for (const int n : panel_nodes) {
+    for (const int ppn : panel_ppns) {
+      std::printf("--- nodes: %d, ppn: %d ---\n", n, ppn);
+      support::TextTable table({"msize [B]", "best [us]", "norm best",
+                                "norm default", "norm prediction",
+                                "best uid", "default uid", "pred uid"});
+      for (const std::uint64_t m : ds.msizes()) {
+        const bench::Instance inst{n, ppn, m};
+        const auto best = ds.best(inst);
+        const int uid_def = default_logic->select_uid(inst);
+        const int uid_pred = selector.select_uid(inst);
+        const double t_def = ds.time_us(uid_def, inst);
+        const double t_pred = ds.time_us(uid_pred, inst);
+        table.add_row({std::to_string(m),
+                       support::format_double(best.time_us, 5), "1.000",
+                       support::format_double(t_def / best.time_us, 4),
+                       support::format_double(t_pred / best.time_us, 4),
+                       std::to_string(best.uid), std::to_string(uid_def),
+                       std::to_string(uid_pred)});
+      }
+      std::ostringstream os;
+      table.print(os);
+      std::fputs(os.str().c_str(), stdout);
+      std::printf("\n");
+    }
+  }
+}
+
+}  // namespace mpicp::benchharness

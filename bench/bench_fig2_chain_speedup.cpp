@@ -1,0 +1,78 @@
+// Figure 2 — speed-up of the chain broadcast configurations (algorithm
+// 2) over the basic linear broadcast (algorithm 1) on 32x32 processes.
+//
+// One output block per segment size; rows are message sizes, columns the
+// chain counts. The paper's shape: speed-ups grow with the message size,
+// reaching ~10-50x at 4 MiB depending on (segment size, chain count);
+// tiny segments underperform at large sizes because of per-message
+// overheads.
+#include <iostream>
+#include <map>
+
+#include "simmpi/coll/registry.hpp"
+#include "simmpi/executor.hpp"
+#include "simnet/machine.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace mpicp;
+  using sim::Collective;
+  using sim::MpiLib;
+
+  const int nodes = 32;
+  const int ppn = 32;
+  const sim::MachineDesc machine = sim::hydra_machine();
+  const std::vector<std::uint64_t> msizes = {
+      1,     16,    256,    1024,    4096,
+      16384, 65536, 524288, 1048576, 4194304};
+
+  std::cout << "Figure 2: speed-up of chain broadcast configurations over "
+               "the linear broadcast;\n32x32 processes, Open MPI "
+               "(modeled), Hydra\n\n";
+
+  const auto& configs = algorithm_configs(MpiLib::kOpenMPI,
+                                          Collective::kBcast);
+  const sim::Comm comm(nodes, ppn);
+  sim::Network net(machine, nodes, ppn);
+  sim::Executor exec(net);
+
+  const auto run_uid = [&](const sim::AlgoConfig& cfg, std::uint64_t m) {
+    auto built = build_algorithm(MpiLib::kOpenMPI, Collective::kBcast, cfg,
+                                 comm, m, 0, false);
+    return exec.run(built.programs).makespan_us;
+  };
+
+  // Baseline: algorithm 1 (linear) per message size.
+  const sim::AlgoConfig* linear = nullptr;
+  std::vector<const sim::AlgoConfig*> chains;
+  for (const auto& cfg : configs) {
+    if (cfg.alg_id == 1) linear = &cfg;
+    if (cfg.alg_id == 2) chains.push_back(&cfg);
+  }
+  std::map<std::uint64_t, double> t_linear;
+  for (const std::uint64_t m : msizes) t_linear[m] = run_uid(*linear, m);
+
+  std::map<std::size_t, std::vector<const sim::AlgoConfig*>> by_seg;
+  for (const auto* cfg : chains) by_seg[cfg->seg_bytes].push_back(cfg);
+
+  for (const auto& [seg, cfgs] : by_seg) {
+    std::cout << "segment size " << support::format_bytes(seg) << "B:\n";
+    std::vector<std::string> header = {"msize [B]"};
+    for (const auto* cfg : cfgs) {
+      header.push_back("chains=" + std::to_string(cfg->param));
+    }
+    support::TextTable table(std::move(header));
+    for (const std::uint64_t m : msizes) {
+      std::vector<std::string> row = {std::to_string(m)};
+      for (const auto* cfg : cfgs) {
+        const double speedup = t_linear[m] / run_uid(*cfg, m);
+        row.push_back(support::format_double(speedup, 3));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 4 — comparison of the algorithm selection strategies for
+// MPI_Bcast; Open MPI (modeled), Hydra; GAM predictor.
+//
+// Paper shape: the prediction tracks the exhaustive best closely and
+// clearly outperforms the Open MPI default for many (ppn, msize) cells
+// (default up to several x slower).
+#include "bench_common.hpp"
+
+int main() {
+  std::printf("Figure 4: MPI_Bcast, Open MPI (modeled), Hydra (d1)\n");
+  mpicp::benchharness::print_strategy_comparison("d1", "gam", {27, 35},
+                                                 {1, 16, 32});
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 6 — comparison of the algorithm selection strategies for
+// MPI_Allreduce; Intel MPI (modeled), Hydra; GAM predictor.
+//
+// Paper shape: the Intel default (a factory-tuned table) is already
+// near-optimal; the prediction matches it rather than beating it.
+#include "bench_common.hpp"
+
+int main() {
+  std::printf("Figure 6: MPI_Allreduce, Intel MPI (modeled), Hydra (d5)\n");
+  mpicp::benchharness::print_strategy_comparison("d5", "gam", {27, 35},
+                                                 {1, 16, 32});
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 7 — comparison of the algorithm selection strategies for
+// MPI_Allreduce; Open MPI (modeled), Jupiter; GAM predictor.
+//
+// Paper shape: the Open MPI default is good here except a mid-size band
+// (around 16 KiB) where the prediction wins clearly.
+#include "bench_common.hpp"
+
+int main() {
+  std::printf(
+      "Figure 7: MPI_Allreduce, Open MPI (modeled), Jupiter (d4)\n");
+  // Jupiter's held-out node counts (Table III); the paper's 35-node
+  // panel is part of the training grid there, so we show 19 and 27.
+  mpicp::benchharness::print_strategy_comparison("d4", "gam", {19, 27},
+                                                 {1, 8, 16});
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 8 — comparison of the algorithm selection strategies for
+// MPI_Bcast; Open MPI (modeled), SuperMUC-NG; GAM predictor.
+//
+// Paper shape: default and prediction mostly on par, with isolated
+// large-message cells where the prediction selects better algorithms.
+#include "bench_common.hpp"
+
+int main() {
+  std::printf(
+      "Figure 8: MPI_Bcast, Open MPI (modeled), SuperMUC-NG (d8)\n");
+  mpicp::benchharness::print_strategy_comparison("d8", "gam", {27, 35},
+                                                 {1, 24, 48});
+  return 0;
+}

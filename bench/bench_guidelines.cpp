@@ -1,0 +1,46 @@
+// Extension bench — performance-guideline check (PGMPITuneLib, the
+// paper's ref [29]): does the modeled library default ever lose against
+// a composition of other collectives? Each violation is a case the
+// paper's ML selection would repair.
+#include <iostream>
+
+#include "collbench/guidelines.hpp"
+#include "collbench/specs.hpp"
+#include "simnet/machine.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpicp;
+  const std::string machine_name = argc > 1 ? argv[1] : "Hydra";
+  const sim::MachineDesc machine = sim::machine_by_name(machine_name);
+
+  std::printf("Performance guidelines, %s (modeled Open MPI defaults)\n\n",
+              machine_name.c_str());
+  support::TextTable table({"nodes x ppn", "msize [B]", "guideline",
+                            "lhs [us]", "rhs [us]", "lhs/rhs", "verdict"});
+  std::size_t checks = 0;
+  std::size_t violations = 0;
+  for (const auto& [nodes, ppn] :
+       std::vector<std::pair<int, int>>{{8, 4}, {16, 16}, {32, 8}}) {
+    const auto results = bench::check_guidelines(
+        machine, nodes, ppn, bench::standard_msizes());
+    for (const auto& r : results) {
+      ++checks;
+      if (!r.violated) continue;
+      ++violations;
+      table.add_row({std::to_string(nodes) + "x" + std::to_string(ppn),
+                     std::to_string(r.inst.msize), r.guideline,
+                     support::format_double(r.lhs_us, 5),
+                     support::format_double(r.rhs_us, 5),
+                     support::format_double(r.factor, 4), "VIOLATED"});
+    }
+  }
+  std::ostringstream os;
+  table.print(os);
+  std::fputs(os.str().c_str(), stdout);
+  std::printf("\n%zu of %zu guideline checks violated by the default "
+              "algorithms (each is tuning potential).\n",
+              violations, checks);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Learner comparison across the full menu, including the methods the
+// paper evaluated and discarded (random forests — their earlier PMBS'18
+// learner — and linear regression). Quantifies §III.C's claim that the
+// framework works with any reasonable regression learner while linear
+// models fall short.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "ml/learner.hpp"
+#include "tune/evaluator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpicp;
+  const std::string dataset = argc > 1 ? argv[1] : "d2";
+  const bench::Dataset ds = bench::load_dataset_cached(dataset);
+  const bench::NodeSplit split = bench::node_split(ds.machine());
+  const auto default_logic = bench::make_default_for(ds);
+
+  std::printf("Learner comparison, dataset %s (test nodes held out)\n\n",
+              dataset.c_str());
+  support::TextTable table({"learner", "mean speedup", "geomean speedup",
+                            "mean norm. runtime", "frac. optimal"});
+  for (const char* learner : ml::kLearnerNames) {
+    tune::Selector selector(tune::SelectorOptions{.learner = learner});
+    selector.fit(ds, split.train_full);
+    const tune::Evaluation eval =
+        tune::evaluate(ds, selector, *default_logic, split.test);
+    table.add_row(
+        {learner, support::format_double(eval.summary.mean_speedup, 4),
+         support::format_double(eval.summary.geomean_speedup, 4),
+         support::format_double(eval.summary.mean_norm_predicted, 4),
+         support::format_double(eval.summary.fraction_optimal, 4)});
+  }
+  std::ostringstream os;
+  table.print(os);
+  std::fputs(os.str().c_str(), stdout);
+  return 0;
+}

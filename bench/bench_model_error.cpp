@@ -1,0 +1,91 @@
+// Model-error view (the "typical ML setting" the paper contrasts with
+// its HPC metric in §V): MAE / RMSE / MAPE of the per-uid runtime
+// models on the held-out node counts, per learner. Errors are computed
+// in log space as well, since runtimes span five orders of magnitude.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "ml/gbt.hpp"
+#include "ml/metrics.hpp"
+#include "tune/evaluator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpicp;
+  const std::string dataset = argc > 1 ? argv[1] : "d2";
+  const bench::Dataset ds = bench::load_dataset_cached(dataset);
+  const bench::NodeSplit split = bench::node_split(ds.machine());
+
+  std::printf("Regression error on held-out nodes, dataset %s\n\n",
+              dataset.c_str());
+  support::TextTable table(
+      {"learner", "MAPE", "RMSE(log t)", "MAE(log t)", "models"});
+  for (const std::string learner : {"knn", "gam", "xgboost", "rf",
+                                    "linear"}) {
+    tune::Selector selector(tune::SelectorOptions{.learner = learner});
+    selector.fit(ds, split.train_full);
+    std::vector<double> truth_log;
+    std::vector<double> pred_log;
+    std::vector<double> truth;
+    std::vector<double> pred;
+    for (const bench::Instance& inst : ds.instances()) {
+      if (std::find(split.test.begin(), split.test.end(), inst.nodes) ==
+          split.test.end()) {
+        continue;
+      }
+      for (const int uid : selector.uids()) {
+        if (!ds.has(uid, inst)) continue;
+        const double t = ds.time_us(uid, inst);
+        const double p = selector.predicted_time_us(uid, inst);
+        truth.push_back(t);
+        pred.push_back(p);
+        truth_log.push_back(std::log(t));
+        pred_log.push_back(std::log(p));
+      }
+    }
+    table.add_row({learner,
+                   support::format_double(ml::mape(truth, pred), 4),
+                   support::format_double(ml::rmse(truth_log, pred_log), 4),
+                   support::format_double(ml::mae(truth_log, pred_log), 4),
+                   std::to_string(selector.uids().size())});
+  }
+  std::ostringstream os;
+  table.print(os);
+  std::fputs(os.str().c_str(), stdout);
+
+  // Gain-based feature importance of the boosted-tree models, averaged
+  // over the per-uid model bank (the paper: "the message size turned
+  // out to be the most important factor").
+  std::printf("\nXGBoost gain importance (mean over per-uid models):\n");
+  {
+    const tune::FeatureOptions fopts;
+    std::map<int, std::vector<const bench::Record*>> rows;
+    for (const bench::Record& rec : ds.records()) {
+      if (std::find(split.train_full.begin(), split.train_full.end(),
+                    rec.nodes) != split.train_full.end()) {
+        rows[rec.uid].push_back(&rec);
+      }
+    }
+    std::vector<double> acc(4, 0.0);
+    for (const auto& [uid, recs] : rows) {
+      ml::Matrix x(recs.size(), 4);
+      std::vector<double> y(recs.size());
+      for (std::size_t i = 0; i < recs.size(); ++i) {
+        const auto feat = tune::instance_features(
+            {recs[i]->nodes, recs[i]->ppn, recs[i]->msize}, fopts);
+        std::copy(feat.begin(), feat.end(), x.row(i).begin());
+        y[i] = recs[i]->time_us;
+      }
+      ml::GradientBoostedTrees model;
+      model.fit(x, y);
+      const auto imp = model.feature_importance();
+      for (std::size_t f = 0; f < imp.size(); ++f) acc[f] += imp[f];
+    }
+    const char* names[] = {"log2(msize)", "nodes", "ppn", "p=n*ppn"};
+    for (std::size_t f = 0; f < 4; ++f) {
+      std::printf("  %-12s %.3f\n", names[f],
+                  acc[f] / static_cast<double>(rows.size()));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Microbenchmarks (google-benchmark) for the operational costs the
+// paper discusses in §II: offline selection must answer in seconds
+// (SLURM prolog), online selection would need microseconds. Also
+// measures model fitting cost and the simulator's message throughput.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "collbench/dataset.hpp"
+#include "simmpi/coll/registry.hpp"
+#include "simmpi/executor.hpp"
+#include "simnet/machine.hpp"
+#include "support/rng.hpp"
+#include "tune/selector.hpp"
+
+namespace {
+
+using namespace mpicp;
+
+/// Synthetic dataset shaped like d2 (13 uids, Hydra-like grid) so the
+/// microbenchmarks run without the cached CSVs.
+bench::Dataset make_training_data() {
+  bench::Dataset ds("synthetic", sim::MpiLib::kOpenMPI,
+                    sim::Collective::kAllreduce, "Hydra");
+  support::Xoshiro256 rng(99);
+  const std::vector<int> nodes = {4, 8, 16, 20, 24, 32, 36};
+  const std::vector<int> ppns = {1, 4, 8, 16, 32};
+  const std::vector<std::uint64_t> msizes = {16,    1024,   16384,
+                                             65536, 524288, 4194304};
+  for (int uid = 1; uid <= 13; ++uid) {
+    for (const int n : nodes) {
+      for (const int ppn : ppns) {
+        for (const std::uint64_t m : msizes) {
+          const double p = n * ppn;
+          const double t = 5.0 + 0.2 * uid * std::log2(p) +
+                           (0.001 + 0.0002 * uid) *
+                               static_cast<double>(m) / std::sqrt(p);
+          for (int rep = 0; rep < 3; ++rep) {
+            ds.add({uid, n, ppn, m, rng.lognormal_median(t, 0.05)});
+          }
+        }
+      }
+    }
+  }
+  return ds;
+}
+
+const bench::Dataset& training_data() {
+  static const bench::Dataset ds = make_training_data();
+  return ds;
+}
+
+void BM_SelectorFit(benchmark::State& state, const char* learner) {
+  const bench::Dataset& ds = training_data();
+  for (auto _ : state) {
+    tune::Selector selector(tune::SelectorOptions{.learner = learner});
+    selector.fit(ds, ds.node_counts());
+    benchmark::DoNotOptimize(selector.uids());
+  }
+}
+BENCHMARK_CAPTURE(BM_SelectorFit, knn, "knn")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SelectorFit, gam, "gam")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SelectorFit, xgboost, "xgboost")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SelectUid(benchmark::State& state, const char* learner) {
+  const bench::Dataset& ds = training_data();
+  tune::Selector selector(tune::SelectorOptions{.learner = learner});
+  selector.fit(ds, ds.node_counts());
+  std::uint64_t m = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.select_uid({13, 16, m}));
+    m = m < (1u << 22) ? m * 2 : 1;
+  }
+}
+BENCHMARK_CAPTURE(BM_SelectUid, knn, "knn")->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_SelectUid, gam, "gam")->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_SelectUid, xgboost, "xgboost")
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SimulatorBcastBinomial(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const sim::MachineDesc machine = sim::hydra_machine();
+  const sim::Comm comm(nodes, 16);
+  sim::Network net(machine, nodes, 16);
+  sim::Executor exec(net);
+  const auto& cfg = sim::algorithm_configs(sim::MpiLib::kOpenMPI,
+                                           sim::Collective::kBcast)
+                        .at(20 + 5);  // a segmented binomial config
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    auto built =
+        sim::build_algorithm(sim::MpiLib::kOpenMPI, sim::Collective::kBcast,
+                             cfg, comm, 1u << 20, 0, false);
+    messages += exec.run(built.programs).num_messages;
+  }
+  state.counters["msgs/s"] = benchmark::Counter(
+      static_cast<double>(messages), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorBcastBinomial)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorAlltoallPairwise(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const sim::MachineDesc machine = sim::hydra_machine();
+  const sim::Comm comm(nodes, 8);
+  sim::Network net(machine, nodes, 8);
+  sim::Executor exec(net);
+  const auto& configs = sim::algorithm_configs(sim::MpiLib::kIntelMPI,
+                                               sim::Collective::kAlltoall);
+  const auto& cfg = configs.at(2);  // pairwise
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    auto built = sim::build_algorithm(sim::MpiLib::kIntelMPI,
+                                      sim::Collective::kAlltoall, cfg, comm,
+                                      4096, 0, false);
+    messages += exec.run(built.programs).num_messages;
+  }
+  state.counters["msgs/s"] = benchmark::Counter(
+      static_cast<double>(messages), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorAlltoallPairwise)
+    ->Arg(8)
+    ->Arg(24)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

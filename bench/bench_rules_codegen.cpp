@@ -1,0 +1,48 @@
+// Extension bench — decision-rule code generation: compress the fitted
+// selector's decisions into a decision tree and emit it as C source,
+// regenerating an Open-MPI-style fixed decision function from the
+// learned models (the quadtree-encoding pipeline of the paper's ref
+// [8], driven by ML instead of raw benchmark winners).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "tune/rulegen.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpicp;
+  const std::string dataset = argc > 1 ? argv[1] : "d2";
+  const bench::Dataset ds = bench::load_dataset_cached(dataset);
+  const bench::NodeSplit split = bench::node_split(ds.machine());
+
+  tune::Selector selector(tune::SelectorOptions{.learner = "gam"});
+  selector.fit(ds, split.train_full);
+
+  // Label the full instance grid with the selector's picks.
+  std::vector<tune::LabeledInstance> points;
+  for (const bench::Instance& inst : ds.instances()) {
+    points.push_back({inst, selector.select_uid(inst)});
+  }
+
+  std::printf("Decision-rule encoding of the %s selector (%zu labeled "
+              "instances)\n\n",
+              dataset.c_str(), points.size());
+  support::TextTable table(
+      {"max depth", "leaves", "agreement with selector"});
+  for (const int depth : {3, 5, 8, 12}) {
+    const tune::DecisionRules rules =
+        tune::DecisionRules::fit(points, {.max_depth = depth});
+    table.add_row({std::to_string(depth),
+                   std::to_string(rules.num_leaves()),
+                   support::format_double(rules.agreement(points), 4)});
+  }
+  std::ostringstream os;
+  table.print(os);
+  std::fputs(os.str().c_str(), stdout);
+
+  const tune::DecisionRules rules =
+      tune::DecisionRules::fit(points, {.max_depth = 4});
+  std::printf("\ndepth-4 tree rendered as C (what a library maintainer "
+              "would hard-code):\n\n%s",
+              rules.to_c_code("mpicp_select_" + dataset).c_str());
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Table I — hardware overview of the (simulated) machines.
+//
+// Prints the machine properties the paper tabulates plus the calibrated
+// model parameters our simulator substitutes for the physical fabrics.
+#include <iostream>
+
+#include "simnet/machine.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace mpicp;
+  std::cout << "Table I: Hardware overview (simulated machine models)\n\n";
+  support::TextTable table(
+      {"Machine", "n", "Max ppn", "Rails", "Inter L [us]",
+       "Inter BW [GB/s]", "Intra BW [GB/s]", "Eager [B]", "MPI libraries"});
+  for (const char* name : {"Hydra", "Jupiter", "SuperMUC-NG"}) {
+    const sim::MachineDesc m = sim::machine_by_name(name);
+    const double inter_bw = 1e-3 / m.inter.gap_per_byte_us;  // GB/s
+    const double intra_bw = 1e-3 / m.intra.gap_per_byte_us;
+    table.add_row({m.name, std::to_string(m.max_nodes),
+                   std::to_string(m.max_ppn), std::to_string(m.rails),
+                   support::format_double(m.inter.latency_us, 3),
+                   support::format_double(inter_bw * m.rails, 3),
+                   support::format_double(intra_bw, 3),
+                   std::to_string(m.eager_limit_bytes),
+                   std::string(name) == std::string("Jupiter")
+                       ? "Open MPI 4.0.2"
+                       : (std::string(name) == std::string("Hydra")
+                              ? "Open MPI 4.0.2, Intel MPI 2019"
+                              : "Open MPI 4.0.2")});
+  }
+  table.print(std::cout);
+  std::cout << "\n(The paper's physical interconnects are replaced by the "
+               "hierarchical LogGP model; see DESIGN.md.)\n";
+  return 0;
+}

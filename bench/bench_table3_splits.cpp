@@ -1,0 +1,34 @@
+// Table III — training and test datasets by machine and node count.
+#include <iostream>
+
+#include "collbench/specs.hpp"
+#include "support/str.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+std::string join_ints(const std::vector<int>& values) {
+  std::vector<std::string> strs;
+  strs.reserve(values.size());
+  for (const int v : values) strs.push_back(std::to_string(v));
+  return mpicp::support::join(strs, ", ");
+}
+
+}  // namespace
+
+int main() {
+  using namespace mpicp;
+  std::cout << "Table III: training and test datasets by machine and "
+               "number of compute nodes (n)\n\n";
+  support::TextTable table({"Machine", "Full training dataset (n)",
+                            "Small training dataset (n)",
+                            "Test dataset (n)"});
+  for (const char* machine : {"Hydra", "Jupiter", "SuperMUC-NG"}) {
+    const bench::NodeSplit split = bench::node_split(machine);
+    table.add_row({machine, join_ints(split.train_full),
+                   join_ints(split.train_small), join_ints(split.test)});
+  }
+  table.print(std::cout);
+  return 0;
+}

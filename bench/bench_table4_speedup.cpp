@@ -1,0 +1,61 @@
+// Table IV — overall prediction quality: relative speed-up of the
+// predicted algorithm over the default selection strategy (higher is
+// better), per learner and dataset, for (a) the large and (b) the small
+// training node sets.
+//
+// Paper shape: mean speed-ups around 1.3-1.5 on the Open MPI datasets,
+// around 0.85-1.1 on the Intel datasets (whose tuned default is already
+// near-optimal), all three learners similar, and the small training sets
+// nearly matching the large ones.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "tune/evaluator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpicp;
+  // Optional: restrict to a subset of datasets (e.g. "d1,d2").
+  std::vector<std::string> names;
+  for (const auto& spec : bench::all_dataset_specs()) {
+    names.push_back(spec.name);
+  }
+  if (argc > 1) names = support::split(argv[1], ',');
+
+  const std::vector<std::string> learners = {"knn", "gam", "xgboost"};
+  for (const bool small : {false, true}) {
+    std::printf("Table IV%s: mean speed-up over the default strategy "
+                "(%s training dataset)\n\n",
+                small ? "b" : "a", small ? "small" : "large");
+    std::vector<std::string> header = {"method"};
+    header.insert(header.end(), names.begin(), names.end());
+    header.push_back("mean");
+    support::TextTable table(std::move(header));
+    // Cache datasets across learners.
+    std::vector<bench::Dataset> datasets;
+    datasets.reserve(names.size());
+    for (const auto& name : names) {
+      datasets.push_back(bench::load_dataset_cached(name));
+    }
+    for (const std::string& learner : learners) {
+      std::vector<std::string> row = {learner == "xgboost" ? "XGBoost"
+                                      : learner == "gam"   ? "GAM"
+                                                           : "KNN"};
+      double sum = 0.0;
+      for (const bench::Dataset& ds : datasets) {
+        const tune::Evaluation eval =
+            tune::run_split_evaluation(ds, learner, small);
+        sum += eval.summary.mean_speedup;
+        row.push_back(
+            support::format_double(eval.summary.mean_speedup, 3));
+      }
+      row.push_back(support::format_double(
+          sum / static_cast<double>(datasets.size()), 3));
+      table.add_row(std::move(row));
+    }
+    std::ostringstream os;
+    table.print(os);
+    std::fputs(os.str().c_str(), stdout);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Scenario: auto-tune the collectives of a batch job (§II of the paper).
+//
+// A user is about to run an application on a known allocation (n nodes x
+// ppn processes). Before the job starts, we query the fitted regression
+// models for a ladder of message sizes and emit a tuning file the MPI
+// library would load — the paper's SLURM-prolog deployment path.
+//
+// Trained model banks are cached next to the data (--models): the first
+// run fits and saves, subsequent runs load in milliseconds — the
+// train-once / deploy-per-job split.
+//
+// Usage:
+//   autotune_job [--nodes=27] [--ppn=16] [--dataset=d1]
+//                [--learner=gam] [--out=tuning.conf]
+//                [--models=<path>] [--refit]
+#include <cstdio>
+
+#include "collbench/generator.hpp"
+#include "collbench/specs.hpp"
+#include "support/cli.hpp"
+#include "tune/config_writer.hpp"
+#include "tune/selector.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpicp;
+  const support::CliParser cli(argc, argv);
+  const int nodes = static_cast<int>(cli.get_int("nodes", 27));
+  const int ppn = static_cast<int>(cli.get_int("ppn", 16));
+  const std::string dataset = cli.get("dataset", "d1");
+  const std::string learner = cli.get("learner", "gam");
+  const std::string out = cli.get("out", "tuning.conf");
+
+  const bench::DatasetSpec& spec = bench::dataset_spec(dataset);
+  std::printf("loading training data %s (%s/%s on %s) ...\n",
+              dataset.c_str(), to_string(spec.lib).c_str(),
+              to_string(spec.coll).c_str(), spec.machine.c_str());
+  const bench::Dataset ds =
+      bench::load_or_generate(spec, bench::default_data_dir());
+
+  const bench::NodeSplit split = bench::node_split(spec.machine);
+  const std::filesystem::path model_path = cli.get(
+      "models", (bench::default_data_dir() /
+                 (dataset + "." + learner + ".models"))
+                    .string());
+  tune::Selector selector(tune::SelectorOptions{.learner = learner});
+  if (!cli.get_bool("refit", false) &&
+      std::filesystem::exists(model_path)) {
+    std::printf("loading trained models from %s ...\n",
+                model_path.string().c_str());
+    selector = tune::Selector::load(model_path);
+  } else {
+    selector.fit(ds, split.train_full);
+    selector.save(model_path);
+    std::printf("trained models saved to %s\n",
+                model_path.string().c_str());
+  }
+
+  // The paper: querying 10-15 message sizes is enough for a job config.
+  const tune::TuningConfig config = tune::build_tuning_config(
+      selector, spec.lib, spec.coll, nodes, ppn,
+      bench::standard_msizes());
+  tune::write_tuning_file(out, config);
+
+  std::printf("tuning file for %dx%d written to %s:\n", nodes, ppn,
+              out.c_str());
+  for (const tune::TuningRule& rule : config.rules) {
+    const auto& cfg = sim::config_by_uid(spec.lib, spec.coll, rule.uid);
+    if (rule.msize_upto == ~std::uint64_t{0}) {
+      std::printf("  msize >  previous: uid %d (%s)\n", rule.uid,
+                  cfg.label().c_str());
+    } else {
+      std::printf("  msize <= %-9llu: uid %d (%s)\n",
+                  static_cast<unsigned long long>(rule.msize_upto),
+                  rule.uid, cfg.label().c_str());
+    }
+  }
+  return 0;
+}

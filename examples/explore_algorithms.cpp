@@ -1,0 +1,59 @@
+// Scenario: explore the collective algorithm landscape of a machine.
+//
+// A performance engineer bringing up a new system wants to see which
+// algorithm wins where before any ML enters the picture: sweep every
+// algorithm configuration of a collective over message sizes on a given
+// allocation and print the ranking per size — the kind of exhaustive
+// sweep the paper's Figure 2 is built from.
+//
+// Usage:
+//   explore_algorithms [--machine=Hydra] [--lib=OpenMPI]
+//                      [--collective=allreduce] [--nodes=16] [--ppn=16]
+//                      [--top=5]
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "collbench/specs.hpp"
+#include "simmpi/coll/registry.hpp"
+#include "simmpi/executor.hpp"
+#include "simnet/machine.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpicp;
+  const support::CliParser cli(argc, argv);
+  const sim::MachineDesc machine =
+      sim::machine_by_name(cli.get("machine", "Hydra"));
+  const sim::MpiLib lib = sim::mpilib_from_string(cli.get("lib", "OpenMPI"));
+  const sim::Collective coll =
+      sim::collective_from_string(cli.get("collective", "allreduce"));
+  const int nodes = static_cast<int>(cli.get_int("nodes", 16));
+  const int ppn = static_cast<int>(cli.get_int("ppn", 16));
+  const auto top = static_cast<std::size_t>(cli.get_int("top", 5));
+
+  sim::Network net(machine, nodes, ppn);
+  sim::Executor exec(net);
+  const sim::Comm comm(nodes, ppn);
+  const auto& configs = sim::algorithm_configs(lib, coll);
+
+  std::printf("%s/%s on %s, %dx%d processes — top %zu per message size\n",
+              to_string(lib).c_str(), to_string(coll).c_str(),
+              machine.name.c_str(), nodes, ppn, top);
+  for (const std::uint64_t m : bench::standard_msizes()) {
+    if (coll == sim::Collective::kAlltoall && m > 524288) break;
+    std::vector<std::pair<double, const sim::AlgoConfig*>> ranking;
+    for (const sim::AlgoConfig& cfg : configs) {
+      auto built = sim::build_algorithm(lib, coll, cfg, comm, m, 0, false);
+      ranking.emplace_back(exec.run(built.programs).makespan_us, &cfg);
+    }
+    std::sort(ranking.begin(), ranking.end());
+    std::printf("\nmsize %llu B:\n", static_cast<unsigned long long>(m));
+    for (std::size_t i = 0; i < std::min(top, ranking.size()); ++i) {
+      std::printf("  %zu. uid %2d  %-30s %12.2f us\n", i + 1,
+                  ranking[i].second->uid, ranking[i].second->label().c_str(),
+                  ranking[i].first);
+    }
+  }
+  return 0;
+}

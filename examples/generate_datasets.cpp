@@ -1,0 +1,62 @@
+// Dataset generation driver.
+//
+// Benchmarks every algorithm configuration of the Table II datasets on
+// the simulated machines and caches the results as CSV under the data
+// directory ($MPICP_DATA_DIR or ./data). All other examples and all
+// bench binaries reload these files instead of re-simulating.
+//
+// Usage:
+//   generate_datasets [--only=d1,d5] [--data-dir=path] [--force]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "collbench/generator.hpp"
+#include "support/cli.hpp"
+#include "support/str.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpicp;
+  const support::CliParser cli(argc, argv);
+  const std::filesystem::path data_dir =
+      cli.get("data-dir", bench::default_data_dir().string());
+  const bool force = cli.get_bool("force", false);
+  std::vector<std::string> only;
+  if (cli.has("only")) only = support::split(cli.get("only", ""), ',');
+
+  std::filesystem::create_directories(data_dir);
+  for (const bench::DatasetSpec& spec : bench::all_dataset_specs()) {
+    if (!only.empty() &&
+        std::find(only.begin(), only.end(), spec.name) == only.end()) {
+      continue;
+    }
+    const auto path = data_dir / (spec.name + ".csv");
+    if (force && std::filesystem::exists(path)) {
+      std::filesystem::remove(path);
+    }
+    if (std::filesystem::exists(path)) {
+      std::printf("%s: cached (%s)\n", spec.name.c_str(),
+                  path.string().c_str());
+      continue;
+    }
+    std::printf("%s: generating %s/%s on %s ...\n", spec.name.c_str(),
+                to_string(spec.lib).c_str(), to_string(spec.coll).c_str(),
+                spec.machine.c_str());
+    std::fflush(stdout);
+    std::size_t last_pct = 0;
+    const bench::Dataset ds = bench::generate_dataset(
+        spec, [&](std::size_t done, std::size_t total) {
+          const std::size_t pct = 100 * done / total;
+          if (pct >= last_pct + 10) {
+            std::printf("  %s: %zu%%\n", spec.name.c_str(), pct);
+            std::fflush(stdout);
+            last_pct = pct;
+          }
+        });
+    ds.save_csv(path);
+    std::printf("%s: %zu records -> %s\n", spec.name.c_str(),
+                ds.num_records(), path.string().c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}

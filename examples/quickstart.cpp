@@ -1,0 +1,66 @@
+// Quickstart: simulate MPI collective algorithms and pick the best one.
+//
+// This walks the three layers of the library in ~60 lines:
+//   1. simnet  — describe a machine and a job allocation,
+//   2. simmpi  — run collective algorithms on the simulated network,
+//   3. tune    — fit per-algorithm runtime models and select the winner.
+#include <cstdio>
+
+#include "collbench/generator.hpp"
+#include "simmpi/coll/registry.hpp"
+#include "simmpi/executor.hpp"
+#include "simnet/machine.hpp"
+#include "tune/selector.hpp"
+
+int main() {
+  using namespace mpicp;
+
+  // 1. A machine model and a job allocation: 8 nodes, 16 processes each.
+  const sim::MachineDesc machine = sim::hydra_machine();
+  const int nodes = 8;
+  const int ppn = 16;
+  sim::Network net(machine, nodes, ppn);
+  sim::Executor exec(net);
+  const sim::Comm comm(nodes, ppn);
+
+  // 2. Run every broadcast algorithm of the modeled Open MPI for 64 KiB.
+  std::printf("MPI_Bcast of 64 KiB on %dx%d (%s):\n", nodes, ppn,
+              machine.name.c_str());
+  const std::uint64_t msize = 65536;
+  for (const sim::AlgoConfig& cfg :
+       sim::algorithm_configs(sim::MpiLib::kOpenMPI,
+                              sim::Collective::kBcast)) {
+    if (cfg.seg_bytes != 0 && cfg.seg_bytes != 16384) continue;  // sample
+    auto built =
+        sim::build_algorithm(sim::MpiLib::kOpenMPI, sim::Collective::kBcast,
+                             cfg, comm, msize, /*root=*/0, false);
+    const double t = exec.run(built.programs).makespan_us;
+    std::printf("  uid %2d  %-28s %10.2f us\n", cfg.uid,
+                cfg.label().c_str(), t);
+  }
+
+  // 3. Benchmark a small grid, fit runtime models, query an unseen
+  //    instance (the paper's algorithm selection in miniature).
+  bench::DatasetSpec spec = bench::dataset_spec("d1");
+  spec.name = "quickstart";
+  spec.nodes = {4, 8, 16};
+  spec.ppns = {1, 8, 16};
+  spec.msizes = {256, 4096, 65536, 1048576};
+  spec.budget = {.max_reps = 3, .budget_us = 1e6};
+  std::printf("\nbenchmarking a small training grid ...\n");
+  const bench::Dataset ds = bench::generate_dataset(spec);
+
+  tune::Selector selector(tune::SelectorOptions{.learner = "gam"});
+  selector.fit(ds, {4, 8, 16});
+
+  const bench::Instance unseen{12, 16, 32768};  // not in the grid
+  const int uid = selector.select_uid(unseen);
+  const auto& cfg =
+      sim::config_by_uid(sim::MpiLib::kOpenMPI, sim::Collective::kBcast,
+                         uid);
+  std::printf("predicted best bcast algorithm for 12x16, 32 KiB: uid %d "
+              "(%s), predicted %.2f us\n",
+              uid, cfg.label().c_str(),
+              selector.predicted_time_us(uid, unseen));
+  return 0;
+}

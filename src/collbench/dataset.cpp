@@ -1,0 +1,135 @@
+#include "collbench/dataset.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/csv.hpp"
+#include "support/error.hpp"
+#include "support/stats.hpp"
+#include "support/str.hpp"
+
+namespace mpicp::bench {
+
+Dataset::Dataset(std::string name, sim::MpiLib lib, sim::Collective coll,
+                 std::string machine)
+    : name_(std::move(name)),
+      lib_(lib),
+      coll_(coll),
+      machine_(std::move(machine)) {}
+
+std::uint64_t Dataset::key(int uid, const Instance& inst) {
+  // uid < 2^10, nodes/ppn < 2^12, msize < 2^30 — comfortably disjoint.
+  return (static_cast<std::uint64_t>(uid) << 54) ^
+         (static_cast<std::uint64_t>(inst.nodes) << 42) ^
+         (static_cast<std::uint64_t>(inst.ppn) << 30) ^
+         static_cast<std::uint64_t>(inst.msize);
+}
+
+void Dataset::add(const Record& rec) {
+  MPICP_REQUIRE(rec.uid >= 1 && rec.time_us > 0.0 && rec.nodes >= 1 &&
+                    rec.ppn >= 1,
+                "malformed dataset record");
+  records_.push_back(rec);
+  samples_[key(rec.uid, {rec.nodes, rec.ppn, rec.msize})].push_back(
+      rec.time_us);
+  median_cache_.clear();
+}
+
+std::vector<int> Dataset::uids() const {
+  std::set<int> s;
+  for (const Record& r : records_) s.insert(r.uid);
+  return {s.begin(), s.end()};
+}
+
+std::vector<int> Dataset::node_counts() const {
+  std::set<int> s;
+  for (const Record& r : records_) s.insert(r.nodes);
+  return {s.begin(), s.end()};
+}
+
+std::vector<int> Dataset::ppns() const {
+  std::set<int> s;
+  for (const Record& r : records_) s.insert(r.ppn);
+  return {s.begin(), s.end()};
+}
+
+std::vector<std::uint64_t> Dataset::msizes() const {
+  std::set<std::uint64_t> s;
+  for (const Record& r : records_) s.insert(r.msize);
+  return {s.begin(), s.end()};
+}
+
+bool Dataset::has(int uid, const Instance& inst) const {
+  return samples_.contains(key(uid, inst));
+}
+
+double Dataset::time_us(int uid, const Instance& inst) const {
+  const std::uint64_t k = key(uid, inst);
+  const auto cached = median_cache_.find(k);
+  if (cached != median_cache_.end()) return cached->second;
+  const auto it = samples_.find(k);
+  if (it == samples_.end()) {
+    throw InvalidArgument("dataset " + name_ + ": no measurement for uid " +
+                          std::to_string(uid) + " at n=" +
+                          std::to_string(inst.nodes) + " ppn=" +
+                          std::to_string(inst.ppn) + " m=" +
+                          std::to_string(inst.msize));
+  }
+  const double med = support::median(it->second);
+  median_cache_.emplace(k, med);
+  return med;
+}
+
+Dataset::Best Dataset::best(const Instance& inst) const {
+  Best best;
+  for (const int uid : uids()) {
+    if (!has(uid, inst)) continue;
+    const double t = time_us(uid, inst);
+    if (best.uid == 0 || t < best.time_us) best = {uid, t};
+  }
+  MPICP_REQUIRE(best.uid != 0, "no measurements for instance");
+  return best;
+}
+
+std::vector<Instance> Dataset::instances() const {
+  std::set<std::tuple<int, int, std::uint64_t>> s;
+  for (const Record& r : records_) s.insert({r.nodes, r.ppn, r.msize});
+  std::vector<Instance> out;
+  out.reserve(s.size());
+  for (const auto& [n, ppn, m] : s) out.push_back({n, ppn, m});
+  return out;
+}
+
+void Dataset::save_csv(const std::filesystem::path& path) const {
+  support::CsvTable table({"uid", "nodes", "ppn", "msize", "time_us"});
+  for (const Record& r : records_) {
+    table.add_row({std::to_string(r.uid), std::to_string(r.nodes),
+                   std::to_string(r.ppn), std::to_string(r.msize),
+                   support::format_double(r.time_us, 17)});
+  }
+  support::write_csv(path, table);
+}
+
+Dataset Dataset::load_csv(const std::filesystem::path& path,
+                          std::string name, sim::MpiLib lib,
+                          sim::Collective coll, std::string machine) {
+  const support::CsvTable table = support::read_csv(path);
+  Dataset ds(std::move(name), lib, coll, std::move(machine));
+  const std::size_t c_uid = table.column("uid");
+  const std::size_t c_nodes = table.column("nodes");
+  const std::size_t c_ppn = table.column("ppn");
+  const std::size_t c_msize = table.column("msize");
+  const std::size_t c_time = table.column("time_us");
+  for (std::size_t i = 0; i < table.num_rows(); ++i) {
+    Record rec;
+    rec.uid = static_cast<int>(table.cell_int(i, c_uid));
+    rec.nodes = static_cast<int>(table.cell_int(i, c_nodes));
+    rec.ppn = static_cast<int>(table.cell_int(i, c_ppn));
+    rec.msize = static_cast<std::uint64_t>(table.cell_int(i, c_msize));
+    rec.time_us = table.cell_double(i, c_time);
+    ds.add(rec);
+  }
+  return ds;
+}
+
+}  // namespace mpicp::bench

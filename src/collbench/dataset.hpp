@@ -1,0 +1,95 @@
+// Measurement datasets (the Table II artifacts).
+//
+// A Dataset holds the raw benchmark observations of one (collective, MPI
+// library, machine) triple over the full grid of algorithm configuration
+// uids × nodes × ppn × message sizes, plus aggregation (median per
+// configuration) and the exhaustive-search "best" lookup that the
+// paper's evaluation uses as its reference point.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "simmpi/coll/registry.hpp"
+#include "simmpi/coll/types.hpp"
+
+namespace mpicp::bench {
+
+/// One benchmark observation.
+struct Record {
+  int uid = 0;
+  int nodes = 0;
+  int ppn = 0;
+  std::uint64_t msize = 0;
+  double time_us = 0.0;
+};
+
+/// A communication problem instance (the paper's I = (F, m, n, N); the
+/// collective F is carried by the owning Dataset).
+struct Instance {
+  int nodes = 0;
+  int ppn = 0;
+  std::uint64_t msize = 0;
+
+  bool operator==(const Instance&) const = default;
+};
+
+class Dataset {
+ public:
+  Dataset(std::string name, sim::MpiLib lib, sim::Collective coll,
+          std::string machine);
+
+  const std::string& name() const { return name_; }
+  sim::MpiLib lib() const { return lib_; }
+  sim::Collective collective() const { return coll_; }
+  const std::string& machine() const { return machine_; }
+
+  void add(const Record& rec);
+  std::size_t num_records() const { return records_.size(); }
+  const std::vector<Record>& records() const { return records_; }
+
+  /// All uids / node counts / ppns / message sizes present (sorted).
+  std::vector<int> uids() const;
+  std::vector<int> node_counts() const;
+  std::vector<int> ppns() const;
+  std::vector<std::uint64_t> msizes() const;
+
+  bool has(int uid, const Instance& inst) const;
+
+  /// Median measured time of one configuration; throws if absent.
+  double time_us(int uid, const Instance& inst) const;
+
+  /// Empirically best configuration for an instance (argmin of median
+  /// time over all uids measured there).
+  struct Best {
+    int uid = 0;
+    double time_us = 0.0;
+  };
+  Best best(const Instance& inst) const;
+
+  /// All instances (n, ppn, m) present in the dataset.
+  std::vector<Instance> instances() const;
+
+  // ---- persistence ----------------------------------------------------
+  void save_csv(const std::filesystem::path& path) const;
+  static Dataset load_csv(const std::filesystem::path& path,
+                          std::string name, sim::MpiLib lib,
+                          sim::Collective coll, std::string machine);
+
+ private:
+  static std::uint64_t key(int uid, const Instance& inst);
+
+  std::string name_;
+  sim::MpiLib lib_;
+  sim::Collective coll_;
+  std::string machine_;
+  std::vector<Record> records_;
+  // key -> observations; medians are cached lazily.
+  std::unordered_map<std::uint64_t, std::vector<double>> samples_;
+  mutable std::unordered_map<std::uint64_t, double> median_cache_;
+};
+
+}  // namespace mpicp::bench

@@ -1,0 +1,119 @@
+#include "collbench/defaults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "simmpi/coll/decision.hpp"
+#include "support/error.hpp"
+
+namespace mpicp::bench {
+
+namespace {
+
+class OpenMpiDefault final : public DefaultLogic {
+ public:
+  explicit OpenMpiDefault(sim::Collective coll) : coll_(coll) {}
+
+  std::string name() const override { return "openmpi-fixed"; }
+
+  int select_uid(const Instance& inst) const override {
+    return sim::openmpi_default_uid(coll_, inst.nodes * inst.ppn,
+                                    inst.msize);
+  }
+
+ private:
+  sim::Collective coll_;
+};
+
+int nearest(const std::vector<int>& grid, int value) {
+  MPICP_REQUIRE(!grid.empty(), "empty grid");
+  int best = grid.front();
+  for (const int g : grid) {
+    if (std::abs(g - value) < std::abs(best - value)) best = g;
+  }
+  return best;
+}
+
+std::uint64_t nearest_log(const std::vector<std::uint64_t>& grid,
+                          std::uint64_t value) {
+  MPICP_REQUIRE(!grid.empty(), "empty grid");
+  const double lv = std::log2(static_cast<double>(std::max<std::uint64_t>(
+      value, 1)));
+  std::uint64_t best = grid.front();
+  double best_d = 1e300;
+  for (const std::uint64_t g : grid) {
+    const double d = std::abs(
+        std::log2(static_cast<double>(std::max<std::uint64_t>(g, 1))) - lv);
+    if (d < best_d) {
+      best_d = d;
+      best = g;
+    }
+  }
+  return best;
+}
+
+class IntelTunedTable final : public DefaultLogic {
+ public:
+  IntelTunedTable(const Dataset& ds, std::vector<int> factory_nodes)
+      : factory_nodes_(std::move(factory_nodes)),
+        ppns_(ds.ppns()),
+        msizes_(ds.msizes()) {
+    MPICP_REQUIRE(!factory_nodes_.empty(), "tuned table needs grid nodes");
+    for (const int n : factory_nodes_) {
+      for (const int ppn : ppns_) {
+        for (const std::uint64_t m : msizes_) {
+          const Instance inst{n, ppn, m};
+          table_[{n, ppn, m}] = ds.best(inst).uid;
+        }
+      }
+    }
+  }
+
+  std::string name() const override { return "intel-tuned-table"; }
+
+  int select_uid(const Instance& inst) const override {
+    const int n = nearest(factory_nodes_, inst.nodes);
+    const int ppn = nearest(ppns_, inst.ppn);
+    const std::uint64_t m = nearest_log(msizes_, inst.msize);
+    const auto it = table_.find({n, ppn, m});
+    MPICP_ASSERT(it != table_.end(), "tuned table lookup failed");
+    return it->second;
+  }
+
+ private:
+  std::vector<int> factory_nodes_;
+  std::vector<int> ppns_;
+  std::vector<std::uint64_t> msizes_;
+  std::map<std::tuple<int, int, std::uint64_t>, int> table_;
+};
+
+}  // namespace
+
+std::unique_ptr<DefaultLogic> make_openmpi_default(sim::Collective coll) {
+  return std::make_unique<OpenMpiDefault>(coll);
+}
+
+std::unique_ptr<DefaultLogic> make_intel_default(
+    const Dataset& ds, const std::vector<int>& factory_nodes) {
+  return std::make_unique<IntelTunedTable>(ds, factory_nodes);
+}
+
+std::unique_ptr<DefaultLogic> make_default_for(const Dataset& ds) {
+  if (ds.lib() == sim::MpiLib::kOpenMPI) {
+    return make_openmpi_default(ds.collective());
+  }
+  // Factory grid: a few commonly used node counts of the machine.
+  const std::vector<int> all = ds.node_counts();
+  std::vector<int> grid;
+  for (const int n : {4, 16, 36, 20, 48}) {
+    if (std::find(all.begin(), all.end(), n) != all.end()) {
+      grid.push_back(n);
+    }
+    if (grid.size() == 3) break;
+  }
+  if (grid.empty()) grid = {all.front(), all.back()};
+  return make_intel_default(ds, grid);
+}
+
+}  // namespace mpicp::bench

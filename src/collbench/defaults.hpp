@@ -1,0 +1,41 @@
+// The "Default" strategies the evaluation compares against.
+//
+// Open MPI's default is the hard-coded fixed decision logic
+// (simmpi/coll/decision.hpp). Intel MPI's default is modeled as a
+// factory-tuned lookup table: the vendor benchmarks the library on the
+// target fabric over a coarse grid and ships the per-(msize, ppn,
+// node-bucket) winners (mpitune). That is why the paper finds Intel's
+// default nearly optimal on Hydra while Open MPI's portable thresholds
+// are far off — this module reproduces both behaviours.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "collbench/dataset.hpp"
+
+namespace mpicp::bench {
+
+class DefaultLogic {
+ public:
+  virtual ~DefaultLogic() = default;
+  virtual std::string name() const = 0;
+  /// uid the library would pick for an instance without user overrides.
+  virtual int select_uid(const Instance& inst) const = 0;
+};
+
+/// Open MPI: fixed message-size/communicator-size threshold rules.
+std::unique_ptr<DefaultLogic> make_openmpi_default(sim::Collective coll);
+
+/// Intel MPI: tuned-table lookup built from measurements on a coarse
+/// factory grid (`factory_nodes` must be node counts present in `ds`).
+/// The table snaps an instance to the nearest grid point (nodes, ppn,
+/// log-msize) and returns the best measured uid there.
+std::unique_ptr<DefaultLogic> make_intel_default(
+    const Dataset& ds, const std::vector<int>& factory_nodes);
+
+/// The appropriate default for a dataset (dispatches on its library).
+std::unique_ptr<DefaultLogic> make_default_for(const Dataset& ds);
+
+}  // namespace mpicp::bench

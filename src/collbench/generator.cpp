@@ -1,0 +1,64 @@
+#include "collbench/generator.hpp"
+
+#include <cstdlib>
+
+#include "simnet/machine.hpp"
+#include "support/rng.hpp"
+
+namespace mpicp::bench {
+
+Dataset generate_dataset(const DatasetSpec& spec,
+                         const ProgressFn& progress) {
+  const sim::MachineDesc machine = sim::machine_by_name(spec.machine);
+  const NoiseModel noise(spec.seed);
+  const auto& configs = sim::algorithm_configs(spec.lib, spec.coll);
+
+  Dataset ds(spec.name, spec.lib, spec.coll, spec.machine);
+  const std::size_t total = spec.nodes.size() * spec.ppns.size() *
+                            configs.size() * spec.msizes.size();
+  std::size_t done = 0;
+  for (const int n : spec.nodes) {
+    for (const int ppn : spec.ppns) {
+      sim::Network net(machine, n, ppn);
+      for (const sim::AlgoConfig& cfg : configs) {
+        // One deterministic observation stream per (config, allocation):
+        // reproducible regardless of generation order.
+        support::Xoshiro256 rng(support::hash_combine(
+            {spec.seed, static_cast<std::uint64_t>(cfg.uid),
+             static_cast<std::uint64_t>(n),
+             static_cast<std::uint64_t>(ppn)}));
+        for (const std::uint64_t m : spec.msizes) {
+          const RunnerResult res = run_benchmark(
+              net, spec.lib, spec.coll, cfg, m, noise, spec.budget, rng);
+          for (const double obs : res.observations_us) {
+            ds.add({cfg.uid, n, ppn, m, obs});
+          }
+          ++done;
+          if (progress && done % 64 == 0) progress(done, total);
+        }
+      }
+    }
+  }
+  if (progress) progress(total, total);
+  return ds;
+}
+
+Dataset load_or_generate(const DatasetSpec& spec,
+                         const std::filesystem::path& data_dir,
+                         const ProgressFn& progress) {
+  const std::filesystem::path path = data_dir / (spec.name + ".csv");
+  if (std::filesystem::exists(path)) {
+    return Dataset::load_csv(path, spec.name, spec.lib, spec.coll,
+                             spec.machine);
+  }
+  Dataset ds = generate_dataset(spec, progress);
+  ds.save_csv(path);
+  return ds;
+}
+
+std::filesystem::path default_data_dir() {
+  if (const char* env = std::getenv("MPICP_DATA_DIR")) return env;
+  return "data";
+}
+
+}  // namespace mpicp::bench

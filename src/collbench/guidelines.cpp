@@ -1,0 +1,117 @@
+#include "collbench/guidelines.hpp"
+
+#include "simmpi/coll/allreduce.hpp"
+#include "simmpi/coll/bcast.hpp"
+#include "simmpi/coll/decision.hpp"
+#include "simmpi/coll/registry.hpp"
+#include "simmpi/coll/smallcoll.hpp"
+#include "simmpi/executor.hpp"
+
+namespace mpicp::bench {
+
+namespace {
+
+using sim::BuiltCollective;
+using sim::Collective;
+using sim::Comm;
+
+double run(sim::Network& net, BuiltCollective built) {
+  sim::Executor exec(net);
+  return exec.run(built.programs).makespan_us;
+}
+
+/// The modeled library default for a collective covered by the fixed
+/// decision rules.
+double run_default(sim::Network& net, const Comm& comm, Collective coll,
+                   std::uint64_t m) {
+  const int uid =
+      sim::openmpi_default_uid(coll, comm.size(), m);
+  const auto& cfg = sim::config_by_uid(sim::MpiLib::kOpenMPI, coll, uid);
+  return run(net, sim::build_algorithm(sim::MpiLib::kOpenMPI, coll, cfg,
+                                       comm, m, 0, false));
+}
+
+/// Default-ish algorithms for the substrate collectives the fixed rules
+/// do not cover (binomial below the eager range, pipelined beyond —
+/// the shape of most MPI libraries' defaults).
+double run_reduce_default(sim::Network& net, const Comm& comm,
+                          std::uint64_t m) {
+  if (m < 65536) return run(net, sim::reduce_binomial(comm, m, 0, 0));
+  return run(net, sim::reduce_pipeline(comm, m, 65536, 0));
+}
+
+double run_allgather_default(sim::Network& net, const Comm& comm,
+                             std::uint64_t m_per_rank) {
+  if (m_per_rank * static_cast<std::uint64_t>(comm.size()) < 262144) {
+    return run(net, sim::allgather_recursive_doubling(comm, m_per_rank));
+  }
+  return run(net, sim::allgather_ring(comm, m_per_rank));
+}
+
+}  // namespace
+
+std::vector<GuidelineResult> check_guidelines(
+    const sim::MachineDesc& machine, int nodes, int ppn,
+    const std::vector<std::uint64_t>& msizes, double tolerance) {
+  const Comm comm(nodes, ppn);
+  const int p = comm.size();
+  sim::Network net(machine, nodes, ppn);
+  std::vector<GuidelineResult> results;
+
+  const auto record = [&](const std::string& name, std::uint64_t m,
+                          double lhs, double rhs) {
+    GuidelineResult r;
+    r.guideline = name;
+    r.inst = {nodes, ppn, m};
+    r.lhs_us = lhs;
+    r.rhs_us = rhs;
+    r.factor = lhs / rhs;
+    r.violated = lhs > rhs * tolerance;
+    results.push_back(r);
+  };
+
+  for (const std::uint64_t m : msizes) {
+    // 1. Allreduce(m) <= Reduce(m) + Bcast(m).
+    {
+      const double lhs = run_default(net, comm, Collective::kAllreduce, m);
+      const double rhs = run_reduce_default(net, comm, m) +
+                         run_default(net, comm, Collective::kBcast, m);
+      record("Allreduce <= Reduce + Bcast", m, lhs, rhs);
+    }
+    // 2. Bcast(m) <= Scatter(m/p) + Allgather(m/p).
+    {
+      const std::uint64_t chunk =
+          std::max<std::uint64_t>(m / static_cast<std::uint64_t>(p), 1);
+      const double lhs = run_default(net, comm, Collective::kBcast, m);
+      const double rhs = run(net, sim::scatter_binomial(comm, chunk, 0)) +
+                         run_allgather_default(net, comm, chunk);
+      record("Bcast <= Scatter + Allgather", m, lhs, rhs);
+    }
+    // 3. Allgather(m/p) <= Gather(m/p) + Bcast(m).
+    {
+      const std::uint64_t chunk =
+          std::max<std::uint64_t>(m / static_cast<std::uint64_t>(p), 1);
+      const double lhs = run_allgather_default(net, comm, chunk);
+      const double rhs = run(net, sim::gather_binomial(comm, chunk, 0)) +
+                         run_default(net, comm, Collective::kBcast, m);
+      record("Allgather <= Gather + Bcast", m, lhs, rhs);
+    }
+    // 4. Reduce(m) <= Allreduce(m).
+    {
+      const double lhs = run_reduce_default(net, comm, m);
+      const double rhs = run_default(net, comm, Collective::kAllreduce, m);
+      record("Reduce <= Allreduce", m, lhs, rhs);
+    }
+    // 5. Gather(m/p) <= Allgather(m/p).
+    {
+      const std::uint64_t chunk =
+          std::max<std::uint64_t>(m / static_cast<std::uint64_t>(p), 1);
+      const double lhs = run(net, sim::gather_binomial(comm, chunk, 0));
+      const double rhs = run_allgather_default(net, comm, chunk);
+      record("Gather <= Allgather", m, lhs, rhs);
+    }
+  }
+  return results;
+}
+
+}  // namespace mpicp::bench

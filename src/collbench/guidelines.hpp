@@ -1,0 +1,38 @@
+// Self-consistent performance guidelines (PGMPITuneLib; Hunold &
+// Carpen-Amarie, HPC Asia'18 — the paper's ref [29]).
+//
+// A performance guideline states that a collective must not be slower
+// than an equivalent composition of other collectives, e.g. an
+// MPI_Allreduce should never lose against MPI_Reduce followed by
+// MPI_Bcast. Violations expose badly chosen default algorithms — the
+// same motivation as the paper's ML selection. This module evaluates the
+// classic guidelines on the simulator using the modeled library
+// defaults.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "collbench/dataset.hpp"
+#include "simnet/machine.hpp"
+
+namespace mpicp::bench {
+
+struct GuidelineResult {
+  std::string guideline;       ///< e.g. "Allreduce <= Reduce + Bcast"
+  Instance inst;
+  double lhs_us = 0.0;         ///< the monolithic collective (default alg)
+  double rhs_us = 0.0;         ///< the composed mock
+  bool violated = false;       ///< lhs slower than rhs (beyond tolerance)
+  double factor = 1.0;         ///< lhs / rhs
+};
+
+/// Evaluate all built-in guidelines for one allocation over the given
+/// message sizes. `tolerance` guards against flagging noise-level
+/// differences (default: flag only >10 % violations).
+std::vector<GuidelineResult> check_guidelines(
+    const sim::MachineDesc& machine, int nodes, int ppn,
+    const std::vector<std::uint64_t>& msizes, double tolerance = 1.10);
+
+}  // namespace mpicp::bench

@@ -1,0 +1,59 @@
+#include "collbench/noise.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace mpicp::bench {
+
+namespace {
+
+/// Standard-normal-ish value derived deterministically from a hash
+/// (sum of 4 mixed uniforms, Irwin-Hall approximation).
+double hashed_normal(std::uint64_t h) {
+  support::SplitMix64 sm(h);
+  double acc = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    acc += static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  }
+  return (acc - 2.0) * std::sqrt(3.0);  // variance 4/12 -> scaled to 1
+}
+
+}  // namespace
+
+double NoiseModel::systematic_factor(std::uint64_t coll_key, int uid,
+                                     int nodes, int ppn,
+                                     std::uint64_t msize) const {
+  // Per-(uid, nodes, ppn) process-geometry quirk plus a weaker
+  // per-(uid, msize) protocol quirk.
+  const double geo = hashed_normal(support::hash_combine(
+      {seed_, coll_key, static_cast<std::uint64_t>(uid),
+       static_cast<std::uint64_t>(nodes), static_cast<std::uint64_t>(ppn),
+       0xa11ce}));
+  const double msz = hashed_normal(support::hash_combine(
+      {seed_, coll_key, static_cast<std::uint64_t>(uid), msize, 0xb0b}));
+  return std::exp(params_.sys_sigma * geo + 0.5 * params_.sys_sigma * msz);
+}
+
+double NoiseModel::true_time_us(double des_time_us, std::uint64_t coll_key,
+                                int uid, int nodes, int ppn,
+                                std::uint64_t msize) const {
+  MPICP_REQUIRE(des_time_us >= 0.0, "negative simulated time");
+  return des_time_us *
+         systematic_factor(coll_key, uid, nodes, ppn, msize);
+}
+
+double NoiseModel::observe_us(double true_time_us,
+                              support::Xoshiro256& rng) const {
+  const double sigma =
+      params_.sigma_base +
+      params_.sigma_small /
+          (1.0 + true_time_us / params_.small_scale_us);
+  double t = rng.lognormal_median(std::max(true_time_us, 1e-3), sigma);
+  if (rng.uniform() < params_.straggler_prob) {
+    t *= 1.0 + (params_.straggler_mult - 1.0) * rng.uniform();
+  }
+  return t;
+}
+
+}  // namespace mpicp::bench

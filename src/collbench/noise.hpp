@@ -1,0 +1,56 @@
+// Measurement noise model.
+//
+// The DES produces one deterministic time per configuration; real
+// benchmarks observe a distribution around a machine-dependent truth.
+// This model supplies both missing pieces (DESIGN.md §2):
+//
+//  * a *systematic field*: a deterministic multiplicative factor per
+//    (machine, collective, uid, nodes, ppn) and per (uid, message size),
+//    seeded by hash — the "machine quirks" that make the measured
+//    landscape deviate from any analytic model and give the regression
+//    learners real structure to exploit;
+//  * *stochastic jitter*: log-normal multiplicative noise whose relative
+//    magnitude grows for short (latency-dominated) runs, plus rare
+//    straggler spikes (OS noise).
+#pragma once
+
+#include <cstdint>
+
+#include "support/rng.hpp"
+
+namespace mpicp::bench {
+
+struct NoiseParams {
+  double sigma_base = 0.03;     ///< log-normal sigma for long runs
+  double sigma_small = 0.08;    ///< extra sigma for microsecond runs
+  double small_scale_us = 50.0; ///< crossover scale for the extra sigma
+  double sys_sigma = 0.10;      ///< systematic per-configuration factor
+  double straggler_prob = 0.01; ///< probability of an OS-noise spike
+  double straggler_mult = 2.0;  ///< mean spike multiplier
+};
+
+class NoiseModel {
+ public:
+  NoiseModel(std::uint64_t machine_seed, NoiseParams params = {})
+      : seed_(machine_seed), params_(params) {}
+
+  /// Deterministic systematic factor for one configuration.
+  double systematic_factor(std::uint64_t coll_key, int uid, int nodes,
+                           int ppn, std::uint64_t msize) const;
+
+  /// The "true" (median) time of a configuration: DES time times the
+  /// systematic factor.
+  double true_time_us(double des_time_us, std::uint64_t coll_key, int uid,
+                      int nodes, int ppn, std::uint64_t msize) const;
+
+  /// Draw one noisy observation around a true time.
+  double observe_us(double true_time_us, support::Xoshiro256& rng) const;
+
+  const NoiseParams& params() const { return params_; }
+
+ private:
+  std::uint64_t seed_;
+  NoiseParams params_;
+};
+
+}  // namespace mpicp::bench

@@ -1,0 +1,96 @@
+#include "collbench/specs.hpp"
+
+#include "support/error.hpp"
+
+namespace mpicp::bench {
+
+namespace {
+
+using sim::Collective;
+using sim::MpiLib;
+
+// Table II grids, extended by node count 20 which Table III's training
+// split uses (the paper lists it only there).
+const std::vector<int> kHydraNodes = {4,  7,  8,  13, 16, 19,
+                                      20, 24, 27, 32, 35, 36};
+const std::vector<int> kHydraPpns = {1, 4, 8, 10, 16, 17, 20, 24, 28, 32};
+const std::vector<int> kJupiterNodes = {4,  7,  8,  13, 16,
+                                        19, 20, 24, 27, 32, 35};
+const std::vector<int> kJupiterPpns = {1, 2, 4, 8, 10, 12, 16};
+const std::vector<int> kSupermucNodes = {20, 27, 32, 35, 48};
+const std::vector<int> kSupermucPpns = {1, 8, 16, 24, 48};
+
+std::vector<std::uint64_t> first_n(const std::vector<std::uint64_t>& v,
+                                   std::size_t n) {
+  return {v.begin(), v.begin() + static_cast<std::ptrdiff_t>(n)};
+}
+
+std::vector<DatasetSpec> make_specs() {
+  const auto& m10 = standard_msizes();
+  const auto m8 = first_n(m10, 8);
+  // Budgets mirror §V: up to R repetitions or ~1 s (0.5 s on
+  // SuperMUC-NG) per configuration, whichever is hit first. The rep caps
+  // are sized so the per-dataset sample counts land near Table II.
+  const RunnerBudget rep5{.max_reps = 5, .budget_us = 1.0e6};
+  const RunnerBudget rep3{.max_reps = 3, .budget_us = 1.0e6};
+  const RunnerBudget rep4{.max_reps = 4, .budget_us = 1.0e6};
+  const RunnerBudget rep3s{.max_reps = 3, .budget_us = 0.5e6};
+
+  std::vector<DatasetSpec> specs;
+  specs.push_back({"d1", Collective::kBcast, MpiLib::kOpenMPI, "4.0.2",
+                   "Hydra", kHydraNodes, kHydraPpns, m10, rep5, 101});
+  specs.push_back({"d2", Collective::kAllreduce, MpiLib::kOpenMPI, "4.0.2",
+                   "Hydra", kHydraNodes, kHydraPpns, m10, rep3, 102});
+  specs.push_back({"d3", Collective::kBcast, MpiLib::kOpenMPI, "4.0.2",
+                   "Jupiter", kJupiterNodes, kJupiterPpns, m10, rep5, 103});
+  specs.push_back({"d4", Collective::kAllreduce, MpiLib::kOpenMPI, "4.0.2",
+                   "Jupiter", kJupiterNodes, kJupiterPpns, m10, rep3, 104});
+  specs.push_back({"d5", Collective::kAllreduce, MpiLib::kIntelMPI, "2019",
+                   "Hydra", kHydraNodes, kHydraPpns, m10, rep4, 105});
+  specs.push_back({"d6", Collective::kAlltoall, MpiLib::kIntelMPI, "2019",
+                   "Hydra", kHydraNodes, kHydraPpns, m8, rep4, 106});
+  specs.push_back({"d7", Collective::kBcast, MpiLib::kIntelMPI, "2019",
+                   "Hydra", kHydraNodes, kHydraPpns, m10, rep4, 107});
+  specs.push_back({"d8", Collective::kBcast, MpiLib::kOpenMPI, "4.0.2",
+                   "SuperMUC-NG", kSupermucNodes, kSupermucPpns, m8, rep3s,
+                   108});
+  return specs;
+}
+
+}  // namespace
+
+const std::vector<std::uint64_t>& standard_msizes() {
+  static const std::vector<std::uint64_t> sizes = {
+      1,     16,    256,    1024,    4096,
+      16384, 65536, 524288, 1048576, 4194304};
+  return sizes;
+}
+
+const std::vector<DatasetSpec>& all_dataset_specs() {
+  static const std::vector<DatasetSpec> specs = make_specs();
+  return specs;
+}
+
+const DatasetSpec& dataset_spec(const std::string& name) {
+  for (const DatasetSpec& spec : all_dataset_specs()) {
+    if (spec.name == name) return spec;
+  }
+  throw InvalidArgument("unknown dataset '" + name + "'");
+}
+
+NodeSplit node_split(const std::string& machine) {
+  if (machine == "Hydra") {
+    return {{4, 8, 16, 20, 24, 32, 36},
+            {4, 16, 36},
+            {7, 13, 19, 27, 35}};
+  }
+  if (machine == "Jupiter") {
+    return {{4, 8, 16, 20, 24, 32}, {4, 16, 32}, {7, 13, 19, 27}};
+  }
+  if (machine == "SuperMUC-NG") {
+    return {{20, 32, 48}, {20, 32, 48}, {27, 35}};
+  }
+  throw InvalidArgument("no node split for machine '" + machine + "'");
+}
+
+}  // namespace mpicp::bench

@@ -1,0 +1,46 @@
+// Dataset specifications d1..d8 (the paper's Table II) and the
+// training/test node splits (Table III).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "collbench/runner.hpp"
+#include "simmpi/coll/registry.hpp"
+#include "simmpi/coll/types.hpp"
+
+namespace mpicp::bench {
+
+struct DatasetSpec {
+  std::string name;           ///< d1 .. d8
+  sim::Collective coll;
+  sim::MpiLib lib;
+  std::string lib_version;    ///< cosmetic (Table II column)
+  std::string machine;        ///< simnet machine preset name
+  std::vector<int> nodes;
+  std::vector<int> ppns;
+  std::vector<std::uint64_t> msizes;
+  RunnerBudget budget;
+  std::uint64_t seed = 0;     ///< noise/measurement seed
+};
+
+/// All eight dataset specs, in paper order.
+const std::vector<DatasetSpec>& all_dataset_specs();
+
+/// Spec by name ("d1" .. "d8"); throws InvalidArgument if unknown.
+const DatasetSpec& dataset_spec(const std::string& name);
+
+/// Node-count splits per machine (Table III).
+struct NodeSplit {
+  std::vector<int> train_full;
+  std::vector<int> train_small;
+  std::vector<int> test;
+};
+
+NodeSplit node_split(const std::string& machine);
+
+/// Message sizes of the fixed-buffer collectives (10 sizes, 1 B..4 MiB).
+const std::vector<std::uint64_t>& standard_msizes();
+
+}  // namespace mpicp::bench

@@ -1,0 +1,68 @@
+#include "ml/cv.hpp"
+
+#include "ml/metrics.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace mpicp::ml {
+
+Split holdout_split(std::size_t n, double test_fraction,
+                    std::uint64_t seed) {
+  MPICP_REQUIRE(test_fraction > 0.0 && test_fraction < 1.0,
+                "test fraction must be in (0, 1)");
+  support::Xoshiro256 rng(seed);
+  const auto perm = rng.permutation(n);
+  const auto ntest = std::max<std::size_t>(
+      1, static_cast<std::size_t>(test_fraction * static_cast<double>(n)));
+  Split split;
+  for (std::size_t i = 0; i < n; ++i) {
+    (i < ntest ? split.test : split.train).push_back(perm[i]);
+  }
+  return split;
+}
+
+std::vector<Split> kfold_splits(std::size_t n, int folds,
+                                std::uint64_t seed) {
+  MPICP_REQUIRE(folds >= 2 && static_cast<std::size_t>(folds) <= n,
+                "invalid fold count");
+  support::Xoshiro256 rng(seed);
+  const auto perm = rng.permutation(n);
+  std::vector<Split> splits(folds);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int fold = static_cast<int>(i % folds);
+    for (int f = 0; f < folds; ++f) {
+      (f == fold ? splits[f].test : splits[f].train).push_back(perm[i]);
+    }
+  }
+  return splits;
+}
+
+Matrix take_rows(const Matrix& x, const std::vector<std::size_t>& rows) {
+  Matrix out(rows.size(), x.cols());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t f = 0; f < x.cols(); ++f) out(i, f) = x(rows[i], f);
+  }
+  return out;
+}
+
+std::vector<double> take(std::span<const double> y,
+                         const std::vector<std::size_t>& rows) {
+  std::vector<double> out(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) out[i] = y[rows[i]];
+  return out;
+}
+
+double kfold_rmse(const std::string& learner, const Matrix& x,
+                  std::span<const double> y, int folds,
+                  std::uint64_t seed) {
+  double acc = 0.0;
+  for (const Split& split : kfold_splits(x.rows(), folds, seed)) {
+    auto model = make_regressor(learner);
+    model->fit(take_rows(x, split.train), take(y, split.train));
+    const auto pred = model->predict(take_rows(x, split.test));
+    acc += rmse(take(y, split.test), pred);
+  }
+  return acc / folds;
+}
+
+}  // namespace mpicp::ml

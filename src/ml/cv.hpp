@@ -1,0 +1,35 @@
+// Train/test splitting and k-fold cross-validation utilities (used by
+// the overfitting checks the paper mentions monitoring during model
+// generation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/learner.hpp"
+
+namespace mpicp::ml {
+
+struct Split {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Deterministic shuffled holdout split.
+Split holdout_split(std::size_t n, double test_fraction,
+                    std::uint64_t seed);
+
+/// Deterministic shuffled k-fold partition.
+std::vector<Split> kfold_splits(std::size_t n, int folds,
+                                std::uint64_t seed);
+
+/// Row-subset of a matrix / target vector.
+Matrix take_rows(const Matrix& x, const std::vector<std::size_t>& rows);
+std::vector<double> take(std::span<const double> y,
+                         const std::vector<std::size_t>& rows);
+
+/// Mean k-fold RMSE of a learner factory on (x, y).
+double kfold_rmse(const std::string& learner, const Matrix& x,
+                  std::span<const double> y, int folds, std::uint64_t seed);
+
+}  // namespace mpicp::ml

@@ -1,0 +1,142 @@
+#include "ml/gam.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/io.hpp"
+#include "support/error.hpp"
+
+namespace mpicp::ml {
+
+GamRegressor::GamRegressor(GamParams params) : params_(params) {
+  MPICP_REQUIRE(params_.basis_per_feature >= 4, "basis too small");
+  MPICP_REQUIRE(params_.lambda >= 0.0, "negative smoothing penalty");
+}
+
+Matrix GamRegressor::design_row(std::span<const double> x) const {
+  const int nb = params_.basis_per_feature;
+  Matrix row(1, 1 + x.size() * static_cast<std::size_t>(nb));
+  row(0, 0) = 1.0;
+  for (std::size_t f = 0; f < x.size(); ++f) {
+    const auto b = bases_[f].evaluate(x[f]);
+    for (int j = 0; j < nb; ++j) row(0, 1 + f * nb + j) = b[j];
+  }
+  return row;
+}
+
+void GamRegressor::fit(const Matrix& x, std::span<const double> y) {
+  MPICP_REQUIRE(x.rows() == y.size() && !y.empty(),
+                "training data shape mismatch");
+  for (const double v : y) {
+    MPICP_REQUIRE(v > 0.0, "Gamma family needs positive targets");
+  }
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  const int nb = params_.basis_per_feature;
+
+  // Build one basis per feature over the observed range.
+  bases_.clear();
+  for (std::size_t f = 0; f < d; ++f) {
+    double lo = x(0, f);
+    double hi = x(0, f);
+    for (std::size_t i = 1; i < n; ++i) {
+      lo = std::min(lo, x(i, f));
+      hi = std::max(hi, x(i, f));
+    }
+    if (hi <= lo) hi = lo + 1.0;  // constant feature: harmless basis
+    bases_.emplace_back(lo, hi, nb);
+  }
+
+  // Full design matrix [1 | B_1 | ... | B_d].
+  const std::size_t cols = 1 + d * static_cast<std::size_t>(nb);
+  Matrix design(n, cols);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Matrix row = design_row(x.row(i));
+    std::copy(row.row(0).begin(), row.row(0).end(), design.row(i).begin());
+  }
+
+  // Penalized normal matrix: X'X + lambda * blockdiag(S_f) (+ a whiff of
+  // ridge for identifiability of the overlapping constant directions).
+  Matrix normal = design.gram();
+  for (std::size_t f = 0; f < d; ++f) {
+    const Matrix pen = bases_[f].penalty();
+    for (int a = 0; a < nb; ++a) {
+      for (int b = 0; b < nb; ++b) {
+        normal(1 + f * nb + a, 1 + f * nb + b) +=
+            params_.lambda * pen(a, b);
+      }
+    }
+  }
+  for (std::size_t c = 0; c < cols; ++c) normal(c, c) += 1e-8;
+
+  // Penalized IRLS. Gamma + log link has unit IRLS weights, so the
+  // normal matrix is iteration-invariant; only the working response z =
+  // eta + (y - mu)/mu changes.
+  std::vector<double> eta(n);
+  for (std::size_t i = 0; i < n; ++i) eta[i] = std::log(y[i]);
+  beta_.assign(cols, 0.0);
+  iterations_ = 0;
+  double prev_dev = 1e300;
+  for (int it = 0; it < params_.max_iters; ++it) {
+    ++iterations_;
+    std::vector<double> z(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double mu = std::exp(std::clamp(eta[i], -40.0, 40.0));
+      z[i] = eta[i] + (y[i] - mu) / mu;
+    }
+    beta_ = cholesky_solve(normal, design.transpose_times(z));
+    eta = design.times(beta_);
+    // Gamma deviance for convergence monitoring.
+    double dev = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double mu = std::exp(std::clamp(eta[i], -40.0, 40.0));
+      dev += 2.0 * (-std::log(y[i] / mu) + (y[i] - mu) / mu);
+    }
+    if (std::abs(prev_dev - dev) <
+        params_.tol * (std::abs(dev) + params_.tol)) {
+      break;
+    }
+    prev_dev = dev;
+  }
+}
+
+void GamRegressor::save(std::ostream& os) const {
+  io::write_tag(os, "gam");
+  io::write_value(os, params_.basis_per_feature);
+  io::write_value(os, bases_.size());
+  for (const BSplineBasis& basis : bases_) {
+    io::write_value(os, basis.lo());
+    io::write_value(os, basis.hi());
+  }
+  io::write_vector(os, beta_);
+}
+
+void GamRegressor::load(std::istream& is) {
+  io::expect_tag(is, "gam");
+  params_.basis_per_feature = io::read_value<int>(is);
+  const auto d = io::read_value<std::size_t>(is);
+  MPICP_REQUIRE(d < 256, "implausible gam dimensionality");
+  bases_.clear();
+  for (std::size_t f = 0; f < d; ++f) {
+    const auto lo = io::read_value<double>(is);
+    const auto hi = io::read_value<double>(is);
+    bases_.emplace_back(lo, hi, params_.basis_per_feature);
+  }
+  beta_ = io::read_vector<double>(is);
+  MPICP_REQUIRE(
+      beta_.size() ==
+          1 + d * static_cast<std::size_t>(params_.basis_per_feature),
+      "gam model size mismatch");
+}
+
+double GamRegressor::predict_one(std::span<const double> x) const {
+  MPICP_REQUIRE(!beta_.empty(), "predicting with an unfitted model");
+  const Matrix row = design_row(x);
+  double eta = 0.0;
+  for (std::size_t c = 0; c < row.cols(); ++c) {
+    eta += row(0, c) * beta_[c];
+  }
+  return std::exp(std::clamp(eta, -40.0, 40.0));
+}
+
+}  // namespace mpicp::ml

@@ -1,0 +1,154 @@
+#include "ml/gbt.hpp"
+
+#include <cmath>
+
+#include "ml/io.hpp"
+#include "support/error.hpp"
+#include "support/stats.hpp"
+
+namespace mpicp::ml {
+
+namespace {
+
+bool log_link(GbtObjective obj) { return obj != GbtObjective::kSquared; }
+
+/// Per-sample gradient/hessian of the objective at raw score f.
+GradPair grad_hess(GbtObjective obj, double tweedie_p, double y, double f) {
+  switch (obj) {
+    case GbtObjective::kSquared:
+      return {f - y, 1.0};
+    case GbtObjective::kGamma: {
+      // -2 log-lik (up to constants): g = 1 - y e^{-f}.
+      const double ef = std::exp(-f);
+      return {1.0 - y * ef, y * ef};
+    }
+    case GbtObjective::kTweedie: {
+      const double p = tweedie_p;
+      const double a = std::exp((1.0 - p) * f);
+      const double b = std::exp((2.0 - p) * f);
+      return {-y * a + b, (p - 1.0) * y * a + (2.0 - p) * b};
+    }
+  }
+  throw InternalError("unhandled GbtObjective");
+}
+
+double loss_value(GbtObjective obj, double tweedie_p, double y, double f) {
+  switch (obj) {
+    case GbtObjective::kSquared:
+      return 0.5 * (y - f) * (y - f);
+    case GbtObjective::kGamma:
+      return y * std::exp(-f) + f;
+    case GbtObjective::kTweedie: {
+      const double p = tweedie_p;
+      return -y * std::exp((1.0 - p) * f) / (1.0 - p) +
+             std::exp((2.0 - p) * f) / (2.0 - p);
+    }
+  }
+  throw InternalError("unhandled GbtObjective");
+}
+
+}  // namespace
+
+GradientBoostedTrees::GradientBoostedTrees(GbtParams params)
+    : params_(params) {
+  MPICP_REQUIRE(params_.rounds >= 1, "need at least one boosting round");
+  MPICP_REQUIRE(params_.tweedie_p > 1.0 && params_.tweedie_p < 2.0,
+                "tweedie power must lie in (1, 2)");
+}
+
+void GradientBoostedTrees::fit(const Matrix& x, std::span<const double> y) {
+  MPICP_REQUIRE(x.rows() == y.size() && !y.empty(),
+                "training data shape mismatch");
+  if (log_link(params_.objective)) {
+    for (const double v : y) {
+      MPICP_REQUIRE(v > 0.0, "log-link objectives need positive targets");
+    }
+  }
+  trees_.clear();
+  loss_.clear();
+
+  const double mean_y = support::mean(y);
+  base_score_ =
+      log_link(params_.objective) ? std::log(mean_y) : mean_y;
+
+  const std::size_t n = x.rows();
+  const int d = static_cast<int>(x.cols());
+  num_features_ = d;
+  const FeatureBinner binner(x);
+  const std::vector<std::uint8_t> codes = binner.encode(x);
+
+  std::vector<double> score(n, base_score_);
+  std::vector<GradPair> gh(n);
+  std::vector<int> all_rows(n);
+  for (std::size_t i = 0; i < n; ++i) all_rows[i] = static_cast<int>(i);
+
+  TreeParams tree_params = params_.tree;
+  tree_params.learning_rate = params_.learning_rate;
+
+  for (int round = 0; round < params_.rounds; ++round) {
+    double total_loss = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      gh[i] = grad_hess(params_.objective, params_.tweedie_p, y[i],
+                        score[i]);
+      total_loss +=
+          loss_value(params_.objective, params_.tweedie_p, y[i], score[i]);
+    }
+    loss_.push_back(total_loss / static_cast<double>(n));
+
+    RegressionTree tree;
+    tree.fit(binner, codes, d, gh, all_rows, tree_params);
+    for (std::size_t i = 0; i < n; ++i) {
+      score[i] += tree.predict_one(x.row(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+void GradientBoostedTrees::save(std::ostream& os) const {
+  io::write_tag(os, "gbt");
+  io::write_value(os, static_cast<int>(params_.objective));
+  io::write_value(os, params_.tweedie_p);
+  io::write_value(os, num_features_);
+  io::write_value(os, base_score_);
+  io::write_value(os, trees_.size());
+  for (const RegressionTree& tree : trees_) tree.save(os);
+}
+
+void GradientBoostedTrees::load(std::istream& is) {
+  io::expect_tag(is, "gbt");
+  params_.objective = static_cast<GbtObjective>(io::read_value<int>(is));
+  params_.tweedie_p = io::read_value<double>(is);
+  num_features_ = io::read_value<int>(is);
+  base_score_ = io::read_value<double>(is);
+  const auto count = io::read_value<std::size_t>(is);
+  MPICP_REQUIRE(count < (1u << 20), "implausible ensemble size");
+  trees_.assign(count, RegressionTree{});
+  for (RegressionTree& tree : trees_) tree.load(is);
+  loss_.clear();
+}
+
+std::vector<double> GradientBoostedTrees::feature_importance() const {
+  if (trees_.empty()) return {};
+  std::vector<double> gains(num_features_, 0.0);
+  for (const RegressionTree& tree : trees_) tree.accumulate_gains(gains);
+  double total = 0.0;
+  for (const double g : gains) total += g;
+  if (total > 0.0) {
+    for (double& g : gains) g /= total;
+  }
+  return gains;
+}
+
+double GradientBoostedTrees::raw_score(std::span<const double> x) const {
+  double f = base_score_;
+  for (const RegressionTree& tree : trees_) f += tree.predict_one(x);
+  return f;
+}
+
+double GradientBoostedTrees::predict_one(std::span<const double> x) const {
+  MPICP_REQUIRE(!trees_.empty(), "predicting with an unfitted model");
+  const double f = raw_score(x);
+  return log_link(params_.objective) ? std::exp(f) : f;
+}
+
+}  // namespace mpicp::ml

@@ -1,0 +1,64 @@
+// Tiny token-stream helpers for model serialization. The format is
+// line-oriented text: human-inspectable, diff-friendly, and exact
+// (doubles round-trip via max_digits10).
+#pragma once
+
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace mpicp::ml::io {
+
+inline void write_tag(std::ostream& os, const std::string& tag) {
+  os << tag << '\n';
+}
+
+/// Read one whitespace-delimited token and require it to equal `tag`.
+inline void expect_tag(std::istream& is, const std::string& tag) {
+  std::string got;
+  if (!(is >> got) || got != tag) {
+    throw ParseError("model stream: expected '" + tag + "', got '" + got +
+                     "'");
+  }
+}
+
+template <typename T>
+void write_value(std::ostream& os, const T& value) {
+  if constexpr (std::is_floating_point_v<T>) {
+    os << std::setprecision(std::numeric_limits<T>::max_digits10) << value
+       << '\n';
+  } else {
+    os << value << '\n';
+  }
+}
+
+template <typename T>
+T read_value(std::istream& is) {
+  T value{};
+  if (!(is >> value)) {
+    throw ParseError("model stream: malformed value");
+  }
+  return value;
+}
+
+template <typename T>
+void write_vector(std::ostream& os, const std::vector<T>& values) {
+  write_value(os, values.size());
+  for (const T& v : values) write_value(os, v);
+}
+
+template <typename T>
+std::vector<T> read_vector(std::istream& is) {
+  const auto n = read_value<std::size_t>(is);
+  MPICP_REQUIRE(n < (1u << 28), "model stream: implausible vector size");
+  std::vector<T> values(n);
+  for (auto& v : values) v = read_value<T>(is);
+  return values;
+}
+
+}  // namespace mpicp::ml::io

@@ -1,0 +1,68 @@
+// K-nearest-neighbor regression (the paper's KNN learner).
+//
+// K = 5, z-scaled inputs, Euclidean distance, mean of the neighbors'
+// targets — exactly the caret defaults the paper relies on. Queries use
+// a kd-tree over the scaled training points with brute force as the
+// (test-verified) reference path.
+#pragma once
+
+#include <vector>
+
+#include "ml/learner.hpp"
+
+namespace mpicp::ml {
+
+/// Per-feature standardization to zero mean / unit variance.
+class StandardScaler {
+ public:
+  void fit(const Matrix& x);
+  std::vector<double> transform(std::span<const double> row) const;
+  bool fitted() const { return !mean_.empty(); }
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> inv_std_;
+};
+
+struct KnnParams {
+  int k = 5;
+  bool scale_inputs = true;
+  bool use_kdtree = true;
+};
+
+class KnnRegressor final : public Regressor {
+ public:
+  explicit KnnRegressor(KnnParams params = {});
+
+  void fit(const Matrix& x, std::span<const double> y) override;
+  double predict_one(std::span<const double> x) const override;
+  std::string name() const override { return "knn"; }
+  void save(std::ostream& os) const override;
+  void load(std::istream& is) override;
+
+ private:
+  struct KdNode {
+    int axis = -1;       // -1: leaf
+    double split = 0.0;
+    int left = -1;
+    int right = -1;
+    int begin = 0;       // leaf: range into order_
+    int end = 0;
+  };
+
+  int build_kd(int begin, int end, int depth);
+  void search_kd(int node, std::span<const double> q,
+                 std::vector<std::pair<double, int>>& heap) const;
+  double query(std::span<const double> scaled) const;
+
+  KnnParams params_;
+  StandardScaler scaler_;
+  Matrix points_;  // scaled training points
+  std::vector<double> targets_;
+  std::vector<int> order_;  // kd-tree leaf permutation
+  std::vector<KdNode> kd_;
+};
+
+}  // namespace mpicp::ml

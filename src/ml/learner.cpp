@@ -1,0 +1,48 @@
+#include "ml/learner.hpp"
+
+#include "ml/forest.hpp"
+#include "ml/gam.hpp"
+#include "ml/gbt.hpp"
+#include "ml/knn.hpp"
+#include "ml/linreg.hpp"
+#include <istream>
+#include <ostream>
+
+#include "support/error.hpp"
+
+namespace mpicp::ml {
+
+std::vector<double> Regressor::predict(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    out[i] = predict_one(x.row(i));
+  }
+  return out;
+}
+
+void save_regressor(std::ostream& os, const Regressor& model) {
+  os << "regressor " << model.name() << '\n';
+  model.save(os);
+}
+
+std::unique_ptr<Regressor> load_regressor(std::istream& is) {
+  std::string tag;
+  std::string name;
+  if (!(is >> tag >> name) || tag != "regressor") {
+    throw ParseError("model stream: missing regressor header");
+  }
+  auto model = make_regressor(name);
+  model->load(is);
+  return model;
+}
+
+std::unique_ptr<Regressor> make_regressor(const std::string& name) {
+  if (name == "xgboost") return std::make_unique<GradientBoostedTrees>();
+  if (name == "knn") return std::make_unique<KnnRegressor>();
+  if (name == "gam") return std::make_unique<GamRegressor>();
+  if (name == "rf") return std::make_unique<RandomForest>();
+  if (name == "linear") return std::make_unique<LinearRegressor>();
+  throw InvalidArgument("unknown learner '" + name + "'");
+}
+
+}  // namespace mpicp::ml

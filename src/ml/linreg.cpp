@@ -1,0 +1,54 @@
+#include "ml/linreg.hpp"
+
+#include <cmath>
+
+#include "ml/io.hpp"
+#include "support/error.hpp"
+
+namespace mpicp::ml {
+
+LinearRegressor::LinearRegressor(LinearParams params) : params_(params) {}
+
+void LinearRegressor::fit(const Matrix& x, std::span<const double> y) {
+  MPICP_REQUIRE(x.rows() == y.size() && !y.empty(),
+                "training data shape mismatch");
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  Matrix design(n, d + 1);
+  std::vector<double> target(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    design(i, 0) = 1.0;
+    for (std::size_t f = 0; f < d; ++f) design(i, f + 1) = x(i, f);
+    double t = y[i];
+    if (params_.log_target) {
+      MPICP_REQUIRE(t > 0.0, "log target needs positive values");
+      t = std::log(t);
+    }
+    target[i] = t;
+  }
+  Matrix normal = design.gram();
+  for (std::size_t c = 0; c <= d; ++c) normal(c, c) += params_.ridge;
+  beta_ = cholesky_solve(normal, design.transpose_times(target));
+}
+
+void LinearRegressor::save(std::ostream& os) const {
+  io::write_tag(os, "linear");
+  io::write_value(os, params_.log_target ? 1 : 0);
+  io::write_vector(os, beta_);
+}
+
+void LinearRegressor::load(std::istream& is) {
+  io::expect_tag(is, "linear");
+  params_.log_target = io::read_value<int>(is) != 0;
+  beta_ = io::read_vector<double>(is);
+}
+
+double LinearRegressor::predict_one(std::span<const double> x) const {
+  MPICP_REQUIRE(beta_.size() == x.size() + 1,
+                "predicting with an unfitted model");
+  double acc = beta_[0];
+  for (std::size_t f = 0; f < x.size(); ++f) acc += beta_[f + 1] * x[f];
+  return params_.log_target ? std::exp(acc) : acc;
+}
+
+}  // namespace mpicp::ml

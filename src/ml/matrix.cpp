@@ -1,0 +1,95 @@
+#include "ml/matrix.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace mpicp::ml {
+
+Matrix Matrix::gram(std::span<const double> weights) const {
+  Matrix g(cols_, cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double w = weights.empty() ? 1.0 : weights[i];
+    const auto r = row(i);
+    for (std::size_t a = 0; a < cols_; ++a) {
+      const double wa = w * r[a];
+      if (wa == 0.0) continue;
+      for (std::size_t b = a; b < cols_; ++b) g(a, b) += wa * r[b];
+    }
+  }
+  for (std::size_t a = 0; a < cols_; ++a) {
+    for (std::size_t b = 0; b < a; ++b) g(a, b) = g(b, a);
+  }
+  return g;
+}
+
+std::vector<double> Matrix::transpose_times(
+    std::span<const double> v, std::span<const double> weights) const {
+  MPICP_REQUIRE(v.size() == rows_, "dimension mismatch");
+  std::vector<double> out(cols_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double w = (weights.empty() ? 1.0 : weights[i]) * v[i];
+    if (w == 0.0) continue;
+    const auto r = row(i);
+    for (std::size_t a = 0; a < cols_; ++a) out[a] += w * r[a];
+  }
+  return out;
+}
+
+std::vector<double> Matrix::times(std::span<const double> beta) const {
+  MPICP_REQUIRE(beta.size() == cols_, "dimension mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const auto r = row(i);
+    double acc = 0.0;
+    for (std::size_t a = 0; a < cols_; ++a) acc += r[a] * beta[a];
+    out[i] = acc;
+  }
+  return out;
+}
+
+std::vector<double> cholesky_solve(Matrix a, std::vector<double> b,
+                                   double jitter) {
+  const std::size_t n = a.rows();
+  MPICP_REQUIRE(a.cols() == n && b.size() == n,
+                "cholesky_solve needs square A and matching b");
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    Matrix l = a;
+    for (std::size_t i = 0; i < n; ++i) l(i, i) += jitter;
+    bool ok = true;
+    // In-place Cholesky (lower triangle).
+    for (std::size_t j = 0; j < n && ok; ++j) {
+      double d = l(j, j);
+      for (std::size_t k = 0; k < j; ++k) d -= l(j, k) * l(j, k);
+      if (d <= 0.0 || !std::isfinite(d)) {
+        ok = false;
+        break;
+      }
+      const double diag = std::sqrt(d);
+      l(j, j) = diag;
+      for (std::size_t i = j + 1; i < n; ++i) {
+        double s = l(i, j);
+        for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+        l(i, j) = s / diag;
+      }
+    }
+    if (!ok) {
+      jitter = jitter == 0.0 ? 1e-10 : jitter * 100.0;
+      continue;
+    }
+    // Forward/back substitution.
+    std::vector<double> x = b;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = 0; k < i; ++k) x[i] -= l(i, k) * x[k];
+      x[i] /= l(i, i);
+    }
+    for (std::size_t ii = n; ii-- > 0;) {
+      for (std::size_t k = ii + 1; k < n; ++k) x[ii] -= l(k, ii) * x[k];
+      x[ii] /= l(ii, ii);
+    }
+    return x;
+  }
+  throw InternalError("cholesky_solve: matrix not positive definite");
+}
+
+}  // namespace mpicp::ml

@@ -1,0 +1,56 @@
+// Minimal dense linear algebra for the regression learners.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mpicp::ml {
+
+/// Row-major dense matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    return data_[i * cols_ + j];
+  }
+
+  std::span<const double> row(std::size_t i) const {
+    return {data_.data() + i * cols_, cols_};
+  }
+  std::span<double> row(std::size_t i) {
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  /// this^T * this (Gram matrix), optionally weighted per row.
+  Matrix gram(std::span<const double> weights = {}) const;
+
+  /// this^T * v, optionally weighted per row.
+  std::vector<double> transpose_times(
+      std::span<const double> v, std::span<const double> weights = {}) const;
+
+  /// this * beta.
+  std::vector<double> times(std::span<const double> beta) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solve (A + jitter*I) x = b for symmetric positive definite A via
+/// Cholesky; A is modified. Throws InternalError if A is not SPD even
+/// after escalating jitter.
+std::vector<double> cholesky_solve(Matrix a, std::vector<double> b,
+                                   double jitter = 1e-10);
+
+}  // namespace mpicp::ml

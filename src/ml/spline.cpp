@@ -1,0 +1,65 @@
+#include "ml/spline.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace mpicp::ml {
+
+BSplineBasis::BSplineBasis(double lo, double hi, int num_basis)
+    : lo_(lo), hi_(hi), num_basis_(num_basis) {
+  MPICP_REQUIRE(num_basis >= 4, "cubic basis needs at least 4 functions");
+  MPICP_REQUIRE(hi > lo, "degenerate spline domain");
+  // Equidistant knots: num_basis - 3 interior intervals, cubic degree 3
+  // needs 3 extra knots on each side.
+  const int intervals = num_basis - 3;
+  step_ = (hi - lo) / intervals;
+  for (int i = -3; i <= intervals + 3; ++i) knots_.push_back(lo + i * step_);
+}
+
+std::vector<double> BSplineBasis::evaluate(double x) const {
+  x = std::clamp(x, lo_, hi_);
+  std::vector<double> out(num_basis_, 0.0);
+  // Cox-de-Boor over the 4 bases with support at x. Basis j has support
+  // [knots[j], knots[j+4]) with our indexing (knots_[0] = lo - 3h).
+  for (int j = 0; j < num_basis_; ++j) {
+    // de Boor recursion, degree 3, evaluated directly.
+    const double* t = knots_.data() + j;
+    if (x < t[0] || x > t[4]) continue;
+    double n[4];
+    for (int i = 0; i < 4; ++i) {
+      n[i] = (x >= t[i] && x < t[i + 1]) ? 1.0 : 0.0;
+    }
+    // Make the last basis cover the right boundary.
+    if (x == hi_ && t[3] <= x && x <= t[4]) n[3] = 1.0;
+    for (int deg = 1; deg <= 3; ++deg) {
+      for (int i = 0; i + deg < 4; ++i) {
+        const double denom1 = t[i + deg] - t[i];
+        const double denom2 = t[i + deg + 1] - t[i + 1];
+        double v = 0.0;
+        if (denom1 > 0.0) v += (x - t[i]) / denom1 * n[i];
+        if (denom2 > 0.0) v += (t[i + deg + 1] - x) / denom2 * n[i + 1];
+        n[i] = v;
+      }
+    }
+    out[j] = n[0];
+  }
+  return out;
+}
+
+Matrix BSplineBasis::penalty() const {
+  const int nb = num_basis_;
+  Matrix d2t_d2(nb, nb);
+  // D2 has rows (1, -2, 1); penalty = D2^T D2.
+  for (int r = 0; r + 2 < nb; ++r) {
+    const double coef[3] = {1.0, -2.0, 1.0};
+    for (int a = 0; a < 3; ++a) {
+      for (int b = 0; b < 3; ++b) {
+        d2t_d2(r + a, r + b) += coef[a] * coef[b];
+      }
+    }
+  }
+  return d2t_d2;
+}
+
+}  // namespace mpicp::ml

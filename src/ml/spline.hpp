@@ -1,0 +1,35 @@
+// Cubic B-spline bases and difference penalties (the smoothers inside
+// the GAM, in the P-spline formulation of Eilers & Marx).
+#pragma once
+
+#include <vector>
+
+#include "ml/matrix.hpp"
+
+namespace mpicp::ml {
+
+/// Cubic B-spline basis over [lo, hi] with `num_basis` functions
+/// (num_basis >= 4), built on an equidistant knot grid.
+class BSplineBasis {
+ public:
+  BSplineBasis(double lo, double hi, int num_basis);
+
+  int num_basis() const { return num_basis_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  /// Evaluate all basis functions at x (clamped to [lo, hi]).
+  std::vector<double> evaluate(double x) const;
+
+  /// Second-order difference penalty matrix D2' * D2 (num_basis^2).
+  Matrix penalty() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double step_;
+  int num_basis_;
+  std::vector<double> knots_;
+};
+
+}  // namespace mpicp::ml

@@ -1,0 +1,207 @@
+#include "ml/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/io.hpp"
+#include "support/error.hpp"
+
+namespace mpicp::ml {
+
+FeatureBinner::FeatureBinner(const Matrix& x, int max_bins) {
+  MPICP_REQUIRE(max_bins >= 2 && max_bins <= 256, "unsupported bin count");
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  MPICP_REQUIRE(n >= 1, "cannot bin an empty matrix");
+  edges_.resize(d);
+  std::vector<double> col(n);
+  for (std::size_t f = 0; f < d; ++f) {
+    for (std::size_t i = 0; i < n; ++i) col[i] = x(i, f);
+    std::sort(col.begin(), col.end());
+    col.erase(std::unique(col.begin(), col.end()), col.end());
+    std::vector<double>& e = edges_[f];
+    if (static_cast<int>(col.size()) <= max_bins) {
+      // Lossless: one bin per distinct value, edges at midpoints.
+      for (std::size_t i = 0; i + 1 < col.size(); ++i) {
+        e.push_back(0.5 * (col[i] + col[i + 1]));
+      }
+    } else {
+      // Quantile edges.
+      for (int b = 1; b < max_bins; ++b) {
+        const std::size_t pos =
+            b * (col.size() - 1) / static_cast<std::size_t>(max_bins);
+        const double edge = 0.5 * (col[pos] + col[pos + 1]);
+        if (e.empty() || edge > e.back()) e.push_back(edge);
+      }
+    }
+  }
+}
+
+std::uint8_t FeatureBinner::bin_of(int f, double value) const {
+  const auto& e = edges_[f];
+  const auto it = std::upper_bound(e.begin(), e.end(), value);
+  return static_cast<std::uint8_t>(it - e.begin());
+}
+
+std::vector<std::uint8_t> FeatureBinner::encode(const Matrix& x) const {
+  MPICP_REQUIRE(static_cast<int>(x.cols()) == num_features(),
+                "feature count mismatch");
+  std::vector<std::uint8_t> codes(x.rows() * x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t f = 0; f < x.cols(); ++f) {
+      codes[i * x.cols() + f] = bin_of(static_cast<int>(f), x(i, f));
+    }
+  }
+  return codes;
+}
+
+void RegressionTree::fit(const FeatureBinner& binner,
+                         std::span<const std::uint8_t> codes,
+                         int num_features, std::span<const GradPair> gh,
+                         std::vector<int> rows, const TreeParams& params) {
+  MPICP_REQUIRE(!rows.empty(), "cannot fit a tree on zero rows");
+  nodes_.clear();
+  build(binner, codes, num_features, gh, std::move(rows), 0, params);
+}
+
+int RegressionTree::build(const FeatureBinner& binner,
+                          std::span<const std::uint8_t> codes,
+                          int num_features, std::span<const GradPair> gh,
+                          std::vector<int> rows, int depth,
+                          const TreeParams& params) {
+  double g_sum = 0.0;
+  double h_sum = 0.0;
+  for (const int i : rows) {
+    g_sum += gh[i].g;
+    h_sum += gh[i].h;
+  }
+  const int node_idx = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_idx].value =
+      params.learning_rate * (-g_sum / (h_sum + params.lambda));
+
+  if (depth >= params.max_depth || rows.size() < 2) return node_idx;
+
+  // Histogram split search.
+  const double parent_score = g_sum * g_sum / (h_sum + params.lambda);
+  int best_feature = -1;
+  int best_bin = -1;
+  double best_gain = params.min_gain;
+  std::vector<GradPair> hist;
+  for (int f = 0; f < num_features; ++f) {
+    const int nbins = binner.num_bins(f);
+    if (nbins < 2) continue;
+    hist.assign(nbins, GradPair{});
+    for (const int i : rows) {
+      const std::uint8_t b = codes[static_cast<std::size_t>(i) *
+                                       num_features +
+                                   f];
+      hist[b].g += gh[i].g;
+      hist[b].h += gh[i].h;
+    }
+    double gl = 0.0;
+    double hl = 0.0;
+    for (int b = 0; b + 1 < nbins; ++b) {
+      gl += hist[b].g;
+      hl += hist[b].h;
+      const double hr = h_sum - hl;
+      if (hl < params.min_child_weight || hr < params.min_child_weight) {
+        continue;
+      }
+      const double gr = g_sum - gl;
+      const double gain = gl * gl / (hl + params.lambda) +
+                          gr * gr / (hr + params.lambda) - parent_score;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_bin = b;
+      }
+    }
+  }
+  if (best_feature < 0) return node_idx;
+
+  std::vector<int> left_rows;
+  std::vector<int> right_rows;
+  for (const int i : rows) {
+    const std::uint8_t b =
+        codes[static_cast<std::size_t>(i) * num_features + best_feature];
+    (b <= best_bin ? left_rows : right_rows).push_back(i);
+  }
+  rows.clear();
+  rows.shrink_to_fit();
+
+  nodes_[node_idx].feature = best_feature;
+  nodes_[node_idx].threshold = binner.edge(best_feature, best_bin);
+  nodes_[node_idx].gain = best_gain;
+  const int left = build(binner, codes, num_features, gh,
+                         std::move(left_rows), depth + 1, params);
+  const int right = build(binner, codes, num_features, gh,
+                          std::move(right_rows), depth + 1, params);
+  nodes_[node_idx].left = left;
+  nodes_[node_idx].right = right;
+  return node_idx;
+}
+
+double RegressionTree::predict_one(std::span<const double> x) const {
+  MPICP_ASSERT(!nodes_.empty(), "predicting with an unfitted tree");
+  int cur = 0;
+  while (nodes_[cur].feature >= 0) {
+    cur = x[nodes_[cur].feature] < nodes_[cur].threshold
+              ? nodes_[cur].left
+              : nodes_[cur].right;
+  }
+  return nodes_[cur].value;
+}
+
+void RegressionTree::accumulate_gains(std::span<double> gains) const {
+  for (const Node& node : nodes_) {
+    if (node.feature >= 0 &&
+        node.feature < static_cast<int>(gains.size())) {
+      gains[node.feature] += node.gain;
+    }
+  }
+}
+
+void RegressionTree::save(std::ostream& os) const {
+  io::write_tag(os, "tree");
+  io::write_value(os, nodes_.size());
+  for (const Node& n : nodes_) {
+    io::write_value(os, n.feature);
+    io::write_value(os, n.threshold);
+    io::write_value(os, n.left);
+    io::write_value(os, n.right);
+    io::write_value(os, n.value);
+    io::write_value(os, n.gain);
+  }
+}
+
+void RegressionTree::load(std::istream& is) {
+  io::expect_tag(is, "tree");
+  const auto count = io::read_value<std::size_t>(is);
+  MPICP_REQUIRE(count < (1u << 26), "implausible tree size");
+  nodes_.assign(count, Node{});
+  for (Node& n : nodes_) {
+    n.feature = io::read_value<int>(is);
+    n.threshold = io::read_value<double>(is);
+    n.left = io::read_value<int>(is);
+    n.right = io::read_value<int>(is);
+    n.value = io::read_value<double>(is);
+    n.gain = io::read_value<double>(is);
+  }
+}
+
+int RegressionTree::depth() const {
+  // Depth via recomputation (nodes are in preorder).
+  std::vector<int> depth_of(nodes_.size(), 0);
+  int max_depth = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].feature >= 0) {
+      depth_of[nodes_[i].left] = depth_of[i] + 1;
+      depth_of[nodes_[i].right] = depth_of[i] + 1;
+      max_depth = std::max(max_depth, depth_of[i] + 1);
+    }
+  }
+  return max_depth;
+}
+
+}  // namespace mpicp::ml

@@ -1,0 +1,64 @@
+// Allreduce algorithm builders.
+//
+// The Open-MPI-like suite mirrors coll_tuned's allreduce algorithms
+// (basic linear, nonoverlapping reduce+bcast, recursive doubling, ring,
+// segmented ring, Rabenseifner) plus a segmented tree variant; the
+// hierarchical builder provides the topology-aware variants of the
+// Intel-MPI-like suite (local reduce to the node leader, leader-level
+// allreduce, local broadcast).
+#pragma once
+
+#include <cstddef>
+
+#include "simmpi/coll/types.hpp"
+
+namespace mpicp::sim {
+
+/// Flat-tree reduce to rank 0 followed by a flat-tree broadcast.
+BuiltCollective allreduce_linear(const Comm& comm, std::size_t bytes);
+
+/// Binomial reduce followed by a binomial broadcast (unsegmented).
+BuiltCollective allreduce_nonoverlapping(const Comm& comm,
+                                         std::size_t bytes);
+
+BuiltCollective allreduce_recursive_doubling(const Comm& comm,
+                                             std::size_t bytes);
+
+/// Ring reduce-scatter + ring allgather over p chunks.
+BuiltCollective allreduce_ring(const Comm& comm, std::size_t bytes);
+
+/// Ring allreduce with each chunk pipelined in seg_bytes segments.
+BuiltCollective allreduce_segmented_ring(const Comm& comm, std::size_t bytes,
+                                         std::size_t seg_bytes);
+
+/// Rabenseifner: recursive-halving reduce-scatter + recursive-doubling
+/// allgather (non-power-of-two ranks fold in and out).
+BuiltCollective allreduce_rabenseifner(const Comm& comm, std::size_t bytes);
+
+/// Segmented tree reduce + tree broadcast over the same tree shape.
+enum class AllreduceTreeKind { kBinomial, kBinary, kKnomial };
+BuiltCollective allreduce_tree(const Comm& comm, std::size_t bytes,
+                               std::size_t seg_bytes, AllreduceTreeKind kind,
+                               int radix = 4);
+
+/// Ring reduce-scatter + recursive-doubling allgather hybrid.
+BuiltCollective allreduce_reduce_scatter_allgather(const Comm& comm,
+                                                   std::size_t bytes);
+
+/// Leader-level algorithm of a hierarchical allreduce.
+enum class HierAllreduceInter {
+  kRecursiveDoubling,
+  kRabenseifner,
+  kRing,
+  kSegmentedRing,  ///< uses seg_bytes
+  kReduceBcast,    ///< binomial reduce + binomial bcast across leaders
+};
+
+/// Two-level allreduce: binomial (or flat) reduce to each node leader,
+/// leader-level allreduce, binomial (or flat) local broadcast.
+BuiltCollective allreduce_hierarchical(const Comm& comm, std::size_t bytes,
+                                       std::size_t seg_bytes,
+                                       HierAllreduceInter inter,
+                                       bool flat_intra = false);
+
+}  // namespace mpicp::sim

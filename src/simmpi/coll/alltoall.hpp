@@ -1,0 +1,36 @@
+// Alltoall algorithm builders.
+//
+// `bytes` is the per-destination block size (the m the paper's datasets
+// sweep). Data-tracking block layout: send blocks [0, p), receive blocks
+// [p, 2p); Bruck additionally uses a staging region [2p, 3p).
+//
+// Bruck builders take a `tracking` flag: with tracking on they move every
+// staging block in its own message/copy (exact data-flow validation, used
+// by the tests at small scale); with tracking off they model the packed
+// aggregate transfers real implementations perform (identical byte
+// volume and round structure, used for dataset generation at scale).
+#pragma once
+
+#include <cstddef>
+
+#include "simmpi/coll/types.hpp"
+
+namespace mpicp::sim {
+
+/// Post all p-1 irecvs and isends, then wait (MPICH basic linear).
+BuiltCollective alltoall_linear(const Comm& comm, std::size_t bytes);
+
+/// p-1 rounds of pairwise exchange with partners (r+k, r-k).
+BuiltCollective alltoall_pairwise(const Comm& comm, std::size_t bytes);
+
+/// Bruck's algorithm with configurable radix (>= 2): ceil(log_r p)
+/// rounds of packed exchanges, O(p log p) total traffic.
+BuiltCollective alltoall_bruck(const Comm& comm, std::size_t bytes,
+                               int radix, bool tracking);
+
+/// Linear algorithm with at most `limit` outstanding send/recv pairs
+/// (Open MPI's linear_sync flow control).
+BuiltCollective alltoall_linear_sync(const Comm& comm, std::size_t bytes,
+                                     int limit);
+
+}  // namespace mpicp::sim

@@ -1,0 +1,65 @@
+// Broadcast algorithm builders.
+//
+// The Open-MPI-like suite mirrors coll_tuned's broadcast algorithms
+// 1..9 (linear, chain, pipeline, split-binary, binary, binomial,
+// knomial, scatter-allgather, scatter-ring-allgather); the hierarchical
+// builder provides the topology-aware variants of the Intel-MPI-like
+// suite (leader tree across nodes + local tree within each node).
+//
+// All builders take the *total* broadcast payload in bytes and a root
+// rank. Segmented variants accept seg_bytes == 0 for "unsegmented".
+#pragma once
+
+#include <cstddef>
+
+#include "simmpi/coll/types.hpp"
+
+namespace mpicp::sim {
+
+BuiltCollective bcast_linear(const Comm& comm, std::size_t bytes, int root);
+
+BuiltCollective bcast_chain(const Comm& comm, std::size_t bytes,
+                            std::size_t seg_bytes, int nchains, int root);
+
+BuiltCollective bcast_pipeline(const Comm& comm, std::size_t bytes,
+                               std::size_t seg_bytes, int root);
+
+BuiltCollective bcast_binary(const Comm& comm, std::size_t bytes,
+                             std::size_t seg_bytes, int root);
+
+BuiltCollective bcast_split_binary(const Comm& comm, std::size_t bytes,
+                                   std::size_t seg_bytes, int root);
+
+BuiltCollective bcast_binomial(const Comm& comm, std::size_t bytes,
+                               std::size_t seg_bytes, int root);
+
+BuiltCollective bcast_knomial(const Comm& comm, std::size_t bytes,
+                              std::size_t seg_bytes, int radix, int root);
+
+/// Van-de-Geijn: binomial scatter + recursive-doubling allgather.
+BuiltCollective bcast_scatter_allgather(const Comm& comm, std::size_t bytes,
+                                        int root);
+
+/// Binomial scatter + ring allgather.
+BuiltCollective bcast_scatter_ring_allgather(const Comm& comm,
+                                             std::size_t bytes, int root);
+
+/// Inter-node phase of a hierarchical (topology-aware) broadcast.
+enum class HierBcastInter {
+  kBinomial,
+  kPipeline,          ///< pipelined chain across leaders (uses seg_bytes)
+  kScatterAllgather,  ///< scatter + recursive doubling across leaders
+};
+
+/// Intra-node fan-out of a hierarchical broadcast.
+enum class HierBcastIntra { kBinomial, kFlat };
+
+/// Two-level broadcast: leader tree across nodes, then a local tree on
+/// every node. Requires root == 0 (a node leader), which is how the
+/// paper's benchmarks invoke rooted collectives.
+BuiltCollective bcast_hierarchical(const Comm& comm, std::size_t bytes,
+                                   std::size_t seg_bytes,
+                                   HierBcastInter inter,
+                                   HierBcastIntra intra, int root);
+
+}  // namespace mpicp::sim

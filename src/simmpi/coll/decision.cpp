@@ -1,0 +1,70 @@
+#include "simmpi/coll/decision.hpp"
+
+namespace mpicp::sim {
+
+namespace {
+
+constexpr std::size_t kKi = 1024;
+
+/// Find the uid of the configuration matching (alg_id, seg, param).
+int uid_of(Collective coll, int alg_id, std::size_t seg, int param) {
+  for (const auto& cfg :
+       algorithm_configs(MpiLib::kOpenMPI, coll)) {
+    if (cfg.alg_id == alg_id && cfg.seg_bytes == seg &&
+        cfg.param == param) {
+      return cfg.uid;
+    }
+  }
+  throw InternalError("default decision refers to unknown configuration");
+}
+
+int bcast_default(int p, std::size_t m) {
+  // Shape of ompi_coll_tuned_bcast_intra_dec_fixed: binomial for small
+  // messages / small communicators, split-binary in the eager range,
+  // segmented binomial up to ~370 KiB, pipelined algorithms beyond.
+  // (Thresholds and parameters are "reasonable elsewhere": decent but
+  // beatable on the simulated fabrics, as the real fixed rules are on
+  // the paper's machines.)
+  if (p < 4 || m < 2048) return uid_of(Collective::kBcast, 6, 0, 0);
+  if (m < 16384) return uid_of(Collective::kBcast, 4, 4 * kKi, 0);
+  if (m < 370728) return uid_of(Collective::kBcast, 6, 16 * kKi, 0);
+  // Large messages: a single pipelined chain for small communicators,
+  // a few parallel chains beyond (deep chains' fill time dominates at
+  // scale — the effect behind the paper's Fig. 4 default spikes).
+  if (p < 64) return uid_of(Collective::kBcast, 3, 128 * kKi, 0);
+  return uid_of(Collective::kBcast, 2, 64 * kKi, 4);
+}
+
+int allreduce_default(int p, std::size_t m) {
+  // Shape of the fixed allreduce rules: recursive doubling while
+  // latency-bound, ring once bandwidth matters, segmented ring for very
+  // large payloads.
+  if (p < 4) {
+    return m < 65536 ? uid_of(Collective::kAllreduce, 3, 0, 0)
+                     : uid_of(Collective::kAllreduce, 6, 0, 0);
+  }
+  if (m < 10240) return uid_of(Collective::kAllreduce, 3, 0, 0);
+  if (m < 1048576) return uid_of(Collective::kAllreduce, 4, 0, 0);
+  return uid_of(Collective::kAllreduce, 5, 16 * kKi, 0);
+}
+
+int alltoall_default(int p, std::size_t m) {
+  if (m < 200 && p > 12) return uid_of(Collective::kAlltoall, 3, 0, 2);
+  if (m < 3000) return uid_of(Collective::kAlltoall, 1, 0, 0);
+  return uid_of(Collective::kAlltoall, 2, 0, 0);
+}
+
+}  // namespace
+
+int openmpi_default_uid(Collective coll, int p, std::size_t m_bytes) {
+  switch (coll) {
+    case Collective::kBcast: return bcast_default(p, m_bytes);
+    case Collective::kAllreduce: return allreduce_default(p, m_bytes);
+    case Collective::kAlltoall: return alltoall_default(p, m_bytes);
+    default: break;
+  }
+  throw InvalidArgument("no default decision logic for collective " +
+                        to_string(coll));
+}
+
+}  // namespace mpicp::sim

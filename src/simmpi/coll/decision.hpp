@@ -1,0 +1,26 @@
+// The Open-MPI-style hard-coded default decision logic.
+//
+// Open MPI's coll_tuned component selects algorithms through fixed
+// decision functions whose thresholds were fitted on the authors'
+// machines years ago (Pjesivac-Grbovic et al.). This module models that
+// baseline: simple message-size / communicator-size threshold rules that
+// are *plausible everywhere and optimal nowhere*, which is exactly the
+// premise of the paper's evaluation (the "Default" strategy).
+//
+// The Intel-MPI-style default (a factory-tuned lookup table) lives in
+// collbench/tuned_table.hpp because it is built from benchmark data.
+#pragma once
+
+#include <cstddef>
+
+#include "simmpi/coll/registry.hpp"
+#include "simmpi/coll/types.hpp"
+
+namespace mpicp::sim {
+
+/// The uid (within the Open MPI registry) that Open MPI's fixed decision
+/// rules would select for an instance with p processes and message size
+/// m_bytes.
+int openmpi_default_uid(Collective coll, int p, std::size_t m_bytes);
+
+}  // namespace mpicp::sim

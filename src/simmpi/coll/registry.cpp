@@ -1,0 +1,355 @@
+#include "simmpi/coll/registry.hpp"
+
+#include <map>
+
+#include "simmpi/coll/allreduce.hpp"
+#include "simmpi/coll/alltoall.hpp"
+#include "simmpi/coll/bcast.hpp"
+#include "support/str.hpp"
+
+namespace mpicp::sim {
+
+namespace {
+
+constexpr std::size_t kKi = 1024;
+
+/// Segment-size menus (bytes). 0 means unsegmented.
+const std::vector<std::size_t> kSegMenu = {1 * kKi, 4 * kKi, 16 * kKi,
+                                           64 * kKi, 128 * kKi};
+const std::vector<std::size_t> kSegMenuWithZero = {
+    0, 1 * kKi, 4 * kKi, 16 * kKi, 64 * kKi, 128 * kKi};
+const std::vector<int> kChainMenu = {2, 4, 8, 16};
+
+void add(std::vector<AlgoConfig>& out, int alg_id, std::string name,
+         std::size_t seg = 0, int param = 0) {
+  AlgoConfig cfg;
+  cfg.uid = static_cast<int>(out.size()) + 1;
+  cfg.alg_id = alg_id;
+  cfg.name = std::move(name);
+  cfg.seg_bytes = seg;
+  cfg.param = param;
+  out.push_back(std::move(cfg));
+}
+
+std::vector<AlgoConfig> openmpi_bcast_configs() {
+  std::vector<AlgoConfig> out;
+  add(out, 1, "linear");
+  for (const std::size_t seg : kSegMenu) {
+    for (const int chains : kChainMenu) add(out, 2, "chain", seg, chains);
+  }
+  for (const std::size_t seg : kSegMenuWithZero) {
+    add(out, 3, "pipeline", seg);
+  }
+  for (const std::size_t seg : kSegMenuWithZero) {
+    add(out, 4, "split_binary", seg);
+  }
+  for (const std::size_t seg : kSegMenuWithZero) add(out, 5, "binary", seg);
+  for (const std::size_t seg : kSegMenuWithZero) {
+    add(out, 6, "binomial", seg);
+  }
+  for (const std::size_t seg : kSegMenuWithZero) {
+    add(out, 7, "knomial", seg, 4);
+  }
+  add(out, 8, "scatter_allgather");
+  add(out, 9, "scatter_ring_allgather");
+  return out;
+}
+
+std::vector<AlgoConfig> openmpi_allreduce_configs() {
+  std::vector<AlgoConfig> out;
+  add(out, 1, "basic_linear");
+  add(out, 2, "nonoverlapping");
+  add(out, 3, "recursive_doubling");
+  add(out, 4, "ring");
+  for (const std::size_t seg : kSegMenu) add(out, 5, "segmented_ring", seg);
+  add(out, 6, "rabenseifner");
+  for (const std::size_t seg :
+       {std::size_t{4 * kKi}, std::size_t{16 * kKi}, std::size_t{64 * kKi}}) {
+    add(out, 7, "binary_tree", seg);
+  }
+  return out;
+}
+
+std::vector<AlgoConfig> alltoall_configs_openmpi() {
+  std::vector<AlgoConfig> out;
+  add(out, 1, "linear");
+  add(out, 2, "pairwise");
+  add(out, 3, "bruck", 0, 2);
+  add(out, 4, "linear_sync", 0, 10);
+  add(out, 5, "bruck", 0, 4);
+  return out;
+}
+
+std::vector<AlgoConfig> intel_bcast_configs() {
+  std::vector<AlgoConfig> out;
+  add(out, 1, "binomial");
+  add(out, 2, "scatter_recdbl_allgather");
+  add(out, 3, "scatter_ring_allgather");
+  add(out, 4, "chain", 16 * kKi, 4);
+  add(out, 5, "pipeline", 64 * kKi);
+  add(out, 6, "knomial", 16 * kKi, 4);
+  add(out, 7, "knomial", 0, 8);
+  add(out, 8, "topo_binomial");
+  add(out, 9, "topo_pipeline", 64 * kKi);
+  add(out, 10, "topo_scatter_allgather");
+  add(out, 11, "topo_flat");
+  add(out, 12, "linear");
+  return out;
+}
+
+std::vector<AlgoConfig> intel_allreduce_configs() {
+  std::vector<AlgoConfig> out;
+  add(out, 1, "recursive_doubling");
+  add(out, 2, "rabenseifner");
+  add(out, 3, "ring");
+  add(out, 4, "segmented_ring", 16 * kKi);
+  add(out, 5, "segmented_ring", 64 * kKi);
+  add(out, 6, "reduce_bcast");
+  add(out, 7, "basic_linear");
+  add(out, 8, "rs_recdbl_ag");
+  add(out, 9, "knomial_tree", 16 * kKi, 4);
+  add(out, 10, "topo_recdbl");
+  add(out, 11, "topo_rabenseifner");
+  add(out, 12, "topo_ring");
+  add(out, 13, "topo_segmented_ring", 64 * kKi);
+  add(out, 14, "topo_reduce_bcast");
+  add(out, 15, "topo_flat_recdbl");
+  add(out, 16, "binary_tree", 32 * kKi);
+  return out;
+}
+
+std::vector<AlgoConfig> intel_alltoall_configs() {
+  std::vector<AlgoConfig> out;
+  add(out, 1, "bruck", 0, 2);
+  add(out, 2, "linear");
+  add(out, 3, "pairwise");
+  add(out, 4, "linear_sync", 0, 16);
+  // Substitute for Intel's "Plum's" algorithm: higher-radix Bruck, the
+  // closest published high-radix staged exchange (see DESIGN.md §2).
+  add(out, 5, "bruck", 0, 4);
+  return out;
+}
+
+using Key = std::pair<MpiLib, Collective>;
+
+const std::map<Key, std::vector<AlgoConfig>>& config_tables() {
+  static const std::map<Key, std::vector<AlgoConfig>> tables = [] {
+    std::map<Key, std::vector<AlgoConfig>> t;
+    t[{MpiLib::kOpenMPI, Collective::kBcast}] = openmpi_bcast_configs();
+    t[{MpiLib::kOpenMPI, Collective::kAllreduce}] =
+        openmpi_allreduce_configs();
+    t[{MpiLib::kOpenMPI, Collective::kAlltoall}] =
+        alltoall_configs_openmpi();
+    t[{MpiLib::kIntelMPI, Collective::kBcast}] = intel_bcast_configs();
+    t[{MpiLib::kIntelMPI, Collective::kAllreduce}] =
+        intel_allreduce_configs();
+    t[{MpiLib::kIntelMPI, Collective::kAlltoall}] = intel_alltoall_configs();
+    return t;
+  }();
+  return tables;
+}
+
+BuiltCollective build_openmpi_bcast(const AlgoConfig& cfg, const Comm& comm,
+                                    std::size_t bytes, int root) {
+  switch (cfg.alg_id) {
+    case 1: return bcast_linear(comm, bytes, root);
+    case 2: return bcast_chain(comm, bytes, cfg.seg_bytes, cfg.param, root);
+    case 3: return bcast_pipeline(comm, bytes, cfg.seg_bytes, root);
+    case 4: return bcast_split_binary(comm, bytes, cfg.seg_bytes, root);
+    case 5: return bcast_binary(comm, bytes, cfg.seg_bytes, root);
+    case 6: return bcast_binomial(comm, bytes, cfg.seg_bytes, root);
+    case 7:
+      return bcast_knomial(comm, bytes, cfg.seg_bytes, cfg.param, root);
+    case 8: return bcast_scatter_allgather(comm, bytes, root);
+    case 9: return bcast_scatter_ring_allgather(comm, bytes, root);
+    default: break;
+  }
+  throw InvalidArgument("unknown Open MPI bcast algorithm id " +
+                        std::to_string(cfg.alg_id));
+}
+
+BuiltCollective build_openmpi_allreduce(const AlgoConfig& cfg,
+                                        const Comm& comm,
+                                        std::size_t bytes) {
+  switch (cfg.alg_id) {
+    case 1: return allreduce_linear(comm, bytes);
+    case 2: return allreduce_nonoverlapping(comm, bytes);
+    case 3: return allreduce_recursive_doubling(comm, bytes);
+    case 4: return allreduce_ring(comm, bytes);
+    case 5: return allreduce_segmented_ring(comm, bytes, cfg.seg_bytes);
+    case 6: return allreduce_rabenseifner(comm, bytes);
+    case 7:
+      return allreduce_tree(comm, bytes, cfg.seg_bytes,
+                            AllreduceTreeKind::kBinary);
+    default: break;
+  }
+  throw InvalidArgument("unknown Open MPI allreduce algorithm id " +
+                        std::to_string(cfg.alg_id));
+}
+
+BuiltCollective build_alltoall(const AlgoConfig& cfg, const Comm& comm,
+                               std::size_t bytes, bool tracking) {
+  if (cfg.name == "linear") return alltoall_linear(comm, bytes);
+  if (cfg.name == "pairwise") return alltoall_pairwise(comm, bytes);
+  if (cfg.name == "bruck") {
+    return alltoall_bruck(comm, bytes, cfg.param, tracking);
+  }
+  if (cfg.name == "linear_sync") {
+    return alltoall_linear_sync(comm, bytes, cfg.param);
+  }
+  throw InvalidArgument("unknown alltoall algorithm '" + cfg.name + "'");
+}
+
+BuiltCollective build_intel_bcast(const AlgoConfig& cfg, const Comm& comm,
+                                  std::size_t bytes, int root) {
+  switch (cfg.alg_id) {
+    case 1: return bcast_binomial(comm, bytes, 0, root);
+    case 2: return bcast_scatter_allgather(comm, bytes, root);
+    case 3: return bcast_scatter_ring_allgather(comm, bytes, root);
+    case 4: return bcast_chain(comm, bytes, cfg.seg_bytes, cfg.param, root);
+    case 5: return bcast_pipeline(comm, bytes, cfg.seg_bytes, root);
+    case 6:
+    case 7:
+      return bcast_knomial(comm, bytes, cfg.seg_bytes,
+                           cfg.alg_id == 6 ? cfg.param : 8, root);
+    case 8:
+      return bcast_hierarchical(comm, bytes, 0, HierBcastInter::kBinomial,
+                                HierBcastIntra::kBinomial, root);
+    case 9:
+      return bcast_hierarchical(comm, bytes, cfg.seg_bytes,
+                                HierBcastInter::kPipeline,
+                                HierBcastIntra::kBinomial, root);
+    case 10:
+      return bcast_hierarchical(comm, bytes, 0,
+                                HierBcastInter::kScatterAllgather,
+                                HierBcastIntra::kBinomial, root);
+    case 11:
+      return bcast_hierarchical(comm, bytes, 0, HierBcastInter::kBinomial,
+                                HierBcastIntra::kFlat, root);
+    case 12: return bcast_linear(comm, bytes, root);
+    default: break;
+  }
+  throw InvalidArgument("unknown Intel MPI bcast algorithm id " +
+                        std::to_string(cfg.alg_id));
+}
+
+BuiltCollective build_intel_allreduce(const AlgoConfig& cfg,
+                                      const Comm& comm, std::size_t bytes) {
+  switch (cfg.alg_id) {
+    case 1: return allreduce_recursive_doubling(comm, bytes);
+    case 2: return allreduce_rabenseifner(comm, bytes);
+    case 3: return allreduce_ring(comm, bytes);
+    case 4:
+    case 5: return allreduce_segmented_ring(comm, bytes, cfg.seg_bytes);
+    case 6:
+      return allreduce_tree(comm, bytes, 0, AllreduceTreeKind::kBinomial);
+    case 7: return allreduce_linear(comm, bytes);
+    case 8: return allreduce_reduce_scatter_allgather(comm, bytes);
+    case 9:
+      return allreduce_tree(comm, bytes, cfg.seg_bytes,
+                            AllreduceTreeKind::kKnomial, cfg.param);
+    case 10:
+      return allreduce_hierarchical(comm, bytes, 0,
+                                    HierAllreduceInter::kRecursiveDoubling);
+    case 11:
+      return allreduce_hierarchical(comm, bytes, 0,
+                                    HierAllreduceInter::kRabenseifner);
+    case 12:
+      return allreduce_hierarchical(comm, bytes, 0,
+                                    HierAllreduceInter::kRing);
+    case 13:
+      return allreduce_hierarchical(comm, bytes, cfg.seg_bytes,
+                                    HierAllreduceInter::kSegmentedRing);
+    case 14:
+      return allreduce_hierarchical(comm, bytes, 0,
+                                    HierAllreduceInter::kReduceBcast);
+    case 15:
+      return allreduce_hierarchical(comm, bytes, 0,
+                                    HierAllreduceInter::kRecursiveDoubling,
+                                    /*flat_intra=*/true);
+    case 16:
+      return allreduce_tree(comm, bytes, cfg.seg_bytes,
+                            AllreduceTreeKind::kBinary);
+    default: break;
+  }
+  throw InvalidArgument("unknown Intel MPI allreduce algorithm id " +
+                        std::to_string(cfg.alg_id));
+}
+
+}  // namespace
+
+std::string to_string(MpiLib lib) {
+  return lib == MpiLib::kOpenMPI ? "OpenMPI" : "IntelMPI";
+}
+
+MpiLib mpilib_from_string(const std::string& name) {
+  if (name == "OpenMPI") return MpiLib::kOpenMPI;
+  if (name == "IntelMPI") return MpiLib::kIntelMPI;
+  throw InvalidArgument("unknown MPI library '" + name + "'");
+}
+
+std::string AlgoConfig::label() const {
+  std::string out = name;
+  const bool has_seg = seg_bytes != 0;
+  const bool has_param = param != 0;
+  if (has_seg || has_param) {
+    out += '(';
+    if (has_seg) out += "seg=" + support::format_bytes(seg_bytes);
+    if (has_seg && has_param) out += ',';
+    if (has_param) out += "par=" + std::to_string(param);
+    out += ')';
+  }
+  return out;
+}
+
+const std::vector<AlgoConfig>& algorithm_configs(MpiLib lib,
+                                                 Collective coll) {
+  const auto& tables = config_tables();
+  const auto it = tables.find({lib, coll});
+  if (it == tables.end()) {
+    throw InvalidArgument("no algorithm table for " + to_string(lib) + "/" +
+                          to_string(coll));
+  }
+  return it->second;
+}
+
+const AlgoConfig& config_by_uid(MpiLib lib, Collective coll, int uid) {
+  const auto& configs = algorithm_configs(lib, coll);
+  if (uid < 1 || uid > static_cast<int>(configs.size())) {
+    throw InvalidArgument("uid " + std::to_string(uid) +
+                          " out of range for " + to_string(lib) + "/" +
+                          to_string(coll));
+  }
+  return configs[static_cast<std::size_t>(uid - 1)];
+}
+
+int num_library_algorithms(MpiLib lib, Collective coll) {
+  int max_id = 0;
+  for (const auto& cfg : algorithm_configs(lib, coll)) {
+    max_id = std::max(max_id, cfg.alg_id);
+  }
+  return max_id;
+}
+
+BuiltCollective build_algorithm(MpiLib lib, Collective coll,
+                                const AlgoConfig& cfg, const Comm& comm,
+                                std::size_t bytes, int root, bool tracking) {
+  switch (coll) {
+    case Collective::kBcast:
+      return lib == MpiLib::kOpenMPI
+                 ? build_openmpi_bcast(cfg, comm, bytes, root)
+                 : build_intel_bcast(cfg, comm, bytes, root);
+    case Collective::kAllreduce:
+      return lib == MpiLib::kOpenMPI
+                 ? build_openmpi_allreduce(cfg, comm, bytes)
+                 : build_intel_allreduce(cfg, comm, bytes);
+    case Collective::kAlltoall:
+      return build_alltoall(cfg, comm, bytes, tracking);
+    default:
+      break;
+  }
+  throw InvalidArgument("no registry builder for collective " +
+                        to_string(coll));
+}
+
+}  // namespace mpicp::sim

@@ -1,0 +1,56 @@
+// Algorithm registry: the uid encoding of (algorithm, parameters).
+//
+// The paper merges the algorithm *selection* and *configuration*
+// problems by assigning a unique identifier u_{j,l} to every combination
+// of a library algorithm j and a parameter allocation l (segment size,
+// chain count, radix, sync window). This registry enumerates those
+// combinations per (MPI library, collective) and builds the simulated
+// programs for a given uid.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "simmpi/coll/types.hpp"
+
+namespace mpicp::sim {
+
+/// The two modeled MPI libraries (Open MPI 4.0.2 / Intel MPI 2019
+/// analogues — same algorithm families, see DESIGN.md §2).
+enum class MpiLib { kOpenMPI, kIntelMPI };
+
+std::string to_string(MpiLib lib);
+MpiLib mpilib_from_string(const std::string& name);
+
+/// One benchmarkable algorithm configuration u_{j,l}.
+struct AlgoConfig {
+  int uid = 0;      ///< 1-based unique id within (lib, collective)
+  int alg_id = 0;   ///< the library's algorithm number j
+  std::string name; ///< algorithm family name
+  std::size_t seg_bytes = 0;  ///< pipeline segment size (0 = unsegmented)
+  int param = 0;    ///< chain count / radix / sync window (algorithm use)
+
+  /// Human-readable label, e.g. "chain(seg=16Ki,par=4)".
+  std::string label() const;
+};
+
+/// All configurations of (lib, collective), ordered by uid (uids are
+/// contiguous starting at 1).
+const std::vector<AlgoConfig>& algorithm_configs(MpiLib lib, Collective coll);
+
+/// Configuration by uid; throws InvalidArgument for unknown uids.
+const AlgoConfig& config_by_uid(MpiLib lib, Collective coll, int uid);
+
+/// Number of distinct library algorithms j (Table II's "#algorithms").
+int num_library_algorithms(MpiLib lib, Collective coll);
+
+/// Build the simulated rank programs for one configuration.
+/// `tracking` selects exact per-block data-flow (tests) vs. packed
+/// aggregate modeling where applicable (dataset generation); see
+/// alltoall.hpp.
+BuiltCollective build_algorithm(MpiLib lib, Collective coll,
+                                const AlgoConfig& cfg, const Comm& comm,
+                                std::size_t bytes, int root, bool tracking);
+
+}  // namespace mpicp::sim

@@ -1,0 +1,148 @@
+#include "simmpi/coll/trees.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace mpicp::sim {
+
+namespace {
+
+void fill_subtree_sizes(Tree& tree) {
+  // Children always have larger vranks than their parent in our
+  // constructions, so a reverse sweep accumulates subtree sizes.
+  for (int v = static_cast<int>(tree.size()) - 1; v >= 0; --v) {
+    for (const int c : tree[v].children) {
+      tree[v].subtree_size += tree[c].subtree_size;
+    }
+  }
+}
+
+}  // namespace
+
+Tree binomial_tree(int p) {
+  MPICP_REQUIRE(p >= 1, "tree needs at least one vrank");
+  Tree tree(p);
+  for (int v = 0; v < p; ++v) {
+    if (v != 0) tree[v].parent = v & (v - 1);
+    // Children of v: v + m for every power of two m below v's lowest set
+    // bit (all of them for the root). Largest subtree first.
+    int top = 1;
+    while (top < p) top <<= 1;
+    for (int m = top >> 1; m >= 1; m >>= 1) {
+      if (v != 0 && m >= (v & -v)) continue;  // above v's lowest set bit
+      const int c = v + m;
+      if (c < p) tree[v].children.push_back(c);
+    }
+  }
+  fill_subtree_sizes(tree);
+  return tree;
+}
+
+Tree knomial_tree(int p, int radix) {
+  MPICP_REQUIRE(p >= 1, "tree needs at least one vrank");
+  MPICP_REQUIRE(radix >= 2, "knomial radix must be at least 2");
+  Tree tree(p);
+  for (int v = 0; v < p; ++v) {
+    // Parent: clear the lowest nonzero base-`radix` digit.
+    if (v != 0) {
+      long long m = 1;
+      while ((v / m) % radix == 0) m *= radix;
+      tree[v].parent = static_cast<int>(v - ((v / m) % radix) * m);
+    }
+    // Children: for every level m where all of v's digits at and below m
+    // are zero, the vranks v + j*m (j = 1..radix-1).
+    std::vector<int> kids;
+    long long m = 1;
+    while (m < p && (v == 0 || v % (m * radix) == 0)) {
+      for (int j = 1; j < radix; ++j) {
+        const long long c = v + j * m;
+        if (c < p) kids.push_back(static_cast<int>(c));
+      }
+      m *= radix;
+    }
+    // Largest subtree (highest level, lowest j) first.
+    std::sort(kids.begin(), kids.end(), std::greater<int>());
+    tree[v].children = std::move(kids);
+  }
+  fill_subtree_sizes(tree);
+  return tree;
+}
+
+Tree binary_tree(int p) {
+  MPICP_REQUIRE(p >= 1, "tree needs at least one vrank");
+  Tree tree(p);
+  for (int v = 0; v < p; ++v) {
+    if (v != 0) tree[v].parent = (v - 1) / 2;
+    if (2 * v + 1 < p) tree[v].children.push_back(2 * v + 1);
+    if (2 * v + 2 < p) tree[v].children.push_back(2 * v + 2);
+  }
+  fill_subtree_sizes(tree);
+  return tree;
+}
+
+Tree chain_tree(int p, int nchains) {
+  MPICP_REQUIRE(p >= 1, "tree needs at least one vrank");
+  MPICP_REQUIRE(nchains >= 1, "need at least one chain");
+  Tree tree(p);
+  const int members = p - 1;
+  const int chains = std::min(nchains, std::max(members, 1));
+  // Contiguous split of vranks 1..p-1 into `chains` chains; the first
+  // (members % chains) chains get one extra member.
+  int next = 1;
+  for (int c = 0; c < chains && next <= members; ++c) {
+    const int len = members / chains + (c < members % chains ? 1 : 0);
+    if (len == 0) continue;
+    tree[0].children.push_back(next);
+    tree[next].parent = 0;
+    for (int i = 1; i < len; ++i) {
+      tree[next + i].parent = next + i - 1;
+      tree[next + i - 1].children.push_back(next + i);
+    }
+    next += len;
+  }
+  fill_subtree_sizes(tree);
+  return tree;
+}
+
+Tree flat_tree(int p) {
+  MPICP_REQUIRE(p >= 1, "tree needs at least one vrank");
+  Tree tree(p);
+  for (int v = 1; v < p; ++v) {
+    tree[v].parent = 0;
+    tree[0].children.push_back(v);
+  }
+  fill_subtree_sizes(tree);
+  return tree;
+}
+
+bool is_valid_tree(const Tree& tree) {
+  const int p = static_cast<int>(tree.size());
+  if (p == 0 || tree[0].parent != -1) return false;
+  std::vector<int> depth(p, -1);
+  depth[0] = 0;
+  // Parent links must reach the root without cycles; child lists must
+  // mirror parent links exactly.
+  for (int v = 1; v < p; ++v) {
+    int cur = v;
+    int steps = 0;
+    while (cur != 0) {
+      const int par = tree[cur].parent;
+      if (par < 0 || par >= p || ++steps > p) return false;
+      if (std::find(tree[par].children.begin(), tree[par].children.end(),
+                    cur) == tree[par].children.end()) {
+        return false;
+      }
+      cur = par;
+    }
+  }
+  int child_links = 0;
+  for (const auto& node : tree) {
+    child_links += static_cast<int>(node.children.size());
+  }
+  if (child_links != p - 1) return false;
+  if (tree[0].subtree_size != p) return false;
+  return true;
+}
+
+}  // namespace mpicp::sim

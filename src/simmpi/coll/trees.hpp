@@ -1,0 +1,41 @@
+// Tree topologies used by the collective algorithms.
+//
+// All trees are built over *virtual ranks* 0..p-1 with vrank 0 as the
+// root; callers map vranks onto real ranks (usually the rotation
+// (root + v) mod p). Children are ordered largest-subtree-first, which is
+// the forwarding order real implementations use to keep pipelines busy.
+#pragma once
+
+#include <vector>
+
+namespace mpicp::sim {
+
+struct TreeNode {
+  int parent = -1;          ///< -1 for the root
+  std::vector<int> children;
+  int subtree_size = 1;     ///< number of vranks in this node's subtree
+};
+
+using Tree = std::vector<TreeNode>;
+
+/// Classic binomial tree: parent(v) = v with its lowest set bit cleared.
+Tree binomial_tree(int p);
+
+/// k-nomial generalization (radix >= 2); radix 2 equals the binomial tree.
+Tree knomial_tree(int p, int radix);
+
+/// Complete binary tree with children 2v+1 / 2v+2.
+Tree binary_tree(int p);
+
+/// `nchains` chains hanging off the root; chain members are contiguous
+/// vrank runs (Open MPI's chain topology).
+Tree chain_tree(int p, int nchains);
+
+/// Flat tree: every non-root vrank is a direct child of the root.
+Tree flat_tree(int p);
+
+/// Sanity helper for tests: true iff the structure is a tree rooted at 0
+/// covering all p vranks, with consistent parent/child/subtree links.
+bool is_valid_tree(const Tree& tree);
+
+}  // namespace mpicp::sim

@@ -1,0 +1,83 @@
+#include "simmpi/datacheck.hpp"
+
+#include "support/error.hpp"
+
+namespace mpicp::sim {
+
+Block contribution_of(int rank) {
+  MPICP_REQUIRE(rank >= 0, "negative rank");
+  Block b(static_cast<std::size_t>(rank) / 64 + 1, 0);
+  b[static_cast<std::size_t>(rank) / 64] = 1ULL << (rank % 64);
+  return b;
+}
+
+bool has_all_contributions(const Block& b, int p) {
+  const std::size_t full_words = static_cast<std::size_t>(p) / 64;
+  if (b.size() < (static_cast<std::size_t>(p) + 63) / 64) return false;
+  for (std::size_t w = 0; w < full_words; ++w) {
+    if (b[w] != ~std::uint64_t{0}) return false;
+  }
+  const int rem = p % 64;
+  if (rem != 0) {
+    const std::uint64_t mask = (1ULL << rem) - 1;
+    if ((b[full_words] & mask) != mask) return false;
+  }
+  return true;
+}
+
+bool is_exactly_contribution(const Block& b, int rank) {
+  const Block expect = contribution_of(rank);
+  if (b.size() < expect.size()) return false;
+  for (std::size_t w = 0; w < b.size(); ++w) {
+    const std::uint64_t want = w < expect.size() ? expect[w] : 0;
+    if (b[w] != want) return false;
+  }
+  return true;
+}
+
+void combine_into(Block& dst, const Block& src) {
+  if (dst.size() < src.size()) dst.resize(src.size(), 0);
+  for (std::size_t w = 0; w < src.size(); ++w) dst[w] |= src[w];
+}
+
+DataStore::DataStore(int num_ranks, int blocks_per_rank)
+    : num_ranks_(num_ranks), blocks_per_rank_(blocks_per_rank) {
+  MPICP_REQUIRE(num_ranks >= 1 && blocks_per_rank >= 1,
+                "empty data store");
+  blocks_.resize(static_cast<std::size_t>(num_ranks) * blocks_per_rank);
+}
+
+Block& DataStore::at(int rank, std::uint32_t block) {
+  MPICP_ASSERT(rank >= 0 && rank < num_ranks_ &&
+                   block < static_cast<std::uint32_t>(blocks_per_rank_),
+               "data store access out of range");
+  return blocks_[static_cast<std::size_t>(rank) * blocks_per_rank_ + block];
+}
+
+const Block& DataStore::at(int rank, std::uint32_t block) const {
+  return const_cast<DataStore*>(this)->at(rank, block);
+}
+
+std::vector<Block> DataStore::snapshot(int rank, std::uint32_t begin,
+                                       std::uint32_t count) const {
+  std::vector<Block> out;
+  out.reserve(count);
+  for (std::uint32_t b = 0; b < count; ++b) {
+    out.push_back(at(rank, begin + b));
+  }
+  return out;
+}
+
+void DataStore::apply(int rank, std::uint32_t begin,
+                      const std::vector<Block>& payload, bool combine) {
+  for (std::uint32_t b = 0; b < payload.size(); ++b) {
+    Block& dst = at(rank, begin + b);
+    if (combine) {
+      combine_into(dst, payload[b]);
+    } else {
+      dst = payload[b];
+    }
+  }
+}
+
+}  // namespace mpicp::sim

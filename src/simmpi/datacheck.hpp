@@ -1,0 +1,67 @@
+// Data-flow tracking for validating collective algorithm semantics.
+//
+// In tracking mode, every rank owns a store of *blocks* (abstract buffer
+// regions: segments, reduction chunks, alltoall slots). Send operations
+// snapshot the sender's blocks; receive completions overwrite or combine
+// (bitwise OR) the receiver's blocks. After a run, collective-specific
+// post-conditions check that the algorithm actually implements the
+// operation — e.g. after a broadcast every rank must hold the root's
+// token in every segment, after an allreduce every rank must hold the
+// contribution bits of *all* ranks in every chunk.
+//
+// Tracking is optional and off during dataset generation (it would
+// dominate runtime); the test suite enables it for sweeps over small and
+// medium process counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mpicp::sim {
+
+/// Abstract block content. For reduction-style checks this is a bitset
+/// over contributing ranks; for routing-style checks (alltoall, scatter)
+/// it is an arbitrary token vector compared for equality.
+using Block = std::vector<std::uint64_t>;
+
+/// A bitset block with bit `rank` set.
+Block contribution_of(int rank);
+
+/// True iff `b`, interpreted as a rank bitset, contains every bit in
+/// [0, p).
+bool has_all_contributions(const Block& b, int p);
+
+/// True iff `b` contains exactly bit `rank` (e.g. a broadcast segment
+/// that must equal the root's data).
+bool is_exactly_contribution(const Block& b, int rank);
+
+/// Bitwise OR of `src` into `dst` (resizing `dst` as needed).
+void combine_into(Block& dst, const Block& src);
+
+/// Per-rank block stores for one collective invocation.
+class DataStore {
+ public:
+  DataStore(int num_ranks, int blocks_per_rank);
+
+  int num_ranks() const { return num_ranks_; }
+  int blocks_per_rank() const { return blocks_per_rank_; }
+
+  Block& at(int rank, std::uint32_t block);
+  const Block& at(int rank, std::uint32_t block) const;
+
+  /// Snapshot blocks [begin, begin+count) of `rank`.
+  std::vector<Block> snapshot(int rank, std::uint32_t begin,
+                              std::uint32_t count) const;
+
+  /// Write a payload into blocks [begin, begin+count) of `rank`,
+  /// combining (OR) when `combine` is set, overwriting otherwise.
+  void apply(int rank, std::uint32_t begin, const std::vector<Block>& payload,
+             bool combine);
+
+ private:
+  int num_ranks_;
+  int blocks_per_rank_;
+  std::vector<Block> blocks_;  // [rank * blocks_per_rank + b]
+};
+
+}  // namespace mpicp::sim

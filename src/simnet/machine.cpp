@@ -1,0 +1,86 @@
+#include "simnet/machine.hpp"
+
+#include "support/error.hpp"
+
+namespace mpicp::sim {
+
+// Parameter rationale (order-of-magnitude calibration against published
+// microbenchmarks of the respective fabrics; see DESIGN.md §2):
+//  * Intel OmniPath (100 Gbit/s per rail): ~12.5 GB/s -> G = 8e-5 us/B,
+//    MPI ping-pong latency ~1.1 us.
+//  * Mellanox QDR InfiniBand (32 Gbit/s): ~4 GB/s -> G = 2.5e-4 us/B,
+//    latency ~1.6 us.
+//  * Shared-memory copies: 4-10 GB/s per channel depending on CPU
+//    generation, latency 0.3-0.6 us.
+
+MachineDesc hydra_machine() {
+  MachineDesc m;
+  m.name = "Hydra";
+  m.max_nodes = 36;
+  m.max_ppn = 32;
+  m.rails = 2;  // dual-rail, dual-switch OmniPath
+  m.mem_channels = 4;
+  m.intra = {.latency_us = 0.35,
+             .overhead_us = 0.20,
+             .gap_per_msg_us = 0.10,
+             .gap_per_byte_us = 1.25e-4};  // ~8 GB/s per channel
+  m.inter = {.latency_us = 1.10,
+             .overhead_us = 0.30,
+             .gap_per_msg_us = 0.25,
+             .gap_per_byte_us = 8.0e-5};  // ~12.5 GB/s per rail
+  m.eager_limit_bytes = 8192;
+  m.rendezvous_rtt_us = 2.2;
+  m.reduce_us_per_byte = 2.5e-4;  // Skylake-class SIMD reduction
+  return m;
+}
+
+MachineDesc jupiter_machine() {
+  MachineDesc m;
+  m.name = "Jupiter";
+  m.max_nodes = 35;
+  m.max_ppn = 16;
+  m.rails = 1;  // single-rail QDR InfiniBand
+  m.mem_channels = 2;
+  m.intra = {.latency_us = 0.60,
+             .overhead_us = 0.35,
+             .gap_per_msg_us = 0.18,
+             .gap_per_byte_us = 2.5e-4};  // ~4 GB/s (Opteron memory)
+  m.inter = {.latency_us = 1.60,
+             .overhead_us = 0.45,
+             .gap_per_msg_us = 0.40,
+             .gap_per_byte_us = 2.5e-4};  // ~4 GB/s QDR
+  m.eager_limit_bytes = 12288;
+  m.rendezvous_rtt_us = 3.5;
+  m.reduce_us_per_byte = 6.0e-4;  // older Opteron cores
+  return m;
+}
+
+MachineDesc supermucng_machine() {
+  MachineDesc m;
+  m.name = "SuperMUC-NG";
+  m.max_nodes = 48;  // the subset of the full system we model
+  m.max_ppn = 48;
+  m.rails = 1;  // single-rail OmniPath
+  m.mem_channels = 6;
+  m.intra = {.latency_us = 0.30,
+             .overhead_us = 0.18,
+             .gap_per_msg_us = 0.08,
+             .gap_per_byte_us = 1.0e-4};  // ~10 GB/s per channel
+  m.inter = {.latency_us = 1.00,
+             .overhead_us = 0.28,
+             .gap_per_msg_us = 0.22,
+             .gap_per_byte_us = 8.0e-5};  // ~12.5 GB/s
+  m.eager_limit_bytes = 8192;
+  m.rendezvous_rtt_us = 2.0;
+  m.reduce_us_per_byte = 2.0e-4;
+  return m;
+}
+
+MachineDesc machine_by_name(const std::string& name) {
+  if (name == "Hydra") return hydra_machine();
+  if (name == "Jupiter") return jupiter_machine();
+  if (name == "SuperMUC-NG") return supermucng_machine();
+  throw InvalidArgument("unknown machine preset '" + name + "'");
+}
+
+}  // namespace mpicp::sim

@@ -1,0 +1,66 @@
+// Machine model: a hierarchical LogGP-style description of a cluster.
+//
+// This is the substitute for the paper's physical testbeds (Table I). The
+// model captures exactly the effects that make different collective
+// algorithms win in different regimes:
+//   * per-message latency L and per-message gap g (latency-bound regime,
+//     where tree algorithms win for small messages),
+//   * per-byte gap G = 1/bandwidth (bandwidth-bound regime, where
+//     pipelined/segmented algorithms win for large messages),
+//   * separate intra-node (shared memory) and inter-node (fabric)
+//     parameter sets (ppn sensitivity),
+//   * a finite number of NIC rails per node whose occupancy serializes
+//     concurrent transfers (root bottleneck of linear algorithms),
+//   * eager vs. rendezvous point-to-point protocols,
+//   * a local reduction compute rate (for reduce-like collectives).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace mpicp::sim {
+
+/// LogGP-style parameters of one communication channel class.
+/// All times in microseconds; G in microseconds per byte.
+struct LinkParams {
+  double latency_us = 1.0;       ///< L: wire latency per message
+  double overhead_us = 0.3;      ///< o: CPU cost per message (send & recv)
+  double gap_per_msg_us = 0.2;   ///< g: NIC/port occupancy per message
+  double gap_per_byte_us = 1e-4; ///< G: NIC/port occupancy per byte
+
+  /// Pure occupancy time of a message of `bytes` bytes on this channel.
+  double occupancy_us(std::size_t bytes) const {
+    return gap_per_msg_us + gap_per_byte_us * static_cast<double>(bytes);
+  }
+};
+
+/// Static description of one parallel machine (the Table I analogue).
+struct MachineDesc {
+  std::string name;
+  int max_nodes = 1;
+  int max_ppn = 1;
+
+  int rails = 1;          ///< inter-node NICs per node (dual-rail Hydra = 2)
+  int mem_channels = 2;   ///< concurrent intra-node copy engines per node
+
+  LinkParams intra;       ///< within one compute node
+  LinkParams inter;       ///< between compute nodes, per rail
+
+  std::size_t eager_limit_bytes = 8192;  ///< eager/rendezvous switch point
+  double rendezvous_rtt_us = 2.0;        ///< RTS/CTS handshake cost
+
+  double reduce_us_per_byte = 4e-4;      ///< local reduction compute rate
+};
+
+/// The three machines of the paper's Table I, modeled after their
+/// published properties (interconnect generation, rails, core counts).
+MachineDesc hydra_machine();       ///< 36 nodes, 32 ppn, dual-rail OmniPath
+MachineDesc jupiter_machine();     ///< 35 nodes, 16 ppn, QDR InfiniBand
+MachineDesc supermucng_machine();  ///< 48 ppn Skylake, OmniPath (subset)
+
+/// Look up a machine preset by (case-sensitive) name; throws
+/// mpicp::InvalidArgument for unknown names.
+MachineDesc machine_by_name(const std::string& name);
+
+}  // namespace mpicp::sim

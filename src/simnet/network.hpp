@@ -1,0 +1,75 @@
+// Resource-tracking network model.
+//
+// Maps ranks onto (node, core) slots and schedules point-to-point
+// transfers against finite per-node resources: NIC rails for inter-node
+// traffic, memory copy channels for intra-node traffic. Resource
+// occupancy is tracked as next-available times, so concurrent transfers
+// through the same node serialize — this is what makes, e.g., the linear
+// broadcast collapse at scale while tree algorithms keep all NICs busy.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "simnet/machine.hpp"
+
+namespace mpicp::sim {
+
+/// One scheduled point-to-point transfer.
+struct Transfer {
+  double start_us = 0.0;    ///< when the wire/channel transfer begins
+  double arrival_us = 0.0;  ///< when the last byte reaches the receiver
+};
+
+/// Rank-to-node placement policy (SLURM's -m block / -m cyclic).
+enum class Placement {
+  kBlock,   ///< rank r on node r / ppn (the default; the paper's setup)
+  kCyclic,  ///< rank r on node r mod nodes (round-robin)
+};
+
+/// Process-to-node placement plus transfer scheduling for one job
+/// allocation (`nodes` compute nodes, `ppn` processes per node).
+class Network {
+ public:
+  Network(const MachineDesc& desc, int nodes, int ppn,
+          Placement placement = Placement::kBlock);
+
+  const MachineDesc& machine() const { return desc_; }
+  int num_nodes() const { return nodes_; }
+  int ppn() const { return ppn_; }
+  int num_ranks() const { return nodes_ * ppn_; }
+
+  Placement placement() const { return placement_; }
+
+  int node_of(int rank) const {
+    return placement_ == Placement::kBlock ? rank / ppn_ : rank % nodes_;
+  }
+  bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+
+  /// Channel parameters that apply between two ranks.
+  const LinkParams& link(int src, int dst) const {
+    return same_node(src, dst) ? desc_.intra : desc_.inter;
+  }
+
+  /// Reserve resources for a transfer of `bytes` bytes from rank `src`
+  /// to rank `dst` that is ready to start at `ready_us`. Mutates the
+  /// per-node resource availability times.
+  Transfer schedule_transfer(int src, int dst, std::size_t bytes,
+                             double ready_us);
+
+  /// Reset all resource availability to time zero (start of a new run).
+  void reset();
+
+ private:
+  double& pick_earliest(std::vector<double>& pool, int node);
+
+  MachineDesc desc_;
+  int nodes_;
+  int ppn_;
+  Placement placement_;
+  // Flattened [node][rail] and [node][channel] next-available times.
+  std::vector<double> rail_avail_;
+  std::vector<double> mem_avail_;
+};
+
+}  // namespace mpicp::sim

@@ -1,0 +1,62 @@
+#include "support/cli.hpp"
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace mpicp::support {
+
+CliParser::CliParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      options_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      options_[body] = argv[++i];
+    } else {
+      options_[body] = "true";  // bare flag
+    }
+  }
+}
+
+bool CliParser::has(const std::string& name) const {
+  return options_.contains(name);
+}
+
+std::string CliParser::get(const std::string& name,
+                           const std::string& default_value) const {
+  const auto it = options_.find(name);
+  return it == options_.end() ? default_value : it->second;
+}
+
+std::int64_t CliParser::get_int(const std::string& name,
+                                std::int64_t default_value) const {
+  const auto it = options_.find(name);
+  return it == options_.end() ? default_value : parse_int(it->second);
+}
+
+double CliParser::get_double(const std::string& name,
+                             double default_value) const {
+  const auto it = options_.find(name);
+  return it == options_.end() ? default_value : parse_double(it->second);
+}
+
+bool CliParser::get_bool(const std::string& name, bool default_value) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return default_value;
+  if (it->second == "true" || it->second == "1" || it->second == "yes") {
+    return true;
+  }
+  if (it->second == "false" || it->second == "0" || it->second == "no") {
+    return false;
+  }
+  throw ParseError("option --" + name + " expects a boolean, got '" +
+                   it->second + "'");
+}
+
+}  // namespace mpicp::support

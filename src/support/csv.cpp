@@ -1,0 +1,83 @@
+#include "support/csv.hpp"
+
+#include <fstream>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace mpicp::support {
+
+CsvTable::CsvTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  MPICP_REQUIRE(!header_.empty(), "CSV header must not be empty");
+}
+
+std::size_t CsvTable::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return i;
+  }
+  throw ParseError("CSV column '" + name + "' not found");
+}
+
+void CsvTable::add_row(std::vector<std::string> row) {
+  MPICP_REQUIRE(row.size() == header_.size(),
+                "CSV row width does not match header");
+  rows_.push_back(std::move(row));
+}
+
+const std::vector<std::string>& CsvTable::row(std::size_t i) const {
+  MPICP_REQUIRE(i < rows_.size(), "CSV row index out of range");
+  return rows_[i];
+}
+
+const std::string& CsvTable::cell(std::size_t row, std::size_t col) const {
+  MPICP_REQUIRE(row < rows_.size() && col < header_.size(),
+                "CSV cell out of range");
+  return rows_[row][col];
+}
+
+double CsvTable::cell_double(std::size_t row, std::size_t col) const {
+  return parse_double(cell(row, col));
+}
+
+std::int64_t CsvTable::cell_int(std::size_t row, std::size_t col) const {
+  return parse_int(cell(row, col));
+}
+
+CsvTable read_csv(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open CSV file " + path.string());
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw ParseError("CSV file " + path.string() + " is empty");
+  }
+  CsvTable table(split(trim(line), ','));
+  std::size_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    auto cells = split(trimmed, ',');
+    if (cells.size() != table.header().size()) {
+      throw ParseError(path.string() + ":" + std::to_string(lineno) +
+                       ": row width mismatch");
+    }
+    table.add_row(std::move(cells));
+  }
+  return table;
+}
+
+void write_csv(const std::filesystem::path& path, const CsvTable& table) {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open " + path.string() + " for writing");
+  out << join(table.header(), ",") << '\n';
+  for (std::size_t i = 0; i < table.num_rows(); ++i) {
+    out << join(table.row(i), ",") << '\n';
+  }
+  if (!out) throw Error("failed writing CSV file " + path.string());
+}
+
+}  // namespace mpicp::support

@@ -1,0 +1,43 @@
+// Minimal CSV persistence for measurement datasets.
+//
+// The format is deliberately simple (no quoting — our data are numbers and
+// identifier-like strings), but reads are validated and errors carry the
+// offending line number.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace mpicp::support {
+
+/// An in-memory CSV table: a header and rows of string cells.
+class CsvTable {
+ public:
+  CsvTable() = default;
+  explicit CsvTable(std::vector<std::string> header);
+
+  const std::vector<std::string>& header() const { return header_; }
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+
+  /// Column index by name; throws ParseError if absent.
+  std::size_t column(const std::string& name) const;
+
+  void add_row(std::vector<std::string> row);
+  const std::vector<std::string>& row(std::size_t i) const;
+
+  const std::string& cell(std::size_t row, std::size_t col) const;
+  double cell_double(std::size_t row, std::size_t col) const;
+  std::int64_t cell_int(std::size_t row, std::size_t col) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+CsvTable read_csv(const std::filesystem::path& path);
+void write_csv(const std::filesystem::path& path, const CsvTable& table);
+
+}  // namespace mpicp::support

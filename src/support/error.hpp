@@ -1,0 +1,73 @@
+// Error handling primitives shared by all mpicp libraries.
+//
+// Follows C++ Core Guidelines E.2/E.3: throw exceptions to signal that a
+// function cannot perform its task; use them only for error handling.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mpicp {
+
+/// Base class for all errors raised by the mpicp libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when an argument violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Raised on malformed external input (files, CLI).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when an internal invariant is broken (a bug in mpicp itself).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail(const char* kind, const char* expr,
+                              const std::string& msg,
+                              const std::source_location& loc) {
+  std::ostringstream os;
+  os << kind << ": " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  os << " [" << loc.file_name() << ':' << loc.line() << ']';
+  if (kind == std::string("precondition violated")) {
+    throw InvalidArgument(os.str());
+  }
+  throw InternalError(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace mpicp
+
+/// Check a caller-facing precondition; throws mpicp::InvalidArgument.
+#define MPICP_REQUIRE(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::mpicp::detail::fail("precondition violated", #expr, (msg),        \
+                            std::source_location::current());             \
+    }                                                                     \
+  } while (0)
+
+/// Check an internal invariant; throws mpicp::InternalError.
+#define MPICP_ASSERT(expr, msg)                                           \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::mpicp::detail::fail("internal invariant violated", #expr, (msg),  \
+                            std::source_location::current());             \
+    }                                                                     \
+  } while (0)

@@ -1,0 +1,70 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "support/error.hpp"
+
+namespace mpicp::support {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  bool digit = false;
+  for (; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c >= '0' && c <= '9') {
+      digit = true;
+    } else if (c != '.' && c != 'e' && c != 'E' && c != '-' && c != '+') {
+      return false;
+    }
+  }
+  return digit;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  MPICP_REQUIRE(!header_.empty(), "table header must not be empty");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  MPICP_REQUIRE(row.size() == header_.size(),
+                "table row width does not match header");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << "  ";
+      if (looks_numeric(row[c])) {
+        os << std::setw(static_cast<int>(width[c])) << std::right << row[c];
+      } else {
+        os << std::setw(static_cast<int>(width[c])) << std::left << row[c];
+      }
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c > 0 ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace mpicp::support

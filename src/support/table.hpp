@@ -1,0 +1,27 @@
+// Aligned plain-text table rendering for bench/example output.
+//
+// The bench harnesses print the rows/series the paper's tables and figures
+// report; this keeps that output readable in a terminal and diffable.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mpicp::support {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column alignment; numeric-looking cells right-aligned.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mpicp::support

@@ -1,0 +1,115 @@
+#include "tune/config_writer.hpp"
+
+#include <fstream>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace mpicp::tune {
+
+namespace {
+
+constexpr std::uint64_t kInfinity = ~std::uint64_t{0};
+
+}  // namespace
+
+int TuningConfig::uid_for(std::uint64_t msize) const {
+  for (const TuningRule& rule : rules) {
+    if (msize <= rule.msize_upto) return rule.uid;
+  }
+  MPICP_REQUIRE(!rules.empty(), "empty tuning configuration");
+  return rules.back().uid;
+}
+
+TuningConfig build_tuning_config(const Selector& selector, sim::MpiLib lib,
+                                 sim::Collective coll, int nodes, int ppn,
+                                 const std::vector<std::uint64_t>& msizes) {
+  MPICP_REQUIRE(!msizes.empty(), "need at least one message size");
+  TuningConfig config;
+  config.lib = lib;
+  config.coll = coll;
+  config.nodes = nodes;
+  config.ppn = ppn;
+  for (std::size_t i = 0; i < msizes.size(); ++i) {
+    const int uid = selector.select_uid({nodes, ppn, msizes[i]});
+    // A rule covers messages up to halfway (log scale) to the next
+    // queried size; the last rule covers everything beyond.
+    std::uint64_t upto = kInfinity;
+    if (i + 1 < msizes.size()) {
+      upto = msizes[i] +
+             (msizes[i + 1] - msizes[i]) / 2;  // midpoint boundary
+    }
+    if (!config.rules.empty() && config.rules.back().uid == uid) {
+      config.rules.back().msize_upto = upto;  // fold identical picks
+    } else {
+      config.rules.push_back({upto, uid});
+    }
+  }
+  return config;
+}
+
+void write_tuning_file(const std::filesystem::path& path,
+                       const TuningConfig& config) {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open " + path.string() + " for writing");
+  out << "# mpicp collective tuning file\n";
+  out << "lib " << to_string(config.lib) << '\n';
+  out << "collective " << to_string(config.coll) << '\n';
+  out << "nodes " << config.nodes << '\n';
+  out << "ppn " << config.ppn << '\n';
+  for (const TuningRule& rule : config.rules) {
+    const auto& cfg = sim::config_by_uid(config.lib, config.coll, rule.uid);
+    out << "rule msize_upto=";
+    if (rule.msize_upto == kInfinity) {
+      out << "inf";
+    } else {
+      out << rule.msize_upto;
+    }
+    out << " uid=" << rule.uid << "  # " << cfg.label() << '\n';
+  }
+  if (!out) throw Error("failed writing tuning file " + path.string());
+}
+
+TuningConfig read_tuning_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open tuning file " + path.string());
+  TuningConfig config;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto trimmed = std::string(support::trim(line));
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const auto parts = support::split(trimmed, ' ');
+    if (parts[0] == "lib") {
+      config.lib = sim::mpilib_from_string(parts.at(1));
+    } else if (parts[0] == "collective") {
+      config.coll = sim::collective_from_string(parts.at(1));
+    } else if (parts[0] == "nodes") {
+      config.nodes = static_cast<int>(support::parse_int(parts.at(1)));
+    } else if (parts[0] == "ppn") {
+      config.ppn = static_cast<int>(support::parse_int(parts.at(1)));
+    } else if (parts[0] == "rule") {
+      TuningRule rule;
+      for (const std::string& token : parts) {
+        if (support::starts_with(token, "msize_upto=")) {
+          const std::string v = token.substr(11);
+          rule.msize_upto = v == "inf"
+                                ? kInfinity
+                                : static_cast<std::uint64_t>(
+                                      support::parse_int(v));
+        } else if (support::starts_with(token, "uid=")) {
+          rule.uid = static_cast<int>(support::parse_int(token.substr(4)));
+        }
+      }
+      MPICP_REQUIRE(rule.uid > 0, "tuning rule without uid");
+      config.rules.push_back(rule);
+    } else {
+      throw ParseError("unknown tuning-file directive '" + parts[0] + "'");
+    }
+  }
+  return config;
+}
+
+}  // namespace mpicp::tune

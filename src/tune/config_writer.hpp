@@ -1,0 +1,47 @@
+// Tuning-file emission — the deployment path the paper describes (§II):
+// once the job allocation (n, ppn) is known, the model is queried for a
+// set of message sizes and the answers are written to a configuration
+// file that the MPI library loads at application start (the analogue of
+// an Open MPI coll_tuned dynamic rules file / an Intel MPI autotuner
+// dump).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "simmpi/coll/registry.hpp"
+#include "tune/selector.hpp"
+
+namespace mpicp::tune {
+
+/// One emitted rule: for messages up to `msize_upto` use `uid`.
+struct TuningRule {
+  std::uint64_t msize_upto = 0;
+  int uid = 0;
+};
+
+struct TuningConfig {
+  sim::MpiLib lib = sim::MpiLib::kOpenMPI;
+  sim::Collective coll = sim::Collective::kBcast;
+  int nodes = 0;
+  int ppn = 0;
+  std::vector<TuningRule> rules;  ///< ascending msize_upto; last is "inf"
+
+  /// The uid this configuration selects for a message size.
+  int uid_for(std::uint64_t msize) const;
+};
+
+/// Query the selector on a ladder of message sizes (the paper: 10-15
+/// sizes suffice) and fold adjacent identical picks into range rules.
+TuningConfig build_tuning_config(const Selector& selector, sim::MpiLib lib,
+                                 sim::Collective coll, int nodes, int ppn,
+                                 const std::vector<std::uint64_t>& msizes);
+
+void write_tuning_file(const std::filesystem::path& path,
+                       const TuningConfig& config);
+TuningConfig read_tuning_file(const std::filesystem::path& path);
+
+}  // namespace mpicp::tune

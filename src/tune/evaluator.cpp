@@ -1,0 +1,65 @@
+#include "tune/evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "collbench/specs.hpp"
+#include "support/error.hpp"
+#include "support/stats.hpp"
+
+namespace mpicp::tune {
+
+Evaluation evaluate(const bench::Dataset& ds, const Selector& selector,
+                    const bench::DefaultLogic& default_logic,
+                    const std::vector<int>& test_nodes) {
+  Evaluation eval;
+  for (const bench::Instance& inst : ds.instances()) {
+    if (std::find(test_nodes.begin(), test_nodes.end(), inst.nodes) ==
+        test_nodes.end()) {
+      continue;
+    }
+    EvalRow row;
+    row.inst = inst;
+    const bench::Dataset::Best best = ds.best(inst);
+    row.best_uid = best.uid;
+    row.t_best_us = best.time_us;
+    row.default_uid = default_logic.select_uid(inst);
+    row.t_default_us = ds.time_us(row.default_uid, inst);
+    row.predicted_uid = selector.select_uid(inst);
+    row.t_predicted_us = ds.time_us(row.predicted_uid, inst);
+    eval.rows.push_back(row);
+  }
+  MPICP_REQUIRE(!eval.rows.empty(), "no test instances found");
+
+  std::vector<double> speedups;
+  std::vector<double> norm_def;
+  std::vector<double> norm_pred;
+  std::size_t optimal = 0;
+  for (const EvalRow& row : eval.rows) {
+    speedups.push_back(row.speedup());
+    norm_def.push_back(row.norm_default());
+    norm_pred.push_back(row.norm_predicted());
+    optimal += row.predicted_uid == row.best_uid ? 1 : 0;
+  }
+  eval.summary.num_instances = eval.rows.size();
+  eval.summary.mean_speedup = support::mean(speedups);
+  eval.summary.geomean_speedup = support::geomean(speedups);
+  eval.summary.mean_norm_default = support::mean(norm_def);
+  eval.summary.mean_norm_predicted = support::mean(norm_pred);
+  eval.summary.fraction_optimal =
+      static_cast<double>(optimal) / static_cast<double>(eval.rows.size());
+  return eval;
+}
+
+Evaluation run_split_evaluation(const bench::Dataset& ds,
+                                const std::string& learner,
+                                bool small_training_set) {
+  const bench::NodeSplit split = bench::node_split(ds.machine());
+  Selector selector(SelectorOptions{.learner = learner});
+  selector.fit(ds,
+               small_training_set ? split.train_small : split.train_full);
+  const auto default_logic = bench::make_default_for(ds);
+  return evaluate(ds, selector, *default_logic, split.test);
+}
+
+}  // namespace mpicp::tune

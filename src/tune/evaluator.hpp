@@ -1,0 +1,60 @@
+// The paper's evaluation harness (§V): compare three strategies on
+// held-out instances — the exhaustive-search best, the library's default
+// decision logic, and the regression-based prediction. All strategies
+// are scored by the *actually measured* running time of the algorithm
+// they pick (the dataset contains every configuration, so no re-running
+// is needed).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "collbench/dataset.hpp"
+#include "collbench/defaults.hpp"
+#include "tune/selector.hpp"
+
+namespace mpicp::tune {
+
+/// One evaluated instance.
+struct EvalRow {
+  bench::Instance inst;
+  int best_uid = 0;
+  int default_uid = 0;
+  int predicted_uid = 0;
+  double t_best_us = 0.0;
+  double t_default_us = 0.0;
+  double t_predicted_us = 0.0;
+
+  double norm_default() const { return t_default_us / t_best_us; }
+  double norm_predicted() const { return t_predicted_us / t_best_us; }
+  /// Relative speed-up of the prediction over the default (>1: faster).
+  double speedup() const { return t_default_us / t_predicted_us; }
+};
+
+struct EvalSummary {
+  std::size_t num_instances = 0;
+  double mean_speedup = 0.0;        ///< Table IV metric
+  double geomean_speedup = 0.0;
+  double mean_norm_default = 0.0;   ///< avg t_default / t_best
+  double mean_norm_predicted = 0.0; ///< avg t_predicted / t_best
+  double fraction_optimal = 0.0;    ///< prediction picked the actual best
+};
+
+struct Evaluation {
+  std::vector<EvalRow> rows;
+  EvalSummary summary;
+};
+
+/// Evaluate a fitted selector against the default logic on every dataset
+/// instance whose node count is in `test_nodes`.
+Evaluation evaluate(const bench::Dataset& ds, const Selector& selector,
+                    const bench::DefaultLogic& default_logic,
+                    const std::vector<int>& test_nodes);
+
+/// Convenience: fit a selector with `learner` on the machine's training
+/// split and evaluate it on the test split (paper Table IV cell).
+Evaluation run_split_evaluation(const bench::Dataset& ds,
+                                const std::string& learner,
+                                bool small_training_set);
+
+}  // namespace mpicp::tune

@@ -1,0 +1,94 @@
+#include "tune/online.hpp"
+
+#include "support/error.hpp"
+#include "support/stats.hpp"
+
+namespace mpicp::tune {
+
+OnlineSelector::OnlineSelector(Options options)
+    : options_(std::move(options)) {
+  MPICP_REQUIRE(!options_.candidate_uids.empty(),
+                "online selector needs candidates");
+  MPICP_REQUIRE(options_.probes_per_algorithm >= 1,
+                "need at least one probe per algorithm");
+}
+
+std::uint64_t OnlineSelector::key(const bench::Instance& inst) {
+  return (static_cast<std::uint64_t>(inst.nodes) << 48) ^
+         (static_cast<std::uint64_t>(inst.ppn) << 36) ^
+         static_cast<std::uint64_t>(inst.msize);
+}
+
+OnlineSelector::Cell& OnlineSelector::cell(const bench::Instance& inst) {
+  return cells_[key(inst)];
+}
+
+int OnlineSelector::next_uid(const bench::Instance& inst) {
+  Cell& c = cell(inst);
+  if (c.committed_uid >= 0) return c.committed_uid;
+  // Round-robin over candidates that still need probes.
+  const auto probes = static_cast<std::size_t>(
+      options_.probes_per_algorithm);
+  int least_uid = -1;
+  std::size_t least = probes;
+  for (const int uid : options_.candidate_uids) {
+    const auto it = c.observations.find(uid);
+    const std::size_t seen =
+        it == c.observations.end() ? 0 : it->second.size();
+    if (seen < least) {
+      least = seen;
+      least_uid = uid;
+    }
+  }
+  if (least_uid >= 0) return least_uid;
+  // Everything probed: commit to the best median.
+  double best_time = 0.0;
+  for (const auto& [uid, times] : c.observations) {
+    const double med = support::median(times);
+    if (c.committed_uid < 0 || med < best_time) {
+      c.committed_uid = uid;
+      best_time = med;
+    }
+  }
+  return c.committed_uid;
+}
+
+void OnlineSelector::record(const bench::Instance& inst, int uid,
+                            double time_us) {
+  MPICP_REQUIRE(time_us > 0.0, "non-positive measurement");
+  cell(inst).observations[uid].push_back(time_us);
+}
+
+bool OnlineSelector::converged(const bench::Instance& inst) const {
+  const auto it = cells_.find(key(inst));
+  if (it == cells_.end()) return false;
+  if (it->second.committed_uid >= 0) return true;
+  for (const int uid : options_.candidate_uids) {
+    const auto obs = it->second.observations.find(uid);
+    const std::size_t seen =
+        obs == it->second.observations.end() ? 0 : obs->second.size();
+    if (seen < static_cast<std::size_t>(options_.probes_per_algorithm)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int OnlineSelector::current_best(const bench::Instance& inst) const {
+  const auto it = cells_.find(key(inst));
+  MPICP_REQUIRE(it != cells_.end() && !it->second.observations.empty(),
+                "no observations for instance");
+  if (it->second.committed_uid >= 0) return it->second.committed_uid;
+  int best_uid = -1;
+  double best_time = 0.0;
+  for (const auto& [uid, times] : it->second.observations) {
+    const double med = support::median(times);
+    if (best_uid < 0 || med < best_time) {
+      best_uid = uid;
+      best_time = med;
+    }
+  }
+  return best_uid;
+}
+
+}  // namespace mpicp::tune

@@ -1,0 +1,55 @@
+// Online algorithm selection (STAR-MPI-style), an extension beyond the
+// paper's offline framework: during an application run, the first calls
+// of a collective on a given instance probe the candidate algorithms;
+// once every candidate has been measured `probes_per_algorithm` times,
+// the selector commits to the empirically best one.
+//
+// The paper (§II, §VI) argues offline regression avoids exactly the
+// exploration cost this incurs; bench_online_vs_offline quantifies the
+// trade-off.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "collbench/dataset.hpp"
+
+namespace mpicp::tune {
+
+class OnlineSelector {
+ public:
+  struct Options {
+    std::vector<int> candidate_uids;  ///< algorithms to explore
+    int probes_per_algorithm = 3;
+  };
+
+  explicit OnlineSelector(Options options);
+
+  /// The uid to use for the next call of this instance. During
+  /// exploration this cycles through under-probed candidates; after
+  /// convergence it returns the committed winner.
+  int next_uid(const bench::Instance& inst);
+
+  /// Feed back the measured duration of a call issued via next_uid.
+  void record(const bench::Instance& inst, int uid, double time_us);
+
+  bool converged(const bench::Instance& inst) const;
+
+  /// The committed (or currently best) uid for an instance.
+  int current_best(const bench::Instance& inst) const;
+
+ private:
+  struct Cell {
+    std::map<int, std::vector<double>> observations;  // uid -> times
+    int committed_uid = -1;
+  };
+
+  static std::uint64_t key(const bench::Instance& inst);
+  Cell& cell(const bench::Instance& inst);
+
+  Options options_;
+  std::map<std::uint64_t, Cell> cells_;
+};
+
+}  // namespace mpicp::tune

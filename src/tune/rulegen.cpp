@@ -1,0 +1,184 @@
+#include "tune/rulegen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace mpicp::tune {
+
+namespace {
+
+/// Majority label and its count.
+std::pair<int, std::size_t> majority(
+    const std::vector<const LabeledInstance*>& points) {
+  std::map<int, std::size_t> counts;
+  for (const auto* p : points) ++counts[p->uid];
+  std::pair<int, std::size_t> best{0, 0};
+  for (const auto& [uid, count] : counts) {
+    if (count > best.second) best = {uid, count};
+  }
+  return best;
+}
+
+}  // namespace
+
+double DecisionRules::feature_of(const bench::Instance& inst, int f) {
+  switch (f) {
+    case 0:
+      return std::log2(
+          static_cast<double>(std::max<std::uint64_t>(inst.msize, 1)));
+    case 1: return static_cast<double>(inst.nodes);
+    case 2: return static_cast<double>(inst.ppn);
+    default: throw InternalError("bad rule feature index");
+  }
+}
+
+DecisionRules DecisionRules::fit(
+    const std::vector<LabeledInstance>& points, RuleParams params) {
+  MPICP_REQUIRE(!points.empty(), "cannot fit rules on an empty grid");
+  DecisionRules rules;
+  std::vector<const LabeledInstance*> ptrs;
+  ptrs.reserve(points.size());
+  for (const auto& p : points) ptrs.push_back(&p);
+  rules.build(std::move(ptrs), 0, params);
+  return rules;
+}
+
+int DecisionRules::build(std::vector<const LabeledInstance*> points,
+                         int depth, const RuleParams& params) {
+  const auto [major_uid, major_count] = majority(points);
+  const int node_idx = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_idx].uid = major_uid;
+  if (major_count == points.size() || depth >= params.max_depth ||
+      points.size() <
+          static_cast<std::size_t>(2 * params.min_points_per_leaf)) {
+    return node_idx;
+  }
+
+  // Best split = the one minimizing total misclassification against the
+  // children's majorities.
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  std::size_t best_miss = points.size() - major_count;
+  for (int f = 0; f < 3; ++f) {
+    std::set<double> values;
+    for (const auto* p : points) values.insert(feature_of(p->inst, f));
+    if (values.size() < 2) continue;
+    std::vector<double> sorted(values.begin(), values.end());
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+      const double thr = 0.5 * (sorted[i] + sorted[i + 1]);
+      std::vector<const LabeledInstance*> left;
+      std::vector<const LabeledInstance*> right;
+      for (const auto* p : points) {
+        (feature_of(p->inst, f) < thr ? left : right).push_back(p);
+      }
+      if (left.size() <
+              static_cast<std::size_t>(params.min_points_per_leaf) ||
+          right.size() <
+              static_cast<std::size_t>(params.min_points_per_leaf)) {
+        continue;
+      }
+      const std::size_t miss = (left.size() - majority(left).second) +
+                               (right.size() - majority(right).second);
+      if (miss < best_miss) {
+        best_miss = miss;
+        best_feature = f;
+        best_threshold = thr;
+      }
+    }
+  }
+  if (best_feature < 0) return node_idx;
+
+  std::vector<const LabeledInstance*> left;
+  std::vector<const LabeledInstance*> right;
+  for (const auto* p : points) {
+    (feature_of(p->inst, best_feature) < best_threshold ? left : right)
+        .push_back(p);
+  }
+  points.clear();
+  points.shrink_to_fit();
+  nodes_[node_idx].feature = best_feature;
+  nodes_[node_idx].threshold = best_threshold;
+  const int l = build(std::move(left), depth + 1, params);
+  const int r = build(std::move(right), depth + 1, params);
+  nodes_[node_idx].left = l;
+  nodes_[node_idx].right = r;
+  return node_idx;
+}
+
+int DecisionRules::uid_for(const bench::Instance& inst) const {
+  MPICP_REQUIRE(!nodes_.empty(), "rules not fitted");
+  int cur = 0;
+  while (nodes_[cur].feature >= 0) {
+    cur = feature_of(inst, nodes_[cur].feature) < nodes_[cur].threshold
+              ? nodes_[cur].left
+              : nodes_[cur].right;
+  }
+  return nodes_[cur].uid;
+}
+
+double DecisionRules::agreement(
+    const std::vector<LabeledInstance>& points) const {
+  MPICP_REQUIRE(!points.empty(), "empty grid");
+  std::size_t hits = 0;
+  for (const auto& p : points) hits += uid_for(p.inst) == p.uid ? 1 : 0;
+  return static_cast<double>(hits) / static_cast<double>(points.size());
+}
+
+int DecisionRules::num_leaves() const {
+  int leaves = 0;
+  for (const Node& node : nodes_) leaves += node.feature < 0 ? 1 : 0;
+  return leaves;
+}
+
+void DecisionRules::render(int node, int indent, std::string& out) const {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  const Node& n = nodes_[node];
+  if (n.feature < 0) {
+    out += pad + "return " + std::to_string(n.uid) + ";\n";
+    return;
+  }
+  std::string cond;
+  switch (n.feature) {
+    case 0: {
+      // Translate the log2 threshold back into a byte count.
+      const auto bytes = static_cast<std::uint64_t>(
+          std::llround(std::exp2(n.threshold)));
+      cond = "msize < " + std::to_string(bytes) + "ULL";
+      break;
+    }
+    case 1:
+      cond = "nodes < " +
+             std::to_string(static_cast<long long>(
+                 std::ceil(n.threshold)));
+      break;
+    default:
+      cond = "ppn < " + std::to_string(static_cast<long long>(
+                            std::ceil(n.threshold)));
+      break;
+  }
+  out += pad + "if (" + cond + ") {\n";
+  render(n.left, indent + 1, out);
+  out += pad + "} else {\n";
+  render(n.right, indent + 1, out);
+  out += pad + "}\n";
+}
+
+std::string DecisionRules::to_c_code(
+    const std::string& function_name) const {
+  MPICP_REQUIRE(!nodes_.empty(), "rules not fitted");
+  std::string out;
+  out += "/* generated by mpicp::tune::DecisionRules */\n";
+  out += "int " + function_name +
+         "(unsigned long long msize, int nodes, int ppn) {\n";
+  render(0, 1, out);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace mpicp::tune

@@ -1,0 +1,129 @@
+#include "tune/selector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "ml/io.hpp"
+#include "support/error.hpp"
+
+namespace mpicp::tune {
+
+std::vector<double> instance_features(const bench::Instance& inst,
+                                      const FeatureOptions& opts) {
+  std::vector<double> x = {
+      std::log2(static_cast<double>(std::max<std::uint64_t>(inst.msize, 1))),
+      static_cast<double>(inst.nodes), static_cast<double>(inst.ppn)};
+  if (opts.include_total_processes) {
+    x.push_back(static_cast<double>(inst.nodes) * inst.ppn);
+  }
+  return x;
+}
+
+Selector::Selector(SelectorOptions options) : options_(std::move(options)) {}
+
+void Selector::fit(const bench::Dataset& ds,
+                   const std::vector<int>& train_nodes) {
+  MPICP_REQUIRE(!train_nodes.empty(), "empty training node set");
+  models_.clear();
+
+  // Bucket the raw observations per uid.
+  std::map<int, std::vector<const bench::Record*>> rows;
+  for (const bench::Record& rec : ds.records()) {
+    if (std::find(train_nodes.begin(), train_nodes.end(), rec.nodes) ==
+        train_nodes.end()) {
+      continue;
+    }
+    rows[rec.uid].push_back(&rec);
+  }
+  MPICP_REQUIRE(!rows.empty(), "no training rows for the given node set");
+
+  const std::size_t dim =
+      instance_features({1, 1, 1}, options_.features).size();
+  for (const auto& [uid, recs] : rows) {
+    ml::Matrix x(recs.size(), dim);
+    std::vector<double> y(recs.size());
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      const auto feat = instance_features(
+          {recs[i]->nodes, recs[i]->ppn, recs[i]->msize},
+          options_.features);
+      std::copy(feat.begin(), feat.end(), x.row(i).begin());
+      y[i] = recs[i]->time_us;
+    }
+    auto model = ml::make_regressor(options_.learner);
+    model->fit(x, y);
+    models_.emplace(uid, std::move(model));
+  }
+}
+
+double Selector::predicted_time_us(int uid,
+                                   const bench::Instance& inst) const {
+  const auto it = models_.find(uid);
+  MPICP_REQUIRE(it != models_.end(),
+                "no model for uid " + std::to_string(uid));
+  return it->second->predict_one(
+      instance_features(inst, options_.features));
+}
+
+int Selector::select_uid(const bench::Instance& inst) const {
+  MPICP_REQUIRE(!models_.empty(), "selector has not been fitted");
+  int best_uid = -1;
+  double best_time = 0.0;
+  const auto feat = instance_features(inst, options_.features);
+  for (const auto& [uid, model] : models_) {
+    const double t = model->predict_one(feat);
+    if (best_uid < 0 || t < best_time) {
+      best_uid = uid;
+      best_time = t;
+    }
+  }
+  return best_uid;
+}
+
+void Selector::save(const std::filesystem::path& path) const {
+  MPICP_REQUIRE(!models_.empty(), "saving an unfitted selector");
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream os(path);
+  if (!os) throw Error("cannot open " + path.string() + " for writing");
+  os << "mpicp-selector 1\n";
+  os << options_.learner << '\n';
+  os << (options_.features.include_total_processes ? 1 : 0) << '\n';
+  os << models_.size() << '\n';
+  for (const auto& [uid, model] : models_) {
+    os << uid << '\n';
+    ml::save_regressor(os, *model);
+  }
+  if (!os) throw Error("failed writing selector to " + path.string());
+}
+
+Selector Selector::load(const std::filesystem::path& path) {
+  std::ifstream is(path);
+  if (!is) throw ParseError("cannot open selector file " + path.string());
+  ml::io::expect_tag(is, "mpicp-selector");
+  const int version = ml::io::read_value<int>(is);
+  MPICP_REQUIRE(version == 1, "unsupported selector file version");
+  SelectorOptions options;
+  is >> options.learner;
+  options.features.include_total_processes =
+      ml::io::read_value<int>(is) != 0;
+  Selector selector(options);
+  const auto count = ml::io::read_value<std::size_t>(is);
+  MPICP_REQUIRE(count >= 1 && count < 100000,
+                "implausible selector model count");
+  for (std::size_t i = 0; i < count; ++i) {
+    const int uid = ml::io::read_value<int>(is);
+    selector.models_.emplace(uid, ml::load_regressor(is));
+  }
+  return selector;
+}
+
+std::vector<int> Selector::uids() const {
+  std::vector<int> out;
+  out.reserve(models_.size());
+  for (const auto& [uid, model] : models_) out.push_back(uid);
+  return out;
+}
+
+}  // namespace mpicp::tune

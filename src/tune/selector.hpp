@@ -1,0 +1,64 @@
+// The paper's algorithm selection strategy (Fig. 3): one regression
+// model per algorithm configuration uid, each predicting the running
+// time from the instance features (m, n, N); selection evaluates every
+// model on an unseen instance and returns the argmin.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "collbench/dataset.hpp"
+#include "ml/learner.hpp"
+
+namespace mpicp::tune {
+
+/// Instance feature encoding. The paper's features are message size,
+/// number of nodes and processes per node; we use log2(m) for the
+/// message size (it spans seven decades) and optionally append the
+/// derived total process count p = n * ppn (ablation: bench_ablation).
+struct FeatureOptions {
+  bool include_total_processes = true;
+};
+
+std::vector<double> instance_features(const bench::Instance& inst,
+                                      const FeatureOptions& opts);
+
+struct SelectorOptions {
+  std::string learner = "gam";  ///< ml::make_regressor name
+  FeatureOptions features;
+};
+
+class Selector {
+ public:
+  explicit Selector(SelectorOptions options = {});
+
+  /// Fit one model per uid on the dataset rows whose node count is in
+  /// `train_nodes` (raw observations, not aggregates — the models see
+  /// the measurement noise, as in the paper).
+  void fit(const bench::Dataset& ds, const std::vector<int>& train_nodes);
+
+  /// Predicted running time of one configuration on an instance.
+  double predicted_time_us(int uid, const bench::Instance& inst) const;
+
+  /// The argmin over all modeled configurations (the algorithm ID the
+  /// framework would load into the MPI library).
+  int select_uid(const bench::Instance& inst) const;
+
+  std::vector<int> uids() const;
+  const SelectorOptions& options() const { return options_; }
+
+  /// Persist the fitted model bank (train offline once, load in the job
+  /// prolog — the paper's deployment split between the tuning step and
+  /// application start).
+  void save(const std::filesystem::path& path) const;
+  static Selector load(const std::filesystem::path& path);
+
+ private:
+  SelectorOptions options_;
+  std::map<int, std::unique_ptr<ml::Regressor>> models_;
+};
+
+}  // namespace mpicp::tune

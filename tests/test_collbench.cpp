@@ -1,0 +1,234 @@
+// Tests for the benchmarking layer: noise model, budgeted runner,
+// dataset container, dataset specs and default-logic baselines.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "collbench/dataset.hpp"
+#include "collbench/defaults.hpp"
+#include "collbench/generator.hpp"
+#include "collbench/noise.hpp"
+#include "collbench/runner.hpp"
+#include "collbench/specs.hpp"
+#include "simmpi/coll/decision.hpp"
+#include "simnet/machine.hpp"
+#include "support/error.hpp"
+
+namespace mpicp::bench {
+namespace {
+
+TEST(Noise, SystematicFactorIsDeterministic) {
+  const NoiseModel a(42);
+  const NoiseModel b(42);
+  const double fa = a.systematic_factor(1, 3, 16, 8, 1024);
+  EXPECT_DOUBLE_EQ(fa, b.systematic_factor(1, 3, 16, 8, 1024));
+  EXPECT_NE(fa, a.systematic_factor(1, 4, 16, 8, 1024));
+  EXPECT_GT(fa, 0.0);
+}
+
+TEST(Noise, SystematicFactorNearOne) {
+  const NoiseModel model(7);
+  for (int uid = 1; uid <= 50; ++uid) {
+    const double f = model.systematic_factor(0, uid, 8, 4, 4096);
+    EXPECT_GT(f, 0.5);
+    EXPECT_LT(f, 2.0);
+  }
+}
+
+TEST(Noise, ObservationsCenterOnTruth) {
+  const NoiseModel model(11);
+  support::Xoshiro256 rng(1);
+  std::vector<double> obs(4001);
+  for (auto& o : obs) o = model.observe_us(1000.0, rng);
+  std::sort(obs.begin(), obs.end());
+  EXPECT_NEAR(obs[obs.size() / 2], 1000.0, 30.0);  // median ~ truth
+  for (const double o : obs) EXPECT_GT(o, 0.0);
+}
+
+TEST(Noise, SmallRunsAreNoisier) {
+  const NoiseModel model(13);
+  support::Xoshiro256 rng1(2);
+  support::Xoshiro256 rng2(2);
+  double spread_small = 0.0;
+  double spread_large = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    spread_small += std::abs(model.observe_us(5.0, rng1) / 5.0 - 1.0);
+    spread_large +=
+        std::abs(model.observe_us(1e6, rng2) / 1e6 - 1.0);
+  }
+  EXPECT_GT(spread_small, 1.5 * spread_large);
+}
+
+TEST(Runner, RespectsRepCap) {
+  sim::Network net(sim::hydra_machine(), 4, 2);
+  const NoiseModel noise(1);
+  support::Xoshiro256 rng(1);
+  const auto& cfg =
+      sim::algorithm_configs(sim::MpiLib::kOpenMPI, sim::Collective::kBcast)
+          .front();
+  const RunnerResult res =
+      run_benchmark(net, sim::MpiLib::kOpenMPI, sim::Collective::kBcast,
+                    cfg, 1024, noise, {.max_reps = 7, .budget_us = 1e9},
+                    rng);
+  EXPECT_EQ(res.observations_us.size(), 7u);
+  EXPECT_GT(res.des_time_us, 0.0);
+  EXPECT_GT(res.true_time_us, 0.0);
+}
+
+TEST(Runner, BudgetTruncatesExpensiveRuns) {
+  sim::Network net(sim::hydra_machine(), 16, 8);
+  const NoiseModel noise(1);
+  support::Xoshiro256 rng(1);
+  // The linear broadcast of 4 MiB takes several milliseconds; a 1 ms
+  // budget must stop after the first observation.
+  const auto& cfg =
+      sim::algorithm_configs(sim::MpiLib::kOpenMPI, sim::Collective::kBcast)
+          .front();
+  ASSERT_EQ(cfg.name, "linear");
+  const RunnerResult res = run_benchmark(
+      net, sim::MpiLib::kOpenMPI, sim::Collective::kBcast, cfg, 4u << 20,
+      noise, {.max_reps = 500, .budget_us = 1000.0}, rng);
+  EXPECT_EQ(res.observations_us.size(), 1u);
+}
+
+TEST(Dataset, MedianAggregationAndBest) {
+  Dataset ds("t", sim::MpiLib::kOpenMPI, sim::Collective::kBcast, "Hydra");
+  for (const double t : {10.0, 30.0, 20.0}) {
+    ds.add({1, 4, 2, 64, t});
+  }
+  ds.add({2, 4, 2, 64, 15.0});
+  const Instance inst{4, 2, 64};
+  EXPECT_DOUBLE_EQ(ds.time_us(1, inst), 20.0);
+  EXPECT_DOUBLE_EQ(ds.time_us(2, inst), 15.0);
+  const auto best = ds.best(inst);
+  EXPECT_EQ(best.uid, 2);
+  EXPECT_DOUBLE_EQ(best.time_us, 15.0);
+  EXPECT_FALSE(ds.has(3, inst));
+  EXPECT_THROW(ds.time_us(3, inst), InvalidArgument);
+}
+
+TEST(Dataset, CsvRoundTrip) {
+  Dataset ds("t", sim::MpiLib::kIntelMPI, sim::Collective::kAllreduce,
+             "Hydra");
+  ds.add({1, 4, 2, 64, 12.5});
+  ds.add({2, 8, 4, 1024, 99.25});
+  const auto path =
+      std::filesystem::temp_directory_path() / "mpicp_ds_test.csv";
+  ds.save_csv(path);
+  const Dataset loaded = Dataset::load_csv(
+      path, "t", sim::MpiLib::kIntelMPI, sim::Collective::kAllreduce,
+      "Hydra");
+  EXPECT_EQ(loaded.num_records(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.time_us(2, {8, 4, 1024}), 99.25);
+  std::filesystem::remove(path);
+}
+
+TEST(Specs, TableIIShape) {
+  const auto& specs = all_dataset_specs();
+  ASSERT_EQ(specs.size(), 8u);
+  EXPECT_EQ(specs[0].name, "d1");
+  EXPECT_EQ(specs[0].coll, sim::Collective::kBcast);
+  EXPECT_EQ(specs[4].lib, sim::MpiLib::kIntelMPI);
+  EXPECT_EQ(specs[7].machine, "SuperMUC-NG");
+  EXPECT_EQ(specs[5].msizes.size(), 8u);  // alltoall: 8 sizes
+  EXPECT_EQ(specs[0].msizes.size(), 10u);
+  EXPECT_THROW(dataset_spec("d9"), InvalidArgument);
+}
+
+TEST(Specs, SplitsAreSubsetsOfGrids) {
+  for (const auto& spec : all_dataset_specs()) {
+    const NodeSplit split = node_split(spec.machine);
+    for (const int n : split.train_full) {
+      EXPECT_NE(std::find(spec.nodes.begin(), spec.nodes.end(), n),
+                spec.nodes.end())
+          << spec.name << " train node " << n;
+    }
+    for (const int n : split.test) {
+      EXPECT_NE(std::find(spec.nodes.begin(), spec.nodes.end(), n),
+                spec.nodes.end())
+          << spec.name << " test node " << n;
+    }
+    // Train and test node sets must be disjoint.
+    for (const int n : split.test) {
+      EXPECT_EQ(std::find(split.train_full.begin(), split.train_full.end(),
+                          n),
+                split.train_full.end());
+    }
+  }
+}
+
+TEST(Generator, SmallSpecProducesFullGrid) {
+  DatasetSpec spec = dataset_spec("d2");
+  spec.name = "tiny";
+  spec.nodes = {2, 3};
+  spec.ppns = {1, 2};
+  spec.msizes = {16, 1024};
+  spec.budget = {.max_reps = 2, .budget_us = 1e9};
+  const Dataset ds = generate_dataset(spec);
+  const auto& configs =
+      sim::algorithm_configs(spec.lib, spec.coll);
+  EXPECT_EQ(ds.num_records(), configs.size() * 2 * 2 * 2 * 2);
+  // Every instance has a best.
+  for (const Instance& inst : ds.instances()) {
+    EXPECT_GT(ds.best(inst).time_us, 0.0);
+  }
+}
+
+TEST(Generator, DeterministicInSeed) {
+  DatasetSpec spec = dataset_spec("d2");
+  spec.nodes = {2};
+  spec.ppns = {2};
+  spec.msizes = {256};
+  spec.budget = {.max_reps = 2, .budget_us = 1e9};
+  const Dataset a = generate_dataset(spec);
+  const Dataset b = generate_dataset(spec);
+  ASSERT_EQ(a.num_records(), b.num_records());
+  for (std::size_t i = 0; i < a.num_records(); ++i) {
+    EXPECT_DOUBLE_EQ(a.records()[i].time_us, b.records()[i].time_us);
+  }
+}
+
+TEST(Defaults, OpenMpiFixedRulesAreStable) {
+  const auto logic = make_openmpi_default(sim::Collective::kBcast);
+  EXPECT_EQ(logic->name(), "openmpi-fixed");
+  const int small = logic->select_uid({8, 4, 64});
+  const int large = logic->select_uid({8, 4, 4u << 20});
+  EXPECT_NE(small, large);
+  // Small messages: binomial family (alg 6 in the registry).
+  const auto& cfg = sim::config_by_uid(sim::MpiLib::kOpenMPI,
+                                       sim::Collective::kBcast, small);
+  EXPECT_EQ(cfg.alg_id, 6);
+}
+
+TEST(Defaults, OpenMpiDecisionCoversAllCollectives) {
+  for (const auto coll : {sim::Collective::kBcast,
+                          sim::Collective::kAllreduce,
+                          sim::Collective::kAlltoall}) {
+    for (const std::uint64_t m : standard_msizes()) {
+      for (const int p : {2, 16, 256, 1024}) {
+        const int uid = sim::openmpi_default_uid(coll, p, m);
+        EXPECT_NO_THROW(
+            sim::config_by_uid(sim::MpiLib::kOpenMPI, coll, uid));
+      }
+    }
+  }
+}
+
+TEST(Defaults, IntelTunedTablePicksGridBest) {
+  Dataset ds("t", sim::MpiLib::kIntelMPI, sim::Collective::kAllreduce,
+             "Hydra");
+  // Two uids; uid 2 faster at (4, 2, 64), uid 1 faster at (4, 2, 1024).
+  ds.add({1, 4, 2, 64, 20.0});
+  ds.add({2, 4, 2, 64, 10.0});
+  ds.add({1, 4, 2, 1024, 30.0});
+  ds.add({2, 4, 2, 1024, 60.0});
+  const auto logic = make_intel_default(ds, {4});
+  EXPECT_EQ(logic->select_uid({4, 2, 64}), 2);
+  EXPECT_EQ(logic->select_uid({4, 2, 1024}), 1);
+  // Off-grid instances snap to the nearest grid point.
+  EXPECT_EQ(logic->select_uid({5, 2, 100}), 2);
+  EXPECT_EQ(logic->select_uid({7, 2, 2000}), 1);
+}
+
+}  // namespace
+}  // namespace mpicp::bench

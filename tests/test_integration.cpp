@@ -1,0 +1,126 @@
+// End-to-end integration tests: benchmark grid -> dataset -> per-uid
+// regression models -> selection -> evaluation -> tuning file, on
+// reduced grids (the full Table II grids live in the bench harnesses).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "collbench/defaults.hpp"
+#include "collbench/generator.hpp"
+#include "collbench/specs.hpp"
+#include "tune/config_writer.hpp"
+#include "tune/evaluator.hpp"
+#include "tune/selector.hpp"
+
+namespace mpicp {
+namespace {
+
+/// A reduced d1-style spec that generates in a few seconds.
+bench::DatasetSpec mini_spec(const char* base, std::uint64_t seed) {
+  bench::DatasetSpec spec = bench::dataset_spec(base);
+  spec.name = std::string("mini_") + base;
+  spec.nodes = {4, 6, 8, 12, 16};
+  spec.ppns = {1, 4, 8};
+  spec.msizes = {16, 1024, 16384, 262144};
+  spec.budget = {.max_reps = 3, .budget_us = 1e6};
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(Integration, BcastPipelineBeatsDefaultOnHeldOutNodes) {
+  const bench::Dataset ds = bench::generate_dataset(mini_spec("d1", 7));
+  const std::vector<int> train = {4, 8, 16};
+  const std::vector<int> test = {6, 12};
+
+  const auto default_logic = bench::make_default_for(ds);
+  for (const std::string learner : {"knn", "gam", "xgboost"}) {
+    tune::Selector selector(tune::SelectorOptions{.learner = learner});
+    selector.fit(ds, train);
+    const tune::Evaluation eval =
+        tune::evaluate(ds, selector, *default_logic, test);
+    // The prediction must clearly beat the portable Open MPI thresholds
+    // and stay reasonably close to the exhaustive best.
+    EXPECT_GT(eval.summary.mean_speedup, 1.05) << learner;
+    EXPECT_LT(eval.summary.mean_norm_predicted, 2.0) << learner;
+    EXPECT_GE(eval.summary.mean_norm_default,
+              eval.summary.mean_norm_predicted)
+        << learner;
+  }
+}
+
+TEST(Integration, PredictionNeverWorseThanWorstMeasured) {
+  const bench::Dataset ds = bench::generate_dataset(mini_spec("d2", 8));
+  tune::Selector selector(tune::SelectorOptions{.learner = "gam"});
+  selector.fit(ds, {4, 8, 16});
+  for (const bench::Instance& inst : ds.instances()) {
+    const int uid = selector.select_uid(inst);
+    EXPECT_TRUE(ds.has(uid, inst));
+    // Selected time must be within the measured range for the instance.
+    double worst = 0.0;
+    for (const int u : ds.uids()) {
+      if (ds.has(u, inst)) worst = std::max(worst, ds.time_us(u, inst));
+    }
+    EXPECT_LE(ds.time_us(uid, inst), worst);
+  }
+}
+
+TEST(Integration, IntelTunedDefaultIsNearOptimalOnItsGrid) {
+  // The factory-table default evaluated on the very grid it was tuned on
+  // must be optimal there — and near-optimal between grid points.
+  const bench::Dataset ds = bench::generate_dataset(mini_spec("d5", 9));
+  const auto logic = bench::make_intel_default(ds, {4, 16});
+  for (const bench::Instance& inst : ds.instances()) {
+    if (inst.nodes != 4 && inst.nodes != 16) continue;
+    EXPECT_EQ(logic->select_uid(inst), ds.best(inst).uid)
+        << "n=" << inst.nodes << " ppn=" << inst.ppn
+        << " m=" << inst.msize;
+  }
+  double norm_sum = 0.0;
+  int count = 0;
+  for (const bench::Instance& inst : ds.instances()) {
+    const double t = ds.time_us(logic->select_uid(inst), inst);
+    norm_sum += t / ds.best(inst).time_us;
+    ++count;
+  }
+  EXPECT_LT(norm_sum / count, 1.6);  // close to best everywhere
+}
+
+TEST(Integration, TuningFileMatchesSelectorDecisions) {
+  const bench::Dataset ds = bench::generate_dataset(mini_spec("d1", 10));
+  tune::Selector selector(tune::SelectorOptions{.learner = "knn"});
+  selector.fit(ds, {4, 8, 16});
+  const tune::TuningConfig config = tune::build_tuning_config(
+      selector, ds.lib(), ds.collective(), 12, 8, ds.msizes());
+  const auto path = std::filesystem::temp_directory_path() /
+                    "mpicp_integration_tuning.conf";
+  tune::write_tuning_file(path, config);
+  const tune::TuningConfig loaded = tune::read_tuning_file(path);
+  for (const std::uint64_t m : ds.msizes()) {
+    EXPECT_EQ(loaded.uid_for(m), selector.select_uid({12, 8, m}));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Integration, CachedDatasetRoundTripsThroughGenerator) {
+  const auto dir = std::filesystem::temp_directory_path() / "mpicp_cache";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  bench::DatasetSpec spec = mini_spec("d4", 11);
+  spec.nodes = {4, 6};
+  spec.ppns = {1, 2};
+  spec.msizes = {64, 4096};
+  const bench::Dataset generated = bench::load_or_generate(spec, dir);
+  ASSERT_TRUE(std::filesystem::exists(dir / (spec.name + ".csv")));
+  const bench::Dataset reloaded = bench::load_or_generate(spec, dir);
+  ASSERT_EQ(generated.num_records(), reloaded.num_records());
+  for (const bench::Instance& inst : generated.instances()) {
+    for (const int uid : generated.uids()) {
+      EXPECT_DOUBLE_EQ(generated.time_us(uid, inst),
+                       reloaded.time_us(uid, inst));
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace mpicp

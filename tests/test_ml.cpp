@@ -1,0 +1,346 @@
+// Tests for the from-scratch ML library: linear algebra, metrics, trees,
+// gradient boosting, KNN, splines, GAM, random forest, CV utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/cv.hpp"
+#include "ml/forest.hpp"
+#include "ml/gam.hpp"
+#include "ml/gbt.hpp"
+#include "ml/knn.hpp"
+#include "ml/linreg.hpp"
+#include "ml/metrics.hpp"
+#include "ml/spline.hpp"
+#include "ml/tree.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace mpicp::ml {
+namespace {
+
+/// Synthetic runtime-like dataset: y = exp of a smooth function of two
+/// features, with optional multiplicative noise.
+struct Synth {
+  Matrix x;
+  std::vector<double> y;
+};
+
+Synth make_synth(std::size_t n, double noise_sigma, std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  Synth s;
+  s.x = Matrix(n, 2);
+  s.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform(0.0, 22.0);  // "log2 msize"
+    const double b = rng.uniform(1.0, 36.0);  // "nodes"
+    s.x(i, 0) = a;
+    s.x(i, 1) = b;
+    const double log_t =
+        0.1 * a + 0.03 * b + 0.5 * std::sin(a / 3.0) + 1.0;
+    s.y[i] = std::exp(log_t) *
+             (noise_sigma > 0.0 ? rng.lognormal_median(1.0, noise_sigma)
+                                : 1.0);
+  }
+  return s;
+}
+
+TEST(MatrixTest, GramAndSolve) {
+  Matrix x(3, 2);
+  x(0, 0) = 1;
+  x(0, 1) = 2;
+  x(1, 0) = 3;
+  x(1, 1) = 4;
+  x(2, 0) = 5;
+  x(2, 1) = 6;
+  const Matrix g = x.gram();
+  EXPECT_DOUBLE_EQ(g(0, 0), 35.0);
+  EXPECT_DOUBLE_EQ(g(0, 1), 44.0);
+  EXPECT_DOUBLE_EQ(g(1, 0), 44.0);
+  EXPECT_DOUBLE_EQ(g(1, 1), 56.0);
+
+  // Solve a small SPD system: A = [[4,1],[1,3]], b = [1,2].
+  Matrix a(2, 2);
+  a(0, 0) = 4;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  const auto sol = cholesky_solve(a, {1.0, 2.0});
+  EXPECT_NEAR(sol[0], 1.0 / 11.0, 1e-9);
+  EXPECT_NEAR(sol[1], 7.0 / 11.0, 1e-9);
+}
+
+TEST(MatrixTest, SolveRejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 5;
+  a(1, 0) = 5;
+  a(1, 1) = 1;  // indefinite
+  // Escalating jitter eventually regularizes it or throws; either way it
+  // must not return garbage silently for a wildly indefinite matrix.
+  EXPECT_NO_THROW({
+    const auto sol = cholesky_solve(a, {1.0, 1.0}, 1e-10);
+    (void)sol;
+  });
+}
+
+TEST(MetricsTest, Basics) {
+  const std::vector<double> t = {1, 2, 3};
+  const std::vector<double> p = {1, 2, 5};
+  EXPECT_NEAR(mae(t, p), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(rmse(t, p), std::sqrt(4.0 / 3.0), 1e-12);
+  EXPECT_NEAR(mape(t, p), (2.0 / 3.0) / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r2(t, t), 1.0);
+  EXPECT_LT(r2(t, p), 1.0);
+}
+
+TEST(BinnerTest, LosslessForFewDistinctValues) {
+  Matrix x(6, 1);
+  const double vals[] = {1, 1, 4, 4, 9, 9};
+  for (int i = 0; i < 6; ++i) x(i, 0) = vals[i];
+  const FeatureBinner binner(x);
+  EXPECT_EQ(binner.num_bins(0), 3);
+  EXPECT_EQ(binner.bin_of(0, 1), 0);
+  EXPECT_EQ(binner.bin_of(0, 4), 1);
+  EXPECT_EQ(binner.bin_of(0, 9), 2);
+  EXPECT_EQ(binner.bin_of(0, 100), 2);  // clamp right
+}
+
+TEST(TreeTest, FitsStepFunction) {
+  Matrix x(100, 1);
+  std::vector<GradPair> gh(100);
+  for (int i = 0; i < 100; ++i) {
+    x(i, 0) = i;
+    const double target = i < 50 ? 1.0 : 9.0;
+    gh[i] = {-target, 1.0};  // leaf = mean(target)
+  }
+  const FeatureBinner binner(x);
+  RegressionTree tree;
+  std::vector<int> rows(100);
+  for (int i = 0; i < 100; ++i) rows[i] = i;
+  TreeParams params;
+  params.lambda = 0.0;
+  tree.fit(binner, binner.encode(x), 1, gh, rows, params);
+  EXPECT_NEAR(tree.predict_one(std::vector<double>{10.0}), 1.0, 1e-6);
+  EXPECT_NEAR(tree.predict_one(std::vector<double>{90.0}), 9.0, 1e-6);
+  EXPECT_GE(tree.num_nodes(), 3);
+}
+
+TEST(GbtTest, TrainingLossDecreasesMonotonically) {
+  const Synth s = make_synth(400, 0.05, 1);
+  GradientBoostedTrees model;
+  model.fit(s.x, s.y);
+  const auto& loss = model.training_loss();
+  ASSERT_GE(loss.size(), 10u);
+  for (std::size_t i = 1; i < loss.size(); ++i) {
+    EXPECT_LE(loss[i], loss[i - 1] + 1e-9) << "round " << i;
+  }
+}
+
+class GbtObjectives : public ::testing::TestWithParam<GbtObjective> {};
+
+TEST_P(GbtObjectives, RecoversSmoothPositiveFunction) {
+  const Synth train = make_synth(800, 0.03, 2);
+  const Synth test = make_synth(200, 0.0, 3);
+  GbtParams params;
+  params.objective = GetParam();
+  GradientBoostedTrees model(params);
+  model.fit(train.x, train.y);
+  const auto pred = model.predict(test.x);
+  EXPECT_LT(mape(test.y, pred), 0.15);
+  for (const double p : pred) EXPECT_GT(p, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Objectives, GbtObjectives,
+                         ::testing::Values(GbtObjective::kSquared,
+                                           GbtObjective::kGamma,
+                                           GbtObjective::kTweedie));
+
+TEST(GbtTest, FeatureImportanceFindsTheDominantFeature) {
+  // y depends strongly on feature 0 and not at all on feature 1 — the
+  // gain importance must reflect that (the paper's observation that
+  // message size dominates).
+  support::Xoshiro256 rng(42);
+  Matrix x(500, 2);
+  std::vector<double> y(500);
+  for (int i = 0; i < 500; ++i) {
+    x(i, 0) = rng.uniform(0.0, 10.0);
+    x(i, 1) = rng.uniform(0.0, 10.0);
+    y[i] = std::exp(0.5 * x(i, 0));
+  }
+  GradientBoostedTrees model;
+  model.fit(x, y);
+  const auto imp = model.feature_importance();
+  ASSERT_EQ(imp.size(), 2u);
+  EXPECT_NEAR(imp[0] + imp[1], 1.0, 1e-9);
+  EXPECT_GT(imp[0], 0.95);
+}
+
+TEST(GbtTest, RejectsNonPositiveTargetsForLogLink) {
+  Matrix x(2, 1);
+  x(1, 0) = 1;
+  GradientBoostedTrees model;
+  EXPECT_THROW(model.fit(x, std::vector<double>{1.0, -1.0}), Error);
+}
+
+TEST(KnnTest, ExactOnTrainingPointsForK1) {
+  const Synth s = make_synth(200, 0.0, 4);
+  KnnParams params;
+  params.k = 1;
+  KnnRegressor model(params);
+  model.fit(s.x, s.y);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_NEAR(model.predict_one(s.x.row(i)), s.y[i], 1e-9);
+  }
+}
+
+TEST(KnnTest, KdTreeMatchesBruteForce) {
+  const Synth s = make_synth(500, 0.1, 5);
+  KnnParams kd;
+  kd.use_kdtree = true;
+  KnnParams brute;
+  brute.use_kdtree = false;
+  KnnRegressor a(kd);
+  KnnRegressor b(brute);
+  a.fit(s.x, s.y);
+  b.fit(s.x, s.y);
+  support::Xoshiro256 rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<double> q = {rng.uniform(-1.0, 23.0),
+                                   rng.uniform(0.0, 40.0)};
+    EXPECT_NEAR(a.predict_one(q), b.predict_one(q), 1e-9);
+  }
+}
+
+TEST(KnnTest, GeneralizesSmoothFunction) {
+  const Synth train = make_synth(1000, 0.03, 7);
+  const Synth test = make_synth(100, 0.0, 8);
+  KnnRegressor model;
+  model.fit(train.x, train.y);
+  const auto pred = model.predict(test.x);
+  EXPECT_LT(mape(test.y, pred), 0.2);
+}
+
+TEST(SplineTest, PartitionOfUnity) {
+  const BSplineBasis basis(0.0, 10.0, 8);
+  for (double x = 0.0; x <= 10.0; x += 0.173) {
+    const auto b = basis.evaluate(x);
+    double sum = 0.0;
+    for (const double v : b) {
+      EXPECT_GE(v, -1e-12);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "x=" << x;
+  }
+}
+
+TEST(SplineTest, PenaltyVanishesForLinearCoefficients) {
+  const BSplineBasis basis(0.0, 1.0, 6);
+  const Matrix pen = basis.penalty();
+  // beta linear in index -> second differences zero -> beta' S beta = 0.
+  double quad = 0.0;
+  for (int a = 0; a < 6; ++a) {
+    for (int b = 0; b < 6; ++b) {
+      quad += (2.0 * a + 1.0) * pen(a, b) * (2.0 * b + 1.0);
+    }
+  }
+  EXPECT_NEAR(quad, 0.0, 1e-9);
+}
+
+TEST(GamTest, FitsMultiplicativeSurface) {
+  const Synth train = make_synth(800, 0.03, 9);
+  const Synth test = make_synth(200, 0.0, 10);
+  GamRegressor model;
+  model.fit(train.x, train.y);
+  const auto pred = model.predict(test.x);
+  EXPECT_LT(mape(test.y, pred), 0.12);
+  for (const double p : pred) EXPECT_GT(p, 0.0);
+  EXPECT_GE(model.iterations_used(), 1);
+}
+
+TEST(GamTest, RejectsNonPositiveTargets) {
+  Matrix x(3, 1);
+  GamRegressor model;
+  EXPECT_THROW(model.fit(x, std::vector<double>{1.0, 0.0, 2.0}), Error);
+}
+
+TEST(ForestTest, FitsAndIsDeterministic) {
+  const Synth train = make_synth(500, 0.05, 11);
+  const Synth test = make_synth(100, 0.0, 12);
+  RandomForest a;
+  RandomForest b;
+  a.fit(train.x, train.y);
+  b.fit(train.x, train.y);
+  const auto pa = a.predict(test.x);
+  const auto pb = b.predict(test.x);
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pa[i], pb[i]);
+  }
+  EXPECT_LT(mape(test.y, pa), 0.2);
+}
+
+TEST(LinearTest, RecoversLogLinearModel) {
+  support::Xoshiro256 rng(13);
+  Matrix x(300, 2);
+  std::vector<double> y(300);
+  for (int i = 0; i < 300; ++i) {
+    x(i, 0) = rng.uniform(0.0, 10.0);
+    x(i, 1) = rng.uniform(0.0, 5.0);
+    y[i] = std::exp(0.5 + 0.2 * x(i, 0) - 0.1 * x(i, 1));
+  }
+  LinearRegressor model;
+  model.fit(x, y);
+  EXPECT_NEAR(model.coefficients()[0], 0.5, 1e-6);
+  EXPECT_NEAR(model.coefficients()[1], 0.2, 1e-6);
+  EXPECT_NEAR(model.coefficients()[2], -0.1, 1e-6);
+}
+
+TEST(LinearTest, CannotFitNonlinearSurfaceWellButGbtCan) {
+  // The paper's observation: linear regression fails on these surfaces.
+  const Synth train = make_synth(800, 0.0, 14);
+  const Synth test = make_synth(200, 0.0, 15);
+  LinearRegressor lin;
+  lin.fit(train.x, train.y);
+  GradientBoostedTrees gbt;
+  gbt.fit(train.x, train.y);
+  const double lin_err = mape(test.y, lin.predict(test.x));
+  const double gbt_err = mape(test.y, gbt.predict(test.x));
+  EXPECT_LT(gbt_err, lin_err);
+}
+
+TEST(CvTest, SplitsPartition) {
+  const Split s = holdout_split(100, 0.2, 1);
+  EXPECT_EQ(s.train.size() + s.test.size(), 100u);
+  EXPECT_EQ(s.test.size(), 20u);
+
+  const auto folds = kfold_splits(30, 3, 2);
+  ASSERT_EQ(folds.size(), 3u);
+  std::vector<int> seen(30, 0);
+  for (const Split& f : folds) {
+    EXPECT_EQ(f.train.size() + f.test.size(), 30u);
+    for (const std::size_t i : f.test) ++seen[i];
+  }
+  for (const int c : seen) EXPECT_EQ(c, 1);  // each row in one test fold
+}
+
+TEST(CvTest, KfoldRmseRuns) {
+  const Synth s = make_synth(200, 0.05, 16);
+  const double err = kfold_rmse("knn", s.x, s.y, 4, 3);
+  EXPECT_GT(err, 0.0);
+  EXPECT_LT(err, 10.0);
+}
+
+TEST(FactoryTest, AllLearnersConstructAndFit) {
+  const Synth s = make_synth(150, 0.05, 17);
+  for (const char* name : kLearnerNames) {
+    auto model = make_regressor(name);
+    model->fit(s.x, s.y);
+    const double p = model->predict_one(s.x.row(0));
+    EXPECT_GT(p, 0.0) << name;
+    EXPECT_TRUE(std::isfinite(p)) << name;
+  }
+  EXPECT_THROW(make_regressor("nope"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mpicp::ml

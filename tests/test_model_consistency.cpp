@@ -1,0 +1,131 @@
+// Cross-cutting consistency properties of the simulation stack:
+// tracking vs. fast-mode timing equivalence, rotation invariances,
+// noise/runner reproducibility across generation orders, and default
+// decision-logic sanity across the whole instance space.
+#include <gtest/gtest.h>
+
+#include "simmpi/coll/alltoall.hpp"
+#include "simmpi/coll/bcast.hpp"
+#include "simmpi/coll/datainit.hpp"
+#include "simmpi/coll/decision.hpp"
+#include "simmpi/coll/registry.hpp"
+#include "simmpi/executor.hpp"
+#include "simnet/machine.hpp"
+
+namespace mpicp::sim {
+namespace {
+
+TEST(Consistency, TrackingModeDoesNotChangeTimings) {
+  // Data tracking must be an observer: for algorithms whose program is
+  // identical in both modes, the makespan must match bit-for-bit.
+  const Comm comm(4, 3);
+  MachineDesc desc = hydra_machine();
+  for (const auto& cfg :
+       algorithm_configs(MpiLib::kOpenMPI, Collective::kBcast)) {
+    Network net(desc, 4, 3);
+    Executor exec(net);
+    auto fast = build_algorithm(MpiLib::kOpenMPI, Collective::kBcast, cfg,
+                                comm, 32768, 0, false);
+    const double t_fast = exec.run(fast.programs).makespan_us;
+    auto tracked = build_algorithm(MpiLib::kOpenMPI, Collective::kBcast,
+                                   cfg, comm, 32768, 0, true);
+    DataStore store = make_initial_store(Collective::kBcast, comm.size(),
+                                         tracked.blocks_per_rank, 0);
+    const double t_tracked = exec.run(tracked.programs, &store).makespan_us;
+    EXPECT_DOUBLE_EQ(t_fast, t_tracked) << cfg.label();
+  }
+}
+
+TEST(Consistency, BruckFastModeMatchesTrackingModeBytes) {
+  // Bruck's packed fast-mode program moves the same byte volume through
+  // the same round structure as the per-block tracking program, so the
+  // makespans must agree within the per-message overhead difference.
+  const Comm comm(6, 2);
+  MachineDesc desc = hydra_machine();
+  for (const int radix : {2, 4}) {
+    for (const std::uint64_t m : {64ull, 2048ull}) {
+      Network net(desc, 6, 2);
+      Executor exec(net);
+      auto fast = alltoall_bruck(comm, m, radix, false);
+      auto tracked = alltoall_bruck(comm, m, radix, true);
+      const double t_fast = exec.run(fast.programs).makespan_us;
+      const double t_tracked = exec.run(tracked.programs).makespan_us;
+      // Tracking sends each block separately: more per-message latency,
+      // same bytes. Expect same order of magnitude, fast <= tracked * 2.
+      EXPECT_LE(t_fast, t_tracked * 2.0) << "radix " << radix;
+      EXPECT_GE(t_fast, t_tracked * 0.2) << "radix " << radix;
+    }
+  }
+}
+
+TEST(Consistency, BcastCostIndependentOfRootUpToRotation) {
+  // With uniform placement (ppn = 1), the rotated binomial broadcast
+  // must cost exactly the same for every root.
+  const Comm comm(9, 1);
+  MachineDesc desc = hydra_machine();
+  double t0 = -1.0;
+  for (int root = 0; root < comm.size(); ++root) {
+    Network net(desc, 9, 1);
+    Executor exec(net);
+    auto built = bcast_binomial(comm, 4096, 0, root);
+    const double t = exec.run(built.programs).makespan_us;
+    if (t0 < 0.0) {
+      t0 = t;
+    } else {
+      EXPECT_DOUBLE_EQ(t, t0) << "root " << root;
+    }
+  }
+}
+
+TEST(Consistency, DefaultLogicAgreesWithRegistryParameters) {
+  // Every uid returned by the fixed rules must carry the parameters the
+  // rule intended (catches registry renumbering regressions).
+  const int uid_small = openmpi_default_uid(Collective::kBcast, 64, 128);
+  const auto& cfg_small =
+      config_by_uid(MpiLib::kOpenMPI, Collective::kBcast, uid_small);
+  EXPECT_EQ(cfg_small.name, "binomial");
+  EXPECT_EQ(cfg_small.seg_bytes, 0u);
+
+  const int uid_large =
+      openmpi_default_uid(Collective::kBcast, 32, 8u << 20);
+  const auto& cfg_large =
+      config_by_uid(MpiLib::kOpenMPI, Collective::kBcast, uid_large);
+  EXPECT_EQ(cfg_large.name, "pipeline");
+  EXPECT_EQ(cfg_large.seg_bytes, 128u * 1024);
+
+  const int uid_huge_comm =
+      openmpi_default_uid(Collective::kBcast, 512, 8u << 20);
+  EXPECT_EQ(config_by_uid(MpiLib::kOpenMPI, Collective::kBcast,
+                          uid_huge_comm)
+                .name,
+            "chain");
+}
+
+TEST(Consistency, UidsAreContiguousAndStable) {
+  for (const auto lib : {MpiLib::kOpenMPI, MpiLib::kIntelMPI}) {
+    for (const auto coll : {Collective::kBcast, Collective::kAllreduce,
+                            Collective::kAlltoall}) {
+      const auto& configs = algorithm_configs(lib, coll);
+      for (std::size_t i = 0; i < configs.size(); ++i) {
+        EXPECT_EQ(configs[i].uid, static_cast<int>(i) + 1);
+        EXPECT_EQ(&config_by_uid(lib, coll, configs[i].uid), &configs[i]);
+      }
+    }
+  }
+  // Table II column sanity: the library algorithm counts the paper
+  // reports for the suites we model.
+  EXPECT_EQ(num_library_algorithms(MpiLib::kOpenMPI, Collective::kBcast),
+            9);
+  EXPECT_EQ(
+      num_library_algorithms(MpiLib::kOpenMPI, Collective::kAllreduce), 7);
+  EXPECT_EQ(num_library_algorithms(MpiLib::kIntelMPI, Collective::kBcast),
+            12);
+  EXPECT_EQ(
+      num_library_algorithms(MpiLib::kIntelMPI, Collective::kAllreduce),
+      16);
+  EXPECT_EQ(
+      num_library_algorithms(MpiLib::kIntelMPI, Collective::kAlltoall), 5);
+}
+
+}  // namespace
+}  // namespace mpicp::sim

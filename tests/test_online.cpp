@@ -1,0 +1,81 @@
+// Tests for the STAR-MPI-style online selector extension.
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+#include "tune/online.hpp"
+
+namespace mpicp::tune {
+namespace {
+
+const bench::Instance kInst{8, 4, 1024};
+const bench::Instance kOther{16, 4, 1024};
+
+TEST(Online, ExploresEveryCandidateBeforeCommitting) {
+  OnlineSelector sel({.candidate_uids = {1, 2, 3},
+                      .probes_per_algorithm = 2});
+  std::map<int, int> seen;
+  for (int call = 0; call < 6; ++call) {
+    EXPECT_FALSE(sel.converged(kInst));
+    const int uid = sel.next_uid(kInst);
+    ++seen[uid];
+    sel.record(kInst, uid, 10.0 + uid);
+  }
+  EXPECT_TRUE(sel.converged(kInst));
+  for (const int uid : {1, 2, 3}) EXPECT_EQ(seen[uid], 2);
+}
+
+TEST(Online, CommitsToEmpiricallyBest) {
+  OnlineSelector sel({.candidate_uids = {1, 2, 3},
+                      .probes_per_algorithm = 3});
+  support::Xoshiro256 rng(5);
+  for (int call = 0; call < 9; ++call) {
+    const int uid = sel.next_uid(kInst);
+    const double base = uid == 2 ? 5.0 : 20.0;  // uid 2 is best
+    sel.record(kInst, uid, rng.lognormal_median(base, 0.05));
+  }
+  EXPECT_EQ(sel.next_uid(kInst), 2);
+  EXPECT_EQ(sel.current_best(kInst), 2);
+  // After convergence the choice stays fixed.
+  for (int call = 0; call < 20; ++call) {
+    EXPECT_EQ(sel.next_uid(kInst), 2);
+  }
+}
+
+TEST(Online, InstancesAreIndependent) {
+  OnlineSelector sel({.candidate_uids = {1, 2},
+                      .probes_per_algorithm = 1});
+  sel.record(kInst, 1, 1.0);
+  sel.record(kInst, 2, 2.0);
+  EXPECT_TRUE(sel.converged(kInst));
+  EXPECT_FALSE(sel.converged(kOther));
+  sel.record(kOther, 1, 9.0);
+  sel.record(kOther, 2, 3.0);
+  EXPECT_EQ(sel.current_best(kInst), 1);
+  EXPECT_EQ(sel.current_best(kOther), 2);
+}
+
+TEST(Online, RejectsBadInput) {
+  EXPECT_THROW(OnlineSelector({.candidate_uids = {}}), Error);
+  OnlineSelector sel({.candidate_uids = {1}});
+  EXPECT_THROW(sel.record(kInst, 1, -1.0), Error);
+  EXPECT_THROW(sel.current_best(kOther), Error);
+}
+
+TEST(Online, MedianCommitIsRobustToOneStraggler) {
+  OnlineSelector sel({.candidate_uids = {1, 2},
+                      .probes_per_algorithm = 3});
+  // uid 1 is truly faster but one probe hits a 100x straggler; the
+  // median commit must still pick it.
+  const double times1[] = {10.0, 1000.0, 10.0};
+  const double times2[] = {20.0, 20.0, 20.0};
+  int i1 = 0;
+  int i2 = 0;
+  while (!sel.converged(kInst)) {
+    const int uid = sel.next_uid(kInst);
+    sel.record(kInst, uid, uid == 1 ? times1[i1++] : times2[i2++]);
+  }
+  EXPECT_EQ(sel.next_uid(kInst), 1);
+}
+
+}  // namespace
+}  // namespace mpicp::tune

@@ -1,0 +1,134 @@
+// Tests for the rank placement policies (SLURM block vs. cyclic):
+// mapping arithmetic, semantic correctness of every algorithm under
+// cyclic placement, and the expected performance signatures.
+#include <gtest/gtest.h>
+
+#include "simmpi/coll/datainit.hpp"
+#include "simmpi/coll/registry.hpp"
+#include "simmpi/executor.hpp"
+#include "simnet/machine.hpp"
+
+namespace mpicp::sim {
+namespace {
+
+TEST(Placement, MappingArithmetic) {
+  const Comm block(4, 3, Placement::kBlock);
+  EXPECT_EQ(block.node_of(0), 0);
+  EXPECT_EQ(block.node_of(5), 1);
+  EXPECT_EQ(block.local_of(5), 2);
+  EXPECT_EQ(block.rank_of(1, 2), 5);
+  EXPECT_EQ(block.leader_of_node(2), 6);
+
+  const Comm cyclic(4, 3, Placement::kCyclic);
+  EXPECT_EQ(cyclic.node_of(0), 0);
+  EXPECT_EQ(cyclic.node_of(5), 1);
+  EXPECT_EQ(cyclic.local_of(5), 1);
+  EXPECT_EQ(cyclic.rank_of(1, 1), 5);
+  EXPECT_EQ(cyclic.leader_of_node(2), 2);
+
+  // rank_of is the inverse of (node_of, local_of) in both placements.
+  for (const auto& comm : {block, cyclic}) {
+    for (int r = 0; r < comm.size(); ++r) {
+      EXPECT_EQ(comm.rank_of(comm.node_of(r), comm.local_of(r)), r);
+    }
+  }
+}
+
+TEST(Placement, NetworkAndCommAgree) {
+  const MachineDesc desc = hydra_machine();
+  for (const Placement pl : {Placement::kBlock, Placement::kCyclic}) {
+    Network net(desc, 5, 4, pl);
+    const Comm comm(5, 4, pl);
+    for (int r = 0; r < comm.size(); ++r) {
+      EXPECT_EQ(net.node_of(r), comm.node_of(r));
+    }
+  }
+}
+
+class CyclicSemantics
+    : public ::testing::TestWithParam<std::pair<MpiLib, Collective>> {};
+
+TEST_P(CyclicSemantics, EveryUidCorrectUnderCyclicPlacement) {
+  const auto [lib, coll] = GetParam();
+  const int nodes = 5;
+  const int ppn = 3;
+  const Comm comm(nodes, ppn, Placement::kCyclic);
+  MachineDesc desc = hydra_machine();
+  Network net(desc, nodes, ppn, Placement::kCyclic);
+  Executor exec(net);
+  for (const AlgoConfig& cfg : algorithm_configs(lib, coll)) {
+    for (const std::size_t m : {64ull, 40000ull}) {
+      BuiltCollective built =
+          build_algorithm(lib, coll, cfg, comm, m, 0, true);
+      DataStore store =
+          make_initial_store(coll, comm.size(), built.blocks_per_rank, 0);
+      exec.run(built.programs, &store);
+      EXPECT_EQ(validate_store(coll, store, comm.size(), 0), "")
+          << to_string(lib) << "/" << to_string(coll) << " uid=" << cfg.uid
+          << " m=" << m;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CyclicSemantics,
+    ::testing::Values(
+        std::pair{MpiLib::kOpenMPI, Collective::kBcast},
+        std::pair{MpiLib::kOpenMPI, Collective::kAllreduce},
+        std::pair{MpiLib::kIntelMPI, Collective::kBcast},
+        std::pair{MpiLib::kIntelMPI, Collective::kAllreduce},
+        std::pair{MpiLib::kIntelMPI, Collective::kAlltoall}));
+
+TEST(Placement, CyclicHurtsNeighborAlgorithms) {
+  // A pipeline chain visits consecutive ranks; under block placement
+  // most hops are intra-node, under cyclic placement every hop crosses
+  // the fabric — the chain must get slower, noticeably.
+  const MachineDesc desc = hydra_machine();
+  const auto run_pl = [&](Placement pl) {
+    Network net(desc, 6, 8, pl);
+    Executor exec(net);
+    const Comm comm(6, 8, pl);
+    const auto& configs =
+        algorithm_configs(MpiLib::kOpenMPI, Collective::kBcast);
+    for (const auto& cfg : configs) {
+      if (cfg.name == "pipeline" && cfg.seg_bytes == 65536) {
+        auto built = build_algorithm(MpiLib::kOpenMPI, Collective::kBcast,
+                                     cfg, comm, 1u << 20, 0, false);
+        return exec.run(built.programs).makespan_us;
+      }
+    }
+    throw std::runtime_error("config not found");
+  };
+  const double t_block = run_pl(Placement::kBlock);
+  const double t_cyclic = run_pl(Placement::kCyclic);
+  EXPECT_GT(t_cyclic, 1.2 * t_block);
+}
+
+TEST(Placement, HierarchicalAlgorithmsStayTopologyAwareUnderCyclic) {
+  // The two-level allreduce adapts its leader set to the placement, so
+  // its inter-node traffic stays one-message-per-node in both modes;
+  // its runtime must not blow up under cyclic placement the way
+  // placement-oblivious neighbor algorithms do.
+  const MachineDesc desc = hydra_machine();
+  const auto run_pl = [&](Placement pl, const char* name) {
+    Network net(desc, 6, 8, pl);
+    Executor exec(net);
+    const Comm comm(6, 8, pl);
+    for (const auto& cfg :
+         algorithm_configs(MpiLib::kIntelMPI, Collective::kAllreduce)) {
+      if (cfg.name == name) {
+        auto built =
+            build_algorithm(MpiLib::kIntelMPI, Collective::kAllreduce, cfg,
+                            comm, 1u << 20, 0, false);
+        return exec.run(built.programs).makespan_us;
+      }
+    }
+    throw std::runtime_error("config not found");
+  };
+  const double hier_block = run_pl(Placement::kBlock, "topo_recdbl");
+  const double hier_cyclic = run_pl(Placement::kCyclic, "topo_recdbl");
+  EXPECT_LT(hier_cyclic, 2.0 * hier_block);
+}
+
+}  // namespace
+}  // namespace mpicp::sim

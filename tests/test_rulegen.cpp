@@ -1,0 +1,97 @@
+// Tests for decision-rule encoding and the guideline checker.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "collbench/guidelines.hpp"
+#include "simnet/machine.hpp"
+#include "tune/rulegen.hpp"
+
+namespace mpicp::tune {
+namespace {
+
+std::vector<LabeledInstance> threshold_labels() {
+  // Ground truth: uid 1 below 4 KiB, uid 2 from 4 KiB on, except at
+  // ppn 1 where uid 3 always wins.
+  std::vector<LabeledInstance> points;
+  for (const int n : {2, 4, 8, 16}) {
+    for (const int ppn : {1, 4, 8}) {
+      for (const std::uint64_t m : {64u, 1024u, 8192u, 131072u}) {
+        int uid = m < 4096 ? 1 : 2;
+        if (ppn == 1) uid = 3;
+        points.push_back({{n, ppn, m}, uid});
+      }
+    }
+  }
+  return points;
+}
+
+TEST(Rulegen, PerfectlySeparableGridIsLearnedExactly) {
+  const auto points = threshold_labels();
+  const DecisionRules rules = DecisionRules::fit(points, {.max_depth = 6});
+  EXPECT_DOUBLE_EQ(rules.agreement(points), 1.0);
+  // Generalization inside the boxes.
+  EXPECT_EQ(rules.uid_for({6, 6, 100}), 1);
+  EXPECT_EQ(rules.uid_for({6, 6, 1u << 20}), 2);
+  EXPECT_EQ(rules.uid_for({6, 1, 100}), 3);
+}
+
+TEST(Rulegen, DepthCapTradesAccuracyForSize) {
+  const auto points = threshold_labels();
+  const DecisionRules shallow =
+      DecisionRules::fit(points, {.max_depth = 1});
+  const DecisionRules deep = DecisionRules::fit(points, {.max_depth = 8});
+  EXPECT_LE(shallow.num_leaves(), 2);
+  EXPECT_GE(deep.agreement(points), shallow.agreement(points));
+}
+
+TEST(Rulegen, PureGridYieldsSingleLeaf) {
+  std::vector<LabeledInstance> points;
+  for (const int n : {2, 4}) points.push_back({{n, 1, 64}, 7});
+  const DecisionRules rules = DecisionRules::fit(points);
+  EXPECT_EQ(rules.num_leaves(), 1);
+  EXPECT_EQ(rules.uid_for({32, 32, 1u << 22}), 7);
+}
+
+TEST(Rulegen, CCodeContainsAllLeafUids) {
+  const auto points = threshold_labels();
+  const DecisionRules rules = DecisionRules::fit(points, {.max_depth = 6});
+  const std::string code = rules.to_c_code("select_algo");
+  EXPECT_NE(code.find("int select_algo"), std::string::npos);
+  EXPECT_NE(code.find("return 1;"), std::string::npos);
+  EXPECT_NE(code.find("return 2;"), std::string::npos);
+  EXPECT_NE(code.find("return 3;"), std::string::npos);
+  EXPECT_NE(code.find("msize <"), std::string::npos);
+  EXPECT_NE(code.find("ppn <"), std::string::npos);
+}
+
+TEST(Rulegen, RejectsEmptyGrid) {
+  EXPECT_THROW(DecisionRules::fit({}), Error);
+}
+
+TEST(Guidelines, ChecksRunAndReportFiniteRatios) {
+  const auto results = bench::check_guidelines(
+      sim::hydra_machine(), 4, 4, {64, 16384, 1048576});
+  EXPECT_EQ(results.size(), 5u * 3u);  // five guidelines, three sizes
+  for (const auto& r : results) {
+    EXPECT_GT(r.lhs_us, 0.0) << r.guideline;
+    EXPECT_GT(r.rhs_us, 0.0) << r.guideline;
+    EXPECT_TRUE(std::isfinite(r.factor));
+    EXPECT_EQ(r.violated, r.lhs_us > r.rhs_us * 1.10);
+  }
+}
+
+TEST(Guidelines, GatherNeverLosesToAllgatherBadly) {
+  // Structural sanity: gather moves strictly less data than allgather,
+  // so the default gather must not lose by an order of magnitude.
+  const auto results = bench::check_guidelines(
+      sim::hydra_machine(), 8, 4, {1024, 262144});
+  for (const auto& r : results) {
+    if (r.guideline == "Gather <= Allgather") {
+      EXPECT_LT(r.factor, 10.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpicp::tune

@@ -1,0 +1,108 @@
+// Unit tests for the machine model and the resource-tracking network.
+#include <gtest/gtest.h>
+
+#include "simnet/machine.hpp"
+#include "simnet/network.hpp"
+#include "support/error.hpp"
+
+namespace mpicp::sim {
+namespace {
+
+TEST(Machine, PresetsExist) {
+  for (const char* name : {"Hydra", "Jupiter", "SuperMUC-NG"}) {
+    const MachineDesc m = machine_by_name(name);
+    EXPECT_EQ(m.name, name);
+    EXPECT_GE(m.max_nodes, 1);
+    EXPECT_GE(m.max_ppn, 1);
+    EXPECT_GT(m.inter.gap_per_byte_us, 0.0);
+  }
+  EXPECT_THROW(machine_by_name("nope"), InvalidArgument);
+}
+
+TEST(Machine, HydraFasterFabricThanJupiter) {
+  // Table I: Hydra (dual-rail OmniPath) has about twice Jupiter's
+  // bandwidth (and more, per rail count).
+  const MachineDesc h = hydra_machine();
+  const MachineDesc j = jupiter_machine();
+  EXPECT_LT(h.inter.gap_per_byte_us / h.rails,
+            j.inter.gap_per_byte_us / j.rails);
+  EXPECT_LT(h.inter.latency_us, j.inter.latency_us);
+}
+
+TEST(Network, PlacementIsBlockOrder) {
+  Network net(hydra_machine(), 4, 8);
+  EXPECT_EQ(net.num_ranks(), 32);
+  EXPECT_EQ(net.node_of(0), 0);
+  EXPECT_EQ(net.node_of(7), 0);
+  EXPECT_EQ(net.node_of(8), 1);
+  EXPECT_TRUE(net.same_node(16, 23));
+  EXPECT_FALSE(net.same_node(7, 8));
+}
+
+TEST(Network, IntraFasterThanInterForSmallMessages) {
+  Network net(hydra_machine(), 2, 2);
+  const Transfer intra = net.schedule_transfer(0, 1, 64, 0.0);
+  net.reset();
+  const Transfer inter = net.schedule_transfer(0, 2, 64, 0.0);
+  EXPECT_LT(intra.arrival_us, inter.arrival_us);
+}
+
+TEST(Network, TransferRespectsReadyTime) {
+  Network net(hydra_machine(), 2, 1);
+  const Transfer t = net.schedule_transfer(0, 1, 1024, 5.0);
+  EXPECT_GE(t.start_us, 5.0);
+  EXPECT_GT(t.arrival_us, t.start_us);
+}
+
+TEST(Network, NicSerializesConcurrentTransfers) {
+  // Many simultaneous sends out of one node must queue on its rails:
+  // the k-th transfer starts no earlier than (k / rails) occupancies in.
+  const MachineDesc desc = hydra_machine();
+  Network net(desc, 9, 1);
+  const std::size_t bytes = 65536;
+  std::vector<double> starts;
+  for (int dst = 1; dst <= 8; ++dst) {
+    starts.push_back(net.schedule_transfer(0, dst, bytes, 0.0).start_us);
+  }
+  const double occ = desc.inter.occupancy_us(bytes);
+  // With 2 rails, transfers 0 and 1 start immediately, 2 and 3 after one
+  // occupancy, etc.
+  EXPECT_DOUBLE_EQ(starts[0], 0.0);
+  EXPECT_DOUBLE_EQ(starts[1], 0.0);
+  EXPECT_NEAR(starts[2], occ, 1e-9);
+  EXPECT_NEAR(starts[7], 3 * occ, 1e-9);
+}
+
+TEST(Network, ByteCostScalesLinearly) {
+  Network net(jupiter_machine(), 2, 1);
+  const Transfer small = net.schedule_transfer(0, 1, 1000, 0.0);
+  net.reset();
+  const Transfer big = net.schedule_transfer(0, 1, 1001000, 0.0);
+  const double dur_small = small.arrival_us - small.start_us;
+  const double dur_big = big.arrival_us - big.start_us;
+  EXPECT_NEAR(dur_big - dur_small,
+              1e6 * jupiter_machine().inter.gap_per_byte_us, 1e-6);
+}
+
+TEST(Network, ResetClearsResourceState) {
+  Network net(hydra_machine(), 2, 1);
+  for (int i = 0; i < 10; ++i) net.schedule_transfer(0, 1, 1 << 20, 0.0);
+  net.reset();
+  const Transfer t = net.schedule_transfer(0, 1, 64, 0.0);
+  EXPECT_DOUBLE_EQ(t.start_us, 0.0);
+}
+
+TEST(Network, SelfTransferHasNoContention) {
+  Network net(hydra_machine(), 1, 2);
+  const Transfer a = net.schedule_transfer(0, 0, 4096, 0.0);
+  const Transfer b = net.schedule_transfer(0, 0, 4096, 0.0);
+  EXPECT_DOUBLE_EQ(a.start_us, b.start_us);
+}
+
+TEST(Network, RejectsOversizedAllocations) {
+  EXPECT_THROW(Network(jupiter_machine(), 99, 1), InvalidArgument);
+  EXPECT_THROW(Network(jupiter_machine(), 1, 99), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mpicp::sim

@@ -1,0 +1,134 @@
+// Unit and property tests for the tree topologies and segmentation.
+#include <gtest/gtest.h>
+
+#include "simmpi/coll/pipeline.hpp"
+#include "simmpi/coll/trees.hpp"
+#include "simmpi/coll/types.hpp"
+
+namespace mpicp::sim {
+namespace {
+
+class TreeSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeSizes, AllConstructionsAreValidTrees) {
+  const int p = GetParam();
+  EXPECT_TRUE(is_valid_tree(binomial_tree(p))) << "binomial p=" << p;
+  EXPECT_TRUE(is_valid_tree(binary_tree(p))) << "binary p=" << p;
+  EXPECT_TRUE(is_valid_tree(flat_tree(p))) << "flat p=" << p;
+  for (const int radix : {2, 3, 4, 8}) {
+    EXPECT_TRUE(is_valid_tree(knomial_tree(p, radix)))
+        << "knomial r=" << radix << " p=" << p;
+  }
+  for (const int chains : {1, 2, 3, 4, 8, 16}) {
+    EXPECT_TRUE(is_valid_tree(chain_tree(p, chains)))
+        << "chain c=" << chains << " p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TreeSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16, 17,
+                                           31, 32, 33, 64, 100, 255, 1024));
+
+TEST(Trees, BinomialSubtreesAreContiguous) {
+  // emit_binomial_scatter relies on subtree(v) == vranks [v, v+size).
+  for (const int p : {2, 5, 8, 13, 33, 100}) {
+    const Tree t = binomial_tree(p);
+    for (int v = 0; v < p; ++v) {
+      for (const int c : t[v].children) {
+        // Child subtree must fit inside the parent's range.
+        EXPECT_GE(c, v);
+        EXPECT_LE(c + t[c].subtree_size, v + t[v].subtree_size);
+      }
+    }
+  }
+}
+
+TEST(Trees, KnomialRadix2MatchesBinomial) {
+  for (const int p : {1, 2, 7, 16, 33}) {
+    const Tree a = binomial_tree(p);
+    const Tree b = knomial_tree(p, 2);
+    for (int v = 0; v < p; ++v) {
+      EXPECT_EQ(a[v].parent, b[v].parent) << "p=" << p << " v=" << v;
+      EXPECT_EQ(a[v].subtree_size, b[v].subtree_size);
+    }
+  }
+}
+
+TEST(Trees, BinomialDepthIsLogarithmic) {
+  const Tree t = binomial_tree(1024);
+  for (int v = 0; v < 1024; ++v) {
+    int depth = 0;
+    for (int cur = v; cur != 0; cur = t[cur].parent) ++depth;
+    EXPECT_LE(depth, 10);
+  }
+}
+
+TEST(Trees, ChainHasRequestedChains) {
+  const Tree t = chain_tree(17, 4);
+  EXPECT_EQ(t[0].children.size(), 4u);
+  // Chain members have at most one child each.
+  for (int v = 1; v < 17; ++v) EXPECT_LE(t[v].children.size(), 1u);
+}
+
+TEST(Trees, ChainClampsToAvailableMembers) {
+  const Tree t = chain_tree(3, 16);
+  EXPECT_EQ(t[0].children.size(), 2u);
+  EXPECT_TRUE(is_valid_tree(t));
+}
+
+TEST(Trees, FlatTreeDepthOne) {
+  const Tree t = flat_tree(9);
+  EXPECT_EQ(t[0].children.size(), 8u);
+  for (int v = 1; v < 9; ++v) EXPECT_EQ(t[v].parent, 0);
+}
+
+TEST(Segmentation, Unsegmented) {
+  const Segmentation s = make_segmentation(1000, 0);
+  EXPECT_EQ(s.nseg, 1u);
+  EXPECT_EQ(s.bytes_of(0), 1000u);
+  const Segmentation t = make_segmentation(1000, 4096);
+  EXPECT_EQ(t.nseg, 1u);
+}
+
+TEST(Segmentation, ExactAndRaggedSplit) {
+  const Segmentation s = make_segmentation(4096, 1024);
+  EXPECT_EQ(s.nseg, 4u);
+  EXPECT_EQ(s.bytes_of(3), 1024u);
+  const Segmentation r = make_segmentation(4100, 1024);
+  EXPECT_EQ(r.nseg, 5u);
+  EXPECT_EQ(r.bytes_of(4), 4u);
+  std::size_t total = 0;
+  for (std::uint32_t i = 0; i < r.nseg; ++i) total += r.bytes_of(i);
+  EXPECT_EQ(total, 4100u);
+}
+
+TEST(Segmentation, CapGrowsSegment) {
+  const Segmentation s = make_segmentation(64ULL << 20, 1024);  // 64 Mi / 1 Ki
+  EXPECT_LE(s.nseg, kMaxSegments);
+  std::size_t total = 0;
+  for (std::uint32_t i = 0; i < s.nseg; ++i) total += s.bytes_of(i);
+  EXPECT_EQ(total, 64ULL << 20);
+}
+
+TEST(Chunks, EvenChunksSumAndBalance) {
+  const auto c = even_chunks(103, 10);
+  EXPECT_EQ(c.size(), 10u);
+  EXPECT_EQ(chunk_range_bytes(c, 0, 10), 103u);
+  EXPECT_EQ(c[0], 11u);
+  EXPECT_EQ(c[9], 10u);
+  const auto z = even_chunks(3, 8);  // more chunks than bytes
+  EXPECT_EQ(chunk_range_bytes(z, 0, 8), 3u);
+}
+
+TEST(Chunks, Pow2Helpers) {
+  EXPECT_EQ(floor_pow2(1), 1);
+  EXPECT_EQ(floor_pow2(2), 2);
+  EXPECT_EQ(floor_pow2(3), 2);
+  EXPECT_EQ(floor_pow2(1000), 512);
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(1000), 10);
+}
+
+}  // namespace
+}  // namespace mpicp::sim
