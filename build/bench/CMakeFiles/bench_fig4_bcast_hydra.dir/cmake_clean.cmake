@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_bcast_hydra.dir/bench_fig4_bcast_hydra.cpp.o"
+  "CMakeFiles/bench_fig4_bcast_hydra.dir/bench_fig4_bcast_hydra.cpp.o.d"
+  "bench_fig4_bcast_hydra"
+  "bench_fig4_bcast_hydra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_bcast_hydra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_allreduce_jupiter.dir/bench_fig7_allreduce_jupiter.cpp.o"
+  "CMakeFiles/bench_fig7_allreduce_jupiter.dir/bench_fig7_allreduce_jupiter.cpp.o.d"
+  "bench_fig7_allreduce_jupiter"
+  "bench_fig7_allreduce_jupiter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_allreduce_jupiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_bcast_supermuc.dir/bench_fig8_bcast_supermuc.cpp.o"
+  "CMakeFiles/bench_fig8_bcast_supermuc.dir/bench_fig8_bcast_supermuc.cpp.o.d"
+  "bench_fig8_bcast_supermuc"
+  "bench_fig8_bcast_supermuc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_bcast_supermuc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_guidelines.dir/bench_guidelines.cpp.o"
+  "CMakeFiles/bench_guidelines.dir/bench_guidelines.cpp.o.d"
+  "bench_guidelines"
+  "bench_guidelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_guidelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_learner_comparison.dir/bench_learner_comparison.cpp.o"
+  "CMakeFiles/bench_learner_comparison.dir/bench_learner_comparison.cpp.o.d"
+  "bench_learner_comparison"
+  "bench_learner_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_learner_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

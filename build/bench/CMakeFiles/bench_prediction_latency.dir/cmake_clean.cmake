@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prediction_latency.dir/bench_prediction_latency.cpp.o"
+  "CMakeFiles/bench_prediction_latency.dir/bench_prediction_latency.cpp.o.d"
+  "bench_prediction_latency"
+  "bench_prediction_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prediction_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

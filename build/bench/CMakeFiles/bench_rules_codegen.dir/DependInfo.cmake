@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_rules_codegen.cpp" "bench/CMakeFiles/bench_rules_codegen.dir/bench_rules_codegen.cpp.o" "gcc" "bench/CMakeFiles/bench_rules_codegen.dir/bench_rules_codegen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tune/CMakeFiles/mpicp_tune.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/mpicp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/collbench/CMakeFiles/mpicp_collbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/mpicp_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/mpicp_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mpicp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

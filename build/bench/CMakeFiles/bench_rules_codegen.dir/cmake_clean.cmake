@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rules_codegen.dir/bench_rules_codegen.cpp.o"
+  "CMakeFiles/bench_rules_codegen.dir/bench_rules_codegen.cpp.o.d"
+  "bench_rules_codegen"
+  "bench_rules_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rules_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

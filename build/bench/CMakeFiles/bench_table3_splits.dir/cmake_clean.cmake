@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_splits.dir/bench_table3_splits.cpp.o"
+  "CMakeFiles/bench_table3_splits.dir/bench_table3_splits.cpp.o.d"
+  "bench_table3_splits"
+  "bench_table3_splits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_splits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_speedup.dir/app_speedup.cpp.o"
+  "CMakeFiles/app_speedup.dir/app_speedup.cpp.o.d"
+  "app_speedup"
+  "app_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_algorithms.dir/explore_algorithms.cpp.o"
+  "CMakeFiles/explore_algorithms.dir/explore_algorithms.cpp.o.d"
+  "explore_algorithms"
+  "explore_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collbench/dataset.cpp" "src/collbench/CMakeFiles/mpicp_collbench.dir/dataset.cpp.o" "gcc" "src/collbench/CMakeFiles/mpicp_collbench.dir/dataset.cpp.o.d"
+  "/root/repo/src/collbench/defaults.cpp" "src/collbench/CMakeFiles/mpicp_collbench.dir/defaults.cpp.o" "gcc" "src/collbench/CMakeFiles/mpicp_collbench.dir/defaults.cpp.o.d"
+  "/root/repo/src/collbench/generator.cpp" "src/collbench/CMakeFiles/mpicp_collbench.dir/generator.cpp.o" "gcc" "src/collbench/CMakeFiles/mpicp_collbench.dir/generator.cpp.o.d"
+  "/root/repo/src/collbench/guidelines.cpp" "src/collbench/CMakeFiles/mpicp_collbench.dir/guidelines.cpp.o" "gcc" "src/collbench/CMakeFiles/mpicp_collbench.dir/guidelines.cpp.o.d"
+  "/root/repo/src/collbench/noise.cpp" "src/collbench/CMakeFiles/mpicp_collbench.dir/noise.cpp.o" "gcc" "src/collbench/CMakeFiles/mpicp_collbench.dir/noise.cpp.o.d"
+  "/root/repo/src/collbench/runner.cpp" "src/collbench/CMakeFiles/mpicp_collbench.dir/runner.cpp.o" "gcc" "src/collbench/CMakeFiles/mpicp_collbench.dir/runner.cpp.o.d"
+  "/root/repo/src/collbench/specs.cpp" "src/collbench/CMakeFiles/mpicp_collbench.dir/specs.cpp.o" "gcc" "src/collbench/CMakeFiles/mpicp_collbench.dir/specs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simmpi/CMakeFiles/mpicp_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/mpicp_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mpicp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpicp_collbench.dir/dataset.cpp.o"
+  "CMakeFiles/mpicp_collbench.dir/dataset.cpp.o.d"
+  "CMakeFiles/mpicp_collbench.dir/defaults.cpp.o"
+  "CMakeFiles/mpicp_collbench.dir/defaults.cpp.o.d"
+  "CMakeFiles/mpicp_collbench.dir/generator.cpp.o"
+  "CMakeFiles/mpicp_collbench.dir/generator.cpp.o.d"
+  "CMakeFiles/mpicp_collbench.dir/guidelines.cpp.o"
+  "CMakeFiles/mpicp_collbench.dir/guidelines.cpp.o.d"
+  "CMakeFiles/mpicp_collbench.dir/noise.cpp.o"
+  "CMakeFiles/mpicp_collbench.dir/noise.cpp.o.d"
+  "CMakeFiles/mpicp_collbench.dir/runner.cpp.o"
+  "CMakeFiles/mpicp_collbench.dir/runner.cpp.o.d"
+  "CMakeFiles/mpicp_collbench.dir/specs.cpp.o"
+  "CMakeFiles/mpicp_collbench.dir/specs.cpp.o.d"
+  "libmpicp_collbench.a"
+  "libmpicp_collbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpicp_collbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/cv.cpp" "src/ml/CMakeFiles/mpicp_ml.dir/cv.cpp.o" "gcc" "src/ml/CMakeFiles/mpicp_ml.dir/cv.cpp.o.d"
+  "/root/repo/src/ml/forest.cpp" "src/ml/CMakeFiles/mpicp_ml.dir/forest.cpp.o" "gcc" "src/ml/CMakeFiles/mpicp_ml.dir/forest.cpp.o.d"
+  "/root/repo/src/ml/gam.cpp" "src/ml/CMakeFiles/mpicp_ml.dir/gam.cpp.o" "gcc" "src/ml/CMakeFiles/mpicp_ml.dir/gam.cpp.o.d"
+  "/root/repo/src/ml/gbt.cpp" "src/ml/CMakeFiles/mpicp_ml.dir/gbt.cpp.o" "gcc" "src/ml/CMakeFiles/mpicp_ml.dir/gbt.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/mpicp_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/mpicp_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/learner.cpp" "src/ml/CMakeFiles/mpicp_ml.dir/learner.cpp.o" "gcc" "src/ml/CMakeFiles/mpicp_ml.dir/learner.cpp.o.d"
+  "/root/repo/src/ml/linreg.cpp" "src/ml/CMakeFiles/mpicp_ml.dir/linreg.cpp.o" "gcc" "src/ml/CMakeFiles/mpicp_ml.dir/linreg.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "src/ml/CMakeFiles/mpicp_ml.dir/matrix.cpp.o" "gcc" "src/ml/CMakeFiles/mpicp_ml.dir/matrix.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/mpicp_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/mpicp_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/spline.cpp" "src/ml/CMakeFiles/mpicp_ml.dir/spline.cpp.o" "gcc" "src/ml/CMakeFiles/mpicp_ml.dir/spline.cpp.o.d"
+  "/root/repo/src/ml/tree.cpp" "src/ml/CMakeFiles/mpicp_ml.dir/tree.cpp.o" "gcc" "src/ml/CMakeFiles/mpicp_ml.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mpicp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpicp_ml.dir/cv.cpp.o"
+  "CMakeFiles/mpicp_ml.dir/cv.cpp.o.d"
+  "CMakeFiles/mpicp_ml.dir/forest.cpp.o"
+  "CMakeFiles/mpicp_ml.dir/forest.cpp.o.d"
+  "CMakeFiles/mpicp_ml.dir/gam.cpp.o"
+  "CMakeFiles/mpicp_ml.dir/gam.cpp.o.d"
+  "CMakeFiles/mpicp_ml.dir/gbt.cpp.o"
+  "CMakeFiles/mpicp_ml.dir/gbt.cpp.o.d"
+  "CMakeFiles/mpicp_ml.dir/knn.cpp.o"
+  "CMakeFiles/mpicp_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/mpicp_ml.dir/learner.cpp.o"
+  "CMakeFiles/mpicp_ml.dir/learner.cpp.o.d"
+  "CMakeFiles/mpicp_ml.dir/linreg.cpp.o"
+  "CMakeFiles/mpicp_ml.dir/linreg.cpp.o.d"
+  "CMakeFiles/mpicp_ml.dir/matrix.cpp.o"
+  "CMakeFiles/mpicp_ml.dir/matrix.cpp.o.d"
+  "CMakeFiles/mpicp_ml.dir/metrics.cpp.o"
+  "CMakeFiles/mpicp_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/mpicp_ml.dir/spline.cpp.o"
+  "CMakeFiles/mpicp_ml.dir/spline.cpp.o.d"
+  "CMakeFiles/mpicp_ml.dir/tree.cpp.o"
+  "CMakeFiles/mpicp_ml.dir/tree.cpp.o.d"
+  "libmpicp_ml.a"
+  "libmpicp_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpicp_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simmpi/coll/allreduce.cpp" "src/simmpi/CMakeFiles/mpicp_simmpi.dir/coll/allreduce.cpp.o" "gcc" "src/simmpi/CMakeFiles/mpicp_simmpi.dir/coll/allreduce.cpp.o.d"
+  "/root/repo/src/simmpi/coll/alltoall.cpp" "src/simmpi/CMakeFiles/mpicp_simmpi.dir/coll/alltoall.cpp.o" "gcc" "src/simmpi/CMakeFiles/mpicp_simmpi.dir/coll/alltoall.cpp.o.d"
+  "/root/repo/src/simmpi/coll/bcast.cpp" "src/simmpi/CMakeFiles/mpicp_simmpi.dir/coll/bcast.cpp.o" "gcc" "src/simmpi/CMakeFiles/mpicp_simmpi.dir/coll/bcast.cpp.o.d"
+  "/root/repo/src/simmpi/coll/datainit.cpp" "src/simmpi/CMakeFiles/mpicp_simmpi.dir/coll/datainit.cpp.o" "gcc" "src/simmpi/CMakeFiles/mpicp_simmpi.dir/coll/datainit.cpp.o.d"
+  "/root/repo/src/simmpi/coll/decision.cpp" "src/simmpi/CMakeFiles/mpicp_simmpi.dir/coll/decision.cpp.o" "gcc" "src/simmpi/CMakeFiles/mpicp_simmpi.dir/coll/decision.cpp.o.d"
+  "/root/repo/src/simmpi/coll/pipeline.cpp" "src/simmpi/CMakeFiles/mpicp_simmpi.dir/coll/pipeline.cpp.o" "gcc" "src/simmpi/CMakeFiles/mpicp_simmpi.dir/coll/pipeline.cpp.o.d"
+  "/root/repo/src/simmpi/coll/registry.cpp" "src/simmpi/CMakeFiles/mpicp_simmpi.dir/coll/registry.cpp.o" "gcc" "src/simmpi/CMakeFiles/mpicp_simmpi.dir/coll/registry.cpp.o.d"
+  "/root/repo/src/simmpi/coll/smallcoll.cpp" "src/simmpi/CMakeFiles/mpicp_simmpi.dir/coll/smallcoll.cpp.o" "gcc" "src/simmpi/CMakeFiles/mpicp_simmpi.dir/coll/smallcoll.cpp.o.d"
+  "/root/repo/src/simmpi/coll/trees.cpp" "src/simmpi/CMakeFiles/mpicp_simmpi.dir/coll/trees.cpp.o" "gcc" "src/simmpi/CMakeFiles/mpicp_simmpi.dir/coll/trees.cpp.o.d"
+  "/root/repo/src/simmpi/coll/types.cpp" "src/simmpi/CMakeFiles/mpicp_simmpi.dir/coll/types.cpp.o" "gcc" "src/simmpi/CMakeFiles/mpicp_simmpi.dir/coll/types.cpp.o.d"
+  "/root/repo/src/simmpi/datacheck.cpp" "src/simmpi/CMakeFiles/mpicp_simmpi.dir/datacheck.cpp.o" "gcc" "src/simmpi/CMakeFiles/mpicp_simmpi.dir/datacheck.cpp.o.d"
+  "/root/repo/src/simmpi/executor.cpp" "src/simmpi/CMakeFiles/mpicp_simmpi.dir/executor.cpp.o" "gcc" "src/simmpi/CMakeFiles/mpicp_simmpi.dir/executor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simnet/CMakeFiles/mpicp_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mpicp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpicp_simmpi.dir/coll/allreduce.cpp.o"
+  "CMakeFiles/mpicp_simmpi.dir/coll/allreduce.cpp.o.d"
+  "CMakeFiles/mpicp_simmpi.dir/coll/alltoall.cpp.o"
+  "CMakeFiles/mpicp_simmpi.dir/coll/alltoall.cpp.o.d"
+  "CMakeFiles/mpicp_simmpi.dir/coll/bcast.cpp.o"
+  "CMakeFiles/mpicp_simmpi.dir/coll/bcast.cpp.o.d"
+  "CMakeFiles/mpicp_simmpi.dir/coll/datainit.cpp.o"
+  "CMakeFiles/mpicp_simmpi.dir/coll/datainit.cpp.o.d"
+  "CMakeFiles/mpicp_simmpi.dir/coll/decision.cpp.o"
+  "CMakeFiles/mpicp_simmpi.dir/coll/decision.cpp.o.d"
+  "CMakeFiles/mpicp_simmpi.dir/coll/pipeline.cpp.o"
+  "CMakeFiles/mpicp_simmpi.dir/coll/pipeline.cpp.o.d"
+  "CMakeFiles/mpicp_simmpi.dir/coll/registry.cpp.o"
+  "CMakeFiles/mpicp_simmpi.dir/coll/registry.cpp.o.d"
+  "CMakeFiles/mpicp_simmpi.dir/coll/smallcoll.cpp.o"
+  "CMakeFiles/mpicp_simmpi.dir/coll/smallcoll.cpp.o.d"
+  "CMakeFiles/mpicp_simmpi.dir/coll/trees.cpp.o"
+  "CMakeFiles/mpicp_simmpi.dir/coll/trees.cpp.o.d"
+  "CMakeFiles/mpicp_simmpi.dir/coll/types.cpp.o"
+  "CMakeFiles/mpicp_simmpi.dir/coll/types.cpp.o.d"
+  "CMakeFiles/mpicp_simmpi.dir/datacheck.cpp.o"
+  "CMakeFiles/mpicp_simmpi.dir/datacheck.cpp.o.d"
+  "CMakeFiles/mpicp_simmpi.dir/executor.cpp.o"
+  "CMakeFiles/mpicp_simmpi.dir/executor.cpp.o.d"
+  "libmpicp_simmpi.a"
+  "libmpicp_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpicp_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

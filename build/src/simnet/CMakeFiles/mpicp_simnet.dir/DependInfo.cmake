@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/machine.cpp" "src/simnet/CMakeFiles/mpicp_simnet.dir/machine.cpp.o" "gcc" "src/simnet/CMakeFiles/mpicp_simnet.dir/machine.cpp.o.d"
+  "/root/repo/src/simnet/network.cpp" "src/simnet/CMakeFiles/mpicp_simnet.dir/network.cpp.o" "gcc" "src/simnet/CMakeFiles/mpicp_simnet.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mpicp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpicp_simnet.dir/machine.cpp.o"
+  "CMakeFiles/mpicp_simnet.dir/machine.cpp.o.d"
+  "CMakeFiles/mpicp_simnet.dir/network.cpp.o"
+  "CMakeFiles/mpicp_simnet.dir/network.cpp.o.d"
+  "libmpicp_simnet.a"
+  "libmpicp_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpicp_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpicp_support.dir/cli.cpp.o"
+  "CMakeFiles/mpicp_support.dir/cli.cpp.o.d"
+  "CMakeFiles/mpicp_support.dir/csv.cpp.o"
+  "CMakeFiles/mpicp_support.dir/csv.cpp.o.d"
+  "CMakeFiles/mpicp_support.dir/rng.cpp.o"
+  "CMakeFiles/mpicp_support.dir/rng.cpp.o.d"
+  "CMakeFiles/mpicp_support.dir/stats.cpp.o"
+  "CMakeFiles/mpicp_support.dir/stats.cpp.o.d"
+  "CMakeFiles/mpicp_support.dir/str.cpp.o"
+  "CMakeFiles/mpicp_support.dir/str.cpp.o.d"
+  "CMakeFiles/mpicp_support.dir/table.cpp.o"
+  "CMakeFiles/mpicp_support.dir/table.cpp.o.d"
+  "libmpicp_support.a"
+  "libmpicp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpicp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpicp_tune.dir/config_writer.cpp.o"
+  "CMakeFiles/mpicp_tune.dir/config_writer.cpp.o.d"
+  "CMakeFiles/mpicp_tune.dir/evaluator.cpp.o"
+  "CMakeFiles/mpicp_tune.dir/evaluator.cpp.o.d"
+  "CMakeFiles/mpicp_tune.dir/online.cpp.o"
+  "CMakeFiles/mpicp_tune.dir/online.cpp.o.d"
+  "CMakeFiles/mpicp_tune.dir/rulegen.cpp.o"
+  "CMakeFiles/mpicp_tune.dir/rulegen.cpp.o.d"
+  "CMakeFiles/mpicp_tune.dir/selector.cpp.o"
+  "CMakeFiles/mpicp_tune.dir/selector.cpp.o.d"
+  "libmpicp_tune.a"
+  "libmpicp_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpicp_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmpicp_tune.a"
+)

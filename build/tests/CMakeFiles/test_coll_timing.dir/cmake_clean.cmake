@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coll_timing.dir/test_coll_timing.cpp.o"
+  "CMakeFiles/test_coll_timing.dir/test_coll_timing.cpp.o.d"
+  "test_coll_timing"
+  "test_coll_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coll_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collbench.dir/test_collbench.cpp.o"
+  "CMakeFiles/test_collbench.dir/test_collbench.cpp.o.d"
+  "test_collbench"
+  "test_collbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_consistency.dir/test_model_consistency.cpp.o"
+  "CMakeFiles/test_model_consistency.dir/test_model_consistency.cpp.o.d"
+  "test_model_consistency"
+  "test_model_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simnet.dir/test_simnet.cpp.o"
+  "CMakeFiles/test_simnet.dir/test_simnet.cpp.o.d"
+  "test_simnet"
+  "test_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
