@@ -1,0 +1,138 @@
+// Serial-vs-parallel wall-clock of the model-bank hot paths on a Bcast
+// dataset: fitting one regression model per algorithm configuration uid
+// (Selector::fit) and answering argmin queries over the full bank
+// (Selector::predict_all). Records the speedup trajectory of the
+// support/parallel layer and asserts the determinism contract: the
+// selected uids must be identical at every thread count.
+//
+//   --dataset=<name>   Table II dataset to train on (cached under data/;
+//                      default: a trimmed d1 grid generated in-process so
+//                      the bench runs in seconds)
+//   --learner=<name>   regressor (default xgboost — the heaviest fit)
+//   --threads=<n>      parallel thread count (default 4; serial is
+//                      always measured as the baseline)
+//   --repeats=<n>      timing repetitions, best-of (default 3)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "collbench/generator.hpp"
+#include "collbench/specs.hpp"
+#include "support/cli.hpp"
+#include "support/parallel.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// A d1-shaped (Open MPI Bcast on Hydra) grid small enough to generate
+/// in-process but with the full algorithm configuration bank, so the
+/// per-uid fan-out matches a real training run.
+mpicp::bench::Dataset make_default_dataset() {
+  mpicp::bench::DatasetSpec spec = mpicp::bench::dataset_spec("d1");
+  spec.name = "d1-trimmed";
+  spec.nodes = {4, 8, 16, 32};
+  spec.ppns = {1, 8, 16};
+  spec.budget = {.max_reps = 3, .budget_us = 1.0e6};
+  return mpicp::bench::generate_dataset(spec);
+}
+
+struct TimedRun {
+  double fit_s = 0.0;
+  double predict_s = 0.0;
+  std::vector<int> selected;
+};
+
+TimedRun run_at(int threads, const mpicp::bench::Dataset& ds,
+                const std::vector<int>& train_nodes,
+                const std::vector<mpicp::bench::Instance>& queries,
+                const std::string& learner, int repeats) {
+  mpicp::support::ScopedThreads scope(threads);
+  TimedRun out;
+  out.fit_s = 1e300;
+  out.predict_s = 1e300;
+  for (int rep = 0; rep < repeats; ++rep) {
+    mpicp::tune::Selector selector(
+        mpicp::tune::SelectorOptions{.learner = learner});
+    auto start = Clock::now();
+    selector.fit(ds, train_nodes);
+    out.fit_s = std::min(out.fit_s, seconds_since(start));
+
+    std::vector<int> selected;
+    selected.reserve(queries.size());
+    start = Clock::now();
+    for (const mpicp::bench::Instance& inst : queries) {
+      selected.push_back(selector.select_uid(inst));
+    }
+    out.predict_s = std::min(out.predict_s, seconds_since(start));
+    out.selected = std::move(selected);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mpicp;
+  const support::CliParser cli(argc, argv);
+  const std::string learner = cli.get("learner", "xgboost");
+  const int threads = static_cast<int>(cli.get_int("threads", 4));
+  const int repeats =
+      std::max(1, static_cast<int>(cli.get_int("repeats", 3)));
+  const std::string dataset_name = cli.get("dataset", "");
+
+  const bench::Dataset ds = dataset_name.empty()
+                                ? make_default_dataset()
+                                : bench::load_dataset_cached(dataset_name);
+  const std::vector<int> all_nodes = ds.node_counts();
+  // Hold out the largest node count as the query set, train on the rest
+  // (the paper's extrapolation-to-unseen-nodes split).
+  const std::vector<int> train_nodes(all_nodes.begin(),
+                                     all_nodes.end() - 1);
+  std::vector<bench::Instance> queries;
+  for (const bench::Instance& inst : ds.instances()) {
+    if (inst.nodes == all_nodes.back()) queries.push_back(inst);
+  }
+
+  std::printf("dataset: %s (%zu records, %zu uids, %zu queries)\n",
+              ds.name().c_str(), ds.num_records(), ds.uids().size(),
+              queries.size());
+  std::printf("learner: %s, hardware threads: %d, best of %d\n\n",
+              learner.c_str(), support::hardware_threads(), repeats);
+
+  const TimedRun serial =
+      run_at(1, ds, train_nodes, queries, learner, repeats);
+  const TimedRun parallel =
+      run_at(threads, ds, train_nodes, queries, learner, repeats);
+
+  support::TextTable table({"phase", "serial [s]",
+                            "parallel [s] (t=" + std::to_string(threads) +
+                                ")",
+                            "speedup"});
+  table.add_row({"fit model bank", support::format_double(serial.fit_s, 4),
+                 support::format_double(parallel.fit_s, 4),
+                 support::format_double(serial.fit_s / parallel.fit_s, 3)});
+  table.add_row(
+      {"argmin queries", support::format_double(serial.predict_s, 4),
+       support::format_double(parallel.predict_s, 4),
+       support::format_double(serial.predict_s / parallel.predict_s, 3)});
+  std::ostringstream os;
+  table.print(os);
+  std::fputs(os.str().c_str(), stdout);
+
+  if (serial.selected != parallel.selected) {
+    std::printf("\nFAIL: selected uids differ between thread counts\n");
+    return 1;
+  }
+  std::printf("\nselected uids bit-identical across thread counts: yes\n");
+  return 0;
+}

@@ -32,6 +32,7 @@ void Dataset::add(const Record& rec) {
   records_.push_back(rec);
   samples_[key(rec.uid, {rec.nodes, rec.ppn, rec.msize})].push_back(
       rec.time_us);
+  const std::lock_guard lock(*median_mu_);
   median_cache_.clear();
 }
 
@@ -65,8 +66,11 @@ bool Dataset::has(int uid, const Instance& inst) const {
 
 double Dataset::time_us(int uid, const Instance& inst) const {
   const std::uint64_t k = key(uid, inst);
-  const auto cached = median_cache_.find(k);
-  if (cached != median_cache_.end()) return cached->second;
+  {
+    const std::lock_guard lock(*median_mu_);
+    const auto cached = median_cache_.find(k);
+    if (cached != median_cache_.end()) return cached->second;
+  }
   const auto it = samples_.find(k);
   if (it == samples_.end()) {
     throw InvalidArgument("dataset " + name_ + ": no measurement for uid " +
@@ -76,6 +80,7 @@ double Dataset::time_us(int uid, const Instance& inst) const {
                           std::to_string(inst.msize));
   }
   const double med = support::median(it->second);
+  const std::lock_guard lock(*median_mu_);
   median_cache_.emplace(k, med);
   return med;
 }

@@ -9,6 +9,8 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -87,9 +89,14 @@ class Dataset {
   sim::Collective coll_;
   std::string machine_;
   std::vector<Record> records_;
-  // key -> observations; medians are cached lazily.
+  // key -> observations; medians are cached lazily. The cache is the
+  // only mutable state behind the const query API, so it carries its own
+  // lock: time_us()/best() are called concurrently from the parallel
+  // evaluator and selector paths. Heap-allocated so Dataset stays
+  // movable (copies share the lock, which is harmless).
   std::unordered_map<std::uint64_t, std::vector<double>> samples_;
   mutable std::unordered_map<std::uint64_t, double> median_cache_;
+  std::shared_ptr<std::mutex> median_mu_ = std::make_shared<std::mutex>();
 };
 
 }  // namespace mpicp::bench

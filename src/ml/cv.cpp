@@ -2,6 +2,7 @@
 
 #include "ml/metrics.hpp"
 #include "support/error.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 
 namespace mpicp::ml {
@@ -55,13 +56,21 @@ std::vector<double> take(std::span<const double> y,
 double kfold_rmse(const std::string& learner, const Matrix& x,
                   std::span<const double> y, int folds,
                   std::uint64_t seed) {
-  double acc = 0.0;
-  for (const Split& split : kfold_splits(x.rows(), folds, seed)) {
+  // The fold partition is fixed up front; each fold then fits its own
+  // learner instance into a preallocated slot, and the per-fold errors
+  // are reduced in fold order — the result is bit-identical to the
+  // serial loop at any thread count.
+  const std::vector<Split> splits = kfold_splits(x.rows(), folds, seed);
+  std::vector<double> fold_rmse(splits.size(), 0.0);
+  support::parallel_for(splits.size(), 1, [&](std::size_t f) {
+    const Split& split = splits[f];
     auto model = make_regressor(learner);
     model->fit(take_rows(x, split.train), take(y, split.train));
     const auto pred = model->predict(take_rows(x, split.test));
-    acc += rmse(take(y, split.test), pred);
-  }
+    fold_rmse[f] = rmse(take(y, split.test), pred);
+  });
+  double acc = 0.0;
+  for (const double r : fold_rmse) acc += r;
   return acc / folds;
 }
 

@@ -1,0 +1,212 @@
+#include "support/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+#include "support/error.hpp"
+
+namespace mpicp::support {
+
+namespace {
+
+// -1 = no override active; 0 = hardware; >= 1 = explicit count.
+std::atomic<int> g_thread_override{-1};
+
+thread_local bool tl_in_parallel_region = false;
+
+// Workers the shared pool may grow to. Far above any sane MPICP_THREADS
+// value; exists only to bound a corrupt environment variable.
+constexpr int kMaxPoolWorkers = 256;
+
+}  // namespace
+
+int hardware_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+int configured_threads() {
+  const int override_value = g_thread_override.load(std::memory_order_relaxed);
+  if (override_value >= 0) {
+    return override_value == 0 ? hardware_threads() : override_value;
+  }
+  if (const char* env = std::getenv("MPICP_THREADS")) {
+    char* end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && value >= 0 &&
+        value <= kMaxPoolWorkers) {
+      return value == 0 ? hardware_threads() : static_cast<int>(value);
+    }
+  }
+  return hardware_threads();
+}
+
+ScopedThreads::ScopedThreads(int threads)
+    : previous_(g_thread_override.load(std::memory_order_relaxed)) {
+  MPICP_REQUIRE(threads >= 0 && threads <= kMaxPoolWorkers,
+                "thread override out of range");
+  g_thread_override.store(threads, std::memory_order_relaxed);
+}
+
+ScopedThreads::~ScopedThreads() {
+  g_thread_override.store(previous_, std::memory_order_relaxed);
+}
+
+ThreadPool::ThreadPool(int workers) {
+  MPICP_REQUIRE(workers >= 0 && workers <= kMaxPoolWorkers,
+                "invalid thread pool size");
+  std::lock_guard lock(mu_);
+  spawn_locked(workers);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+int ThreadPool::workers() const {
+  std::lock_guard lock(mu_);
+  return static_cast<int>(threads_.size());
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    MPICP_REQUIRE(!stop_, "submit on a stopped thread pool");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::spawn_locked(int count) {
+  for (int i = 0; i < count; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::shared(int min_workers) {
+  static ThreadPool pool(0);
+  min_workers = std::min(min_workers, kMaxPoolWorkers);
+  std::lock_guard lock(pool.mu_);
+  const int have = static_cast<int>(pool.threads_.size());
+  if (have < min_workers) pool.spawn_locked(min_workers - have);
+  return pool;
+}
+
+bool in_parallel_region() { return tl_in_parallel_region; }
+
+namespace {
+
+/// Shared state of one parallel_for region. Runners pull chunk indices
+/// from `next` until the range is exhausted (or cancelled by an
+/// exception); the caller waits for every runner to retire before
+/// returning, so `fn` outlives all uses.
+struct ForState {
+  std::size_t n = 0;
+  std::size_t chunk = 0;
+  std::size_t num_chunks = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  int active_runners = 0;
+  std::exception_ptr error;
+};
+
+void run_chunks(const std::shared_ptr<ForState>& state) {
+  const bool was_in_region = tl_in_parallel_region;
+  tl_in_parallel_region = true;
+  for (;;) {
+    const std::size_t c =
+        state->next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= state->num_chunks) break;
+    const std::size_t lo = c * state->chunk;
+    const std::size_t hi = std::min(state->n, lo + state->chunk);
+    try {
+      for (std::size_t i = lo; i < hi; ++i) (*state->fn)(i);
+    } catch (...) {
+      std::lock_guard lock(state->mu);
+      if (!state->error) state->error = std::current_exception();
+      // Best-effort cancellation: park the cursor past the end so no
+      // further chunks are claimed.
+      state->next.store(state->num_chunks, std::memory_order_relaxed);
+    }
+  }
+  tl_in_parallel_region = was_in_region;
+  {
+    std::lock_guard lock(state->mu);
+    --state->active_runners;
+  }
+  state->done_cv.notify_all();
+}
+
+void serial_for(std::size_t n,
+                const std::function<void(std::size_t)>& fn) {
+  const bool was_in_region = tl_in_parallel_region;
+  tl_in_parallel_region = true;
+  try {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  } catch (...) {
+    tl_in_parallel_region = was_in_region;
+    throw;
+  }
+  tl_in_parallel_region = was_in_region;
+}
+
+}  // namespace
+
+void parallel_for(std::size_t n, std::size_t chunk,
+                  const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (chunk == 0) chunk = 1;
+  const std::size_t num_chunks = (n + chunk - 1) / chunk;
+  const int threads = configured_threads();
+  if (threads <= 1 || num_chunks <= 1 || tl_in_parallel_region) {
+    serial_for(n, fn);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  state->chunk = chunk;
+  state->num_chunks = num_chunks;
+  state->fn = &fn;
+
+  const int helpers = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(threads - 1), num_chunks - 1));
+  state->active_runners = helpers + 1;
+  ThreadPool& pool = ThreadPool::shared(helpers);
+  for (int i = 0; i < helpers; ++i) {
+    pool.submit([state] { run_chunks(state); });
+  }
+  run_chunks(state);  // the calling thread participates
+  {
+    std::unique_lock lock(state->mu);
+    state->done_cv.wait(lock,
+                        [&] { return state->active_runners == 0; });
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace mpicp::support

@@ -5,6 +5,7 @@
 
 #include "collbench/specs.hpp"
 #include "support/error.hpp"
+#include "support/parallel.hpp"
 #include "support/stats.hpp"
 
 namespace mpicp::tune {
@@ -12,12 +13,21 @@ namespace mpicp::tune {
 Evaluation evaluate(const bench::Dataset& ds, const Selector& selector,
                     const bench::DefaultLogic& default_logic,
                     const std::vector<int>& test_nodes) {
-  Evaluation eval;
+  std::vector<bench::Instance> instances;
   for (const bench::Instance& inst : ds.instances()) {
-    if (std::find(test_nodes.begin(), test_nodes.end(), inst.nodes) ==
+    if (std::find(test_nodes.begin(), test_nodes.end(), inst.nodes) !=
         test_nodes.end()) {
-      continue;
+      instances.push_back(inst);
     }
+  }
+  MPICP_REQUIRE(!instances.empty(), "no test instances found");
+
+  // Each instance is scored independently against the three strategies;
+  // rows are preallocated so the parallel fill is order-independent.
+  Evaluation eval;
+  eval.rows.resize(instances.size());
+  support::parallel_for(instances.size(), 1, [&](std::size_t i) {
+    const bench::Instance& inst = instances[i];
     EvalRow row;
     row.inst = inst;
     const bench::Dataset::Best best = ds.best(inst);
@@ -27,9 +37,8 @@ Evaluation evaluate(const bench::Dataset& ds, const Selector& selector,
     row.t_default_us = ds.time_us(row.default_uid, inst);
     row.predicted_uid = selector.select_uid(inst);
     row.t_predicted_us = ds.time_us(row.predicted_uid, inst);
-    eval.rows.push_back(row);
-  }
-  MPICP_REQUIRE(!eval.rows.empty(), "no test instances found");
+    eval.rows[i] = row;
+  });
 
   std::vector<double> speedups;
   std::vector<double> norm_def;

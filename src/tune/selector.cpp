@@ -6,6 +6,7 @@
 
 #include "ml/io.hpp"
 #include "support/error.hpp"
+#include "support/parallel.hpp"
 
 namespace mpicp::tune {
 
@@ -38,9 +39,20 @@ void Selector::fit(const bench::Dataset& ds,
   }
   MPICP_REQUIRE(!rows.empty(), "no training rows for the given node set");
 
+  // One independent fit per uid — the embarrassingly parallel half of
+  // the paper's design. Each task owns its learner instance and writes
+  // into a preallocated slot, so the resulting bank is bit-identical
+  // regardless of the thread count.
+  std::vector<std::pair<int, const std::vector<const bench::Record*>*>>
+      tasks;
+  tasks.reserve(rows.size());
+  for (const auto& [uid, recs] : rows) tasks.emplace_back(uid, &recs);
+
   const std::size_t dim =
       instance_features({1, 1, 1}, options_.features).size();
-  for (const auto& [uid, recs] : rows) {
+  std::vector<std::unique_ptr<ml::Regressor>> fitted(tasks.size());
+  support::parallel_for(tasks.size(), 1, [&](std::size_t t) {
+    const auto& recs = *tasks[t].second;
     ml::Matrix x(recs.size(), dim);
     std::vector<double> y(recs.size());
     for (std::size_t i = 0; i < recs.size(); ++i) {
@@ -52,7 +64,10 @@ void Selector::fit(const bench::Dataset& ds,
     }
     auto model = ml::make_regressor(options_.learner);
     model->fit(x, y);
-    models_.emplace(uid, std::move(model));
+    fitted[t] = std::move(model);
+  });
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    models_.emplace(tasks[t].first, std::move(fitted[t]));
   }
 }
 
@@ -65,16 +80,36 @@ double Selector::predicted_time_us(int uid,
       instance_features(inst, options_.features));
 }
 
-int Selector::select_uid(const bench::Instance& inst) const {
+std::vector<Selector::Prediction> Selector::predict_all(
+    const bench::Instance& inst) const {
   MPICP_REQUIRE(!models_.empty(), "selector has not been fitted");
+  const auto feat = instance_features(inst, options_.features);
+  std::vector<Prediction> out;
+  std::vector<const ml::Regressor*> bank;
+  out.reserve(models_.size());
+  bank.reserve(models_.size());
+  for (const auto& [uid, model] : models_) {
+    out.push_back({uid, 0.0});
+    bank.push_back(model.get());
+  }
+  // Single predictions are cheap; chunk so the pool is only engaged for
+  // banks large enough to amortize the dispatch.
+  support::parallel_for(bank.size(), 16, [&](std::size_t i) {
+    out[i].time_us = bank[i]->predict_one(feat);
+  });
+  return out;
+}
+
+int Selector::select_uid(const bench::Instance& inst) const {
+  const auto predictions = predict_all(inst);
   int best_uid = -1;
   double best_time = 0.0;
-  const auto feat = instance_features(inst, options_.features);
-  for (const auto& [uid, model] : models_) {
-    const double t = model->predict_one(feat);
-    if (best_uid < 0 || t < best_time) {
-      best_uid = uid;
-      best_time = t;
+  // Scan in ascending uid order so ties break identically at every
+  // thread count.
+  for (const Prediction& p : predictions) {
+    if (best_uid < 0 || p.time_us < best_time) {
+      best_uid = p.uid;
+      best_time = p.time_us;
     }
   }
   return best_uid;

@@ -43,8 +43,21 @@ class Selector {
   /// Predicted running time of one configuration on an instance.
   double predicted_time_us(int uid, const bench::Instance& inst) const;
 
+  /// One model-bank query result.
+  struct Prediction {
+    int uid = 0;
+    double time_us = 0.0;
+  };
+
+  /// Batched inference: the predicted running time of *every* modeled
+  /// configuration on an instance, in ascending uid order. This is the
+  /// fan-out half of the paper's argmin selection; the per-uid models
+  /// are evaluated in parallel (see support/parallel.hpp).
+  std::vector<Prediction> predict_all(const bench::Instance& inst) const;
+
   /// The argmin over all modeled configurations (the algorithm ID the
-  /// framework would load into the MPI library).
+  /// framework would load into the MPI library). Ties resolve to the
+  /// lowest uid regardless of thread count.
   int select_uid(const bench::Instance& inst) const;
 
   std::vector<int> uids() const;
