@@ -9,15 +9,24 @@
 // run fits and saves, subsequent runs load in milliseconds — the
 // train-once / deploy-per-job split.
 //
+// Robustness demo: --fault-rate corrupts a copy of the training CSV with
+// the seeded fault injector (support/faultinject) before ingest, then
+// runs the full tolerant pipeline — quarantined rows, fit fallbacks and
+// the final tuning file are all reported instead of the run aborting.
+//
 // Usage:
 //   autotune_job [--nodes=27] [--ppn=16] [--dataset=d1]
 //                [--learner=gam] [--out=tuning.conf]
 //                [--models=<path>] [--refit]
+//                [--fault-rate=0.1] [--fault-seed=42]
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "collbench/generator.hpp"
 #include "collbench/specs.hpp"
 #include "support/cli.hpp"
+#include "support/faultinject.hpp"
 #include "tune/config_writer.hpp"
 #include "tune/selector.hpp"
 
@@ -29,13 +38,48 @@ int main(int argc, char** argv) {
   const std::string dataset = cli.get("dataset", "d1");
   const std::string learner = cli.get("learner", "gam");
   const std::string out = cli.get("out", "tuning.conf");
+  const double fault_rate = cli.get_double("fault-rate", 0.0);
+  const auto fault_seed =
+      static_cast<std::uint64_t>(cli.get_int("fault-seed", 42));
 
   const bench::DatasetSpec& spec = bench::dataset_spec(dataset);
   std::printf("loading training data %s (%s/%s on %s) ...\n",
               dataset.c_str(), to_string(spec.lib).c_str(),
               to_string(spec.coll).c_str(), spec.machine.c_str());
-  const bench::Dataset ds =
+  bench::Dataset ds =
       bench::load_or_generate(spec, bench::default_data_dir());
+
+  if (fault_rate > 0.0) {
+    // Corrupt a copy of the measurement CSV and re-ingest it through the
+    // tolerant path — the production shape of a messy campaign.
+    const auto csv_path =
+        bench::default_data_dir() / (dataset + ".faulty.csv");
+    ds.save_csv(csv_path);
+    std::ostringstream clean;
+    {
+      std::ifstream in(csv_path);
+      clean << in.rdbuf();
+    }
+    support::faultinject::CsvFaultLog log;
+    const std::string corrupted = support::faultinject::corrupt_csv(
+        clean.str(),
+        {.fault_rate = fault_rate, .value_column = 4, .seed = fault_seed},
+        &log);
+    {
+      std::ofstream out_csv(csv_path);
+      out_csv << corrupted;
+    }
+    bench::IngestReport ingest;
+    ds = bench::Dataset::load_csv_tolerant(csv_path, spec.name, spec.lib,
+                                           spec.coll, spec.machine,
+                                           &ingest);
+    std::filesystem::remove(csv_path);
+    std::printf("injected faults into %zu/%zu rows (%zu dropped):\n",
+                log.rows_faulted, log.rows_total, log.rows_dropped);
+    std::ostringstream report;
+    bench::print_ingest_report(report, ingest);
+    std::fputs(report.str().c_str(), stdout);
+  }
 
   const bench::NodeSplit split = bench::node_split(spec.machine);
   const std::filesystem::path model_path = cli.get(
@@ -43,16 +87,24 @@ int main(int argc, char** argv) {
                  (dataset + "." + learner + ".models"))
                     .string());
   tune::Selector selector(tune::SelectorOptions{.learner = learner});
-  if (!cli.get_bool("refit", false) &&
+  if (!cli.get_bool("refit", false) && fault_rate == 0.0 &&
       std::filesystem::exists(model_path)) {
     std::printf("loading trained models from %s ...\n",
                 model_path.string().c_str());
     selector = tune::Selector::load(model_path);
   } else {
     selector.fit(ds, split.train_full);
-    selector.save(model_path);
-    std::printf("trained models saved to %s\n",
-                model_path.string().c_str());
+    if (selector.fit_report().degraded()) {
+      std::printf("model-bank fit degraded:\n");
+      std::ostringstream report;
+      tune::print_fit_report(report, selector.fit_report());
+      std::fputs(report.str().c_str(), stdout);
+    }
+    if (fault_rate == 0.0) {
+      selector.save(model_path);
+      std::printf("trained models saved to %s\n",
+                  model_path.string().c_str());
+    }
   }
 
   // The paper: querying 10-15 message sizes is enough for a job config.

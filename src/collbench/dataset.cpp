@@ -1,12 +1,14 @@
 #include "collbench/dataset.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "support/csv.hpp"
 #include "support/error.hpp"
 #include "support/stats.hpp"
 #include "support/str.hpp"
+#include "support/table.hpp"
 
 namespace mpicp::bench {
 
@@ -29,6 +31,10 @@ void Dataset::add(const Record& rec) {
   MPICP_REQUIRE(rec.uid >= 1 && rec.time_us > 0.0 && rec.nodes >= 1 &&
                     rec.ppn >= 1,
                 "malformed dataset record");
+  add_unchecked(rec);
+}
+
+void Dataset::add_unchecked(const Record& rec) {
   records_.push_back(rec);
   samples_[key(rec.uid, {rec.nodes, rec.ppn, rec.msize})].push_back(
       rec.time_us);
@@ -135,6 +141,87 @@ Dataset Dataset::load_csv(const std::filesystem::path& path,
     ds.add(rec);
   }
   return ds;
+}
+
+namespace {
+
+void quarantine(IngestReport& report, std::size_t lineno,
+                const std::string& reason) {
+  constexpr std::size_t kMaxSamples = 10;
+  ++report.rows_quarantined;
+  ++report.reasons[reason];
+  if (report.samples.size() < kMaxSamples) {
+    report.samples.push_back({lineno, reason});
+  }
+}
+
+}  // namespace
+
+Dataset Dataset::load_csv_tolerant(const std::filesystem::path& path,
+                                   std::string name, sim::MpiLib lib,
+                                   sim::Collective coll,
+                                   std::string machine,
+                                   IngestReport* report,
+                                   const IngestOptions& options) {
+  const support::CsvReadResult read = support::read_csv_lenient(path);
+  const support::CsvTable& table = read.table;
+  Dataset ds(std::move(name), lib, coll, std::move(machine));
+  IngestReport local;
+  // Structurally bad rows never reached the table; account for them
+  // first so rows_seen covers every data line in the file.
+  for (const support::CsvRowError& err : read.errors) {
+    ++local.rows_seen;
+    quarantine(local, err.lineno, err.reason);
+  }
+  const std::size_t c_uid = table.column("uid");
+  const std::size_t c_nodes = table.column("nodes");
+  const std::size_t c_ppn = table.column("ppn");
+  const std::size_t c_msize = table.column("msize");
+  const std::size_t c_time = table.column("time_us");
+  for (std::size_t i = 0; i < table.num_rows(); ++i) {
+    ++local.rows_seen;
+    const std::size_t lineno = read.linenos[i];
+    Record rec;
+    try {
+      rec.uid = static_cast<int>(table.cell_int(i, c_uid));
+      rec.nodes = static_cast<int>(table.cell_int(i, c_nodes));
+      rec.ppn = static_cast<int>(table.cell_int(i, c_ppn));
+      rec.msize = static_cast<std::uint64_t>(table.cell_int(i, c_msize));
+      rec.time_us = table.cell_double(i, c_time);
+    } catch (const ParseError&) {
+      quarantine(local, lineno, "unparseable field");
+      continue;
+    }
+    if (!std::isfinite(rec.time_us)) {
+      quarantine(local, lineno, "non-finite time");
+    } else if (rec.time_us <= 0.0) {
+      quarantine(local, lineno, "non-positive time");
+    } else if (rec.time_us > options.max_time_us) {
+      quarantine(local, lineno, "implausible time");
+    } else if (rec.uid < 1 || rec.nodes < 1 || rec.ppn < 1) {
+      quarantine(local, lineno, "bad configuration key");
+    } else {
+      ds.add(rec);
+      ++local.rows_ingested;
+    }
+  }
+  if (report) *report = local;
+  return ds;
+}
+
+void print_ingest_report(std::ostream& os,
+                         const IngestReport& report) {
+  support::TextTable table({"ingest", "rows"});
+  table.add_row({"seen", std::to_string(report.rows_seen)});
+  table.add_row({"ingested", std::to_string(report.rows_ingested)});
+  table.add_row({"quarantined", std::to_string(report.rows_quarantined)});
+  for (const auto& [reason, count] : report.reasons) {
+    table.add_row({"  " + reason, std::to_string(count)});
+  }
+  table.print(os);
+  for (const IngestReport::Sample& s : report.samples) {
+    os << "  quarantined line " << s.lineno << ": " << s.reason << '\n';
+  }
 }
 
 }  // namespace mpicp::bench

@@ -9,8 +9,10 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <ostream>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -39,6 +41,33 @@ struct Instance {
   bool operator==(const Instance&) const = default;
 };
 
+/// Validation knobs of the tolerant ingest path.
+struct IngestOptions {
+  /// Timings above this are quarantined as implausible (1e9 us is ~17
+  /// minutes for a single collective — far past anything the Table II
+  /// grids produce; legitimate slow outliers stay well below it).
+  double max_time_us = 1e9;
+};
+
+/// Structured account of one tolerant CSV ingest: every input row is
+/// either ingested or quarantined under a reason, and the counts add
+/// up (rows_seen == rows_ingested + rows_quarantined).
+struct IngestReport {
+  std::size_t rows_seen = 0;
+  std::size_t rows_ingested = 0;
+  std::size_t rows_quarantined = 0;
+  std::map<std::string, std::size_t> reasons;  ///< reason -> count
+
+  struct Sample {
+    std::size_t lineno = 0;
+    std::string reason;
+  };
+  /// The first few quarantined rows, for log output.
+  std::vector<Sample> samples;
+
+  bool clean() const { return rows_quarantined == 0; }
+};
+
 class Dataset {
  public:
   Dataset(std::string name, sim::MpiLib lib, sim::Collective coll,
@@ -50,6 +79,13 @@ class Dataset {
   const std::string& machine() const { return machine_; }
 
   void add(const Record& rec);
+
+  /// Fault-injection entry: append a record without validation, so tests
+  /// can plant NaN/negative/outlier timings and exercise the downstream
+  /// screening (Selector::fit drops such rows per uid). Never use for
+  /// real measurements — add() is the validated path.
+  void add_unchecked(const Record& rec);
+
   std::size_t num_records() const { return records_.size(); }
   const std::vector<Record>& records() const { return records_; }
 
@@ -81,6 +117,18 @@ class Dataset {
                           std::string name, sim::MpiLib lib,
                           sim::Collective coll, std::string machine);
 
+  /// Tolerant ingest: structurally or semantically bad rows (wrong cell
+  /// count, unparseable fields, non-finite / non-positive / implausible
+  /// timings) are quarantined into `report` instead of aborting the
+  /// load. File-level failures (missing file, bad header) still throw.
+  /// On a clean file this is byte-for-byte equivalent to load_csv.
+  static Dataset load_csv_tolerant(const std::filesystem::path& path,
+                                   std::string name, sim::MpiLib lib,
+                                   sim::Collective coll,
+                                   std::string machine,
+                                   IngestReport* report = nullptr,
+                                   const IngestOptions& options = {});
+
  private:
   static std::uint64_t key(int uid, const Instance& inst);
 
@@ -98,5 +146,8 @@ class Dataset {
   mutable std::unordered_map<std::uint64_t, double> median_cache_;
   std::shared_ptr<std::mutex> median_mu_ = std::make_shared<std::mutex>();
 };
+
+/// Render an ingest health report as an aligned table (support/table).
+void print_ingest_report(std::ostream& os, const IngestReport& report);
 
 }  // namespace mpicp::bench

@@ -3,11 +3,13 @@
 // (doubles round-trip via max_digits10).
 #pragma once
 
+#include <cstdint>
 #include <iomanip>
 #include <istream>
 #include <limits>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "support/error.hpp"
@@ -19,9 +21,15 @@ inline void write_tag(std::ostream& os, const std::string& tag) {
 }
 
 /// Read one whitespace-delimited token and require it to equal `tag`.
+/// Distinguishes a truncated stream from a wrong token — the two need
+/// different operator responses (re-transfer vs. format investigation).
 inline void expect_tag(std::istream& is, const std::string& tag) {
   std::string got;
-  if (!(is >> got) || got != tag) {
+  if (!(is >> got)) {
+    throw ParseError("model stream: unexpected end of stream while "
+                     "expecting '" + tag + "'");
+  }
+  if (got != tag) {
     throw ParseError("model stream: expected '" + tag + "', got '" + got +
                      "'");
   }
@@ -39,8 +47,18 @@ void write_value(std::ostream& os, const T& value) {
 
 template <typename T>
 T read_value(std::istream& is) {
+  if (is.fail()) {
+    // The stream was already dead before this read; without this check a
+    // chain of read_value calls after a truncation would silently hand
+    // back default-initialized values. (eof alone is fine — the
+    // extraction below reports it precisely.)
+    throw ParseError("model stream: read past a previous failure");
+  }
   T value{};
   if (!(is >> value)) {
+    if (is.eof()) {
+      throw ParseError("model stream: unexpected end of stream");
+    }
     throw ParseError("model stream: malformed value");
   }
   return value;
@@ -55,10 +73,22 @@ void write_vector(std::ostream& os, const std::vector<T>& values) {
 template <typename T>
 std::vector<T> read_vector(std::istream& is) {
   const auto n = read_value<std::size_t>(is);
-  MPICP_REQUIRE(n < (1u << 28), "model stream: implausible vector size");
+  MPICP_CHECK_PARSE(n < (1u << 28), "model stream: implausible vector size");
   std::vector<T> values(n);
   for (auto& v : values) v = read_value<T>(is);
   return values;
+}
+
+/// FNV-1a 64-bit — the payload checksum of the regressor-v2 envelope.
+/// Not cryptographic; catches the bit-flips and truncations a corrupted
+/// model transfer produces.
+inline std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
 }
 
 }  // namespace mpicp::ml::io

@@ -3,10 +3,13 @@
 #include "ml/forest.hpp"
 #include "ml/gam.hpp"
 #include "ml/gbt.hpp"
+#include "ml/io.hpp"
 #include "ml/knn.hpp"
 #include "ml/linreg.hpp"
+#include "ml/median.hpp"
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "support/error.hpp"
 
@@ -21,18 +24,71 @@ std::vector<double> Regressor::predict(const Matrix& x) const {
 }
 
 void save_regressor(std::ostream& os, const Regressor& model) {
-  os << "regressor " << model.name() << '\n';
-  model.save(os);
+  // v2 envelope: the payload is serialized to a buffer first so the
+  // header can carry its exact byte count and FNV-1a checksum. A
+  // truncated or bit-flipped model file then fails loudly at load time
+  // instead of deserializing into a silently wrong model.
+  std::ostringstream payload;
+  model.save(payload);
+  const std::string body = payload.str();
+  os << "regressor-v2 " << model.name() << ' ' << body.size() << ' '
+     << std::hex << io::fnv1a64(body) << std::dec << '\n'
+     << body;
 }
 
 std::unique_ptr<Regressor> load_regressor(std::istream& is) {
   std::string tag;
-  std::string name;
-  if (!(is >> tag >> name) || tag != "regressor") {
+  if (!(is >> tag)) {
     throw ParseError("model stream: missing regressor header");
   }
+  if (tag == "regressor") {
+    // Legacy v1 envelope (no checksum): still loadable so pre-existing
+    // model banks survive the format bump.
+    std::string name;
+    if (!(is >> name)) {
+      throw ParseError("model stream: missing regressor name");
+    }
+    auto model = make_regressor(name);
+    model->load(is);
+    return model;
+  }
+  MPICP_CHECK_PARSE(tag == "regressor-v2",
+                    "model stream: missing regressor header (got '" + tag +
+                        "')");
+  std::string name;
+  std::size_t bytes = 0;
+  std::string checksum_hex;
+  if (!(is >> name >> bytes >> checksum_hex)) {
+    throw ParseError("model stream: truncated regressor-v2 header");
+  }
+  MPICP_CHECK_PARSE(bytes < (1u << 30),
+                    "model stream: implausible payload size");
+  is.get();  // the newline terminating the header
+  std::string body(bytes, '\0');
+  is.read(body.data(), static_cast<std::streamsize>(bytes));
+  const auto got = static_cast<std::size_t>(is.gcount());
+  if (got != bytes) {
+    throw ParseError("model stream: truncated payload for '" + name +
+                     "' — expected " + std::to_string(bytes) +
+                     " bytes, got " + std::to_string(got));
+  }
+  std::uint64_t expected = 0;
+  try {
+    expected = std::stoull(checksum_hex, nullptr, 16);
+  } catch (const std::exception&) {
+    throw ParseError("model stream: malformed checksum '" + checksum_hex +
+                     "'");
+  }
+  const std::uint64_t actual = io::fnv1a64(body);
+  if (actual != expected) {
+    std::ostringstream os;
+    os << "model stream: checksum mismatch for '" << name << "' — header "
+       << std::hex << expected << ", payload " << actual;
+    throw ParseError(os.str());
+  }
+  std::istringstream payload(body);
   auto model = make_regressor(name);
-  model->load(is);
+  model->load(payload);
   return model;
 }
 
@@ -42,6 +98,7 @@ std::unique_ptr<Regressor> make_regressor(const std::string& name) {
   if (name == "gam") return std::make_unique<GamRegressor>();
   if (name == "rf") return std::make_unique<RandomForest>();
   if (name == "linear") return std::make_unique<LinearRegressor>();
+  if (name == "median") return std::make_unique<MedianRegressor>();
   throw InvalidArgument("unknown learner '" + name + "'");
 }
 

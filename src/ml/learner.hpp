@@ -44,9 +44,10 @@ void save_regressor(std::ostream& os, const Regressor& model);
 std::unique_ptr<Regressor> load_regressor(std::istream& is);
 
 /// Learner names accepted by make_regressor (paper's three main learners
-/// first, then the ones it evaluated and discarded).
+/// first, then the ones it evaluated and discarded, then the constant
+/// median predictor — the selector's last-resort fit fallback).
 inline constexpr const char* kLearnerNames[] = {"xgboost", "knn", "gam",
-                                                "rf", "linear"};
+                                                "rf", "linear", "median"};
 
 std::unique_ptr<Regressor> make_regressor(const std::string& name);
 

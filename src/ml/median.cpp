@@ -1,0 +1,43 @@
+#include "ml/median.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "ml/io.hpp"
+#include "support/error.hpp"
+#include "support/stats.hpp"
+
+namespace mpicp::ml {
+
+void MedianRegressor::fit(const Matrix& x, std::span<const double> y) {
+  MPICP_REQUIRE(x.rows() == y.size() && !y.empty(),
+                "training data shape mismatch");
+  // Last-resort robustness: screen out the values no other learner would
+  // even accept, rather than failing on them.
+  std::vector<double> valid;
+  valid.reserve(y.size());
+  for (const double v : y) {
+    if (std::isfinite(v)) valid.push_back(v);
+  }
+  MPICP_REQUIRE(!valid.empty(), "no finite targets to take the median of");
+  median_ = support::median(valid);
+  fitted_ = true;
+}
+
+double MedianRegressor::predict_one(std::span<const double>) const {
+  MPICP_REQUIRE(fitted_, "predicting with an unfitted model");
+  return median_;
+}
+
+void MedianRegressor::save(std::ostream& os) const {
+  io::write_tag(os, "median");
+  io::write_value(os, median_);
+}
+
+void MedianRegressor::load(std::istream& is) {
+  io::expect_tag(is, "median");
+  median_ = io::read_value<double>(is);
+  fitted_ = true;
+}
+
+}  // namespace mpicp::ml

@@ -54,7 +54,51 @@ int alltoall_default(int p, std::size_t m) {
   return uid_of(Collective::kAlltoall, 2, 0, 0);
 }
 
+/// Find the Intel-registry uid of (alg_id, seg, param).
+int intel_uid_of(Collective coll, int alg_id, std::size_t seg, int param) {
+  for (const auto& cfg : algorithm_configs(MpiLib::kIntelMPI, coll)) {
+    if (cfg.alg_id == alg_id && cfg.seg_bytes == seg &&
+        cfg.param == param) {
+      return cfg.uid;
+    }
+  }
+  throw InternalError("default decision refers to unknown configuration");
+}
+
+/// Static threshold analogue of Intel MPI's release-to-release fallback
+/// rules (used when no tuning table applies): binomial/recursive
+/// doubling while latency-bound, bandwidth-optimal algorithms beyond.
+int intel_static_default(Collective coll, int p, std::size_t m) {
+  switch (coll) {
+    case Collective::kBcast:
+      if (p < 4 || m < 4096) return intel_uid_of(coll, 1, 0, 0);
+      if (m < 262144) return intel_uid_of(coll, 7, 0, 8);
+      return intel_uid_of(coll, 3, 0, 0);
+    case Collective::kAllreduce:
+      if (m < 8192) return intel_uid_of(coll, 1, 0, 0);
+      if (m < 1048576) return intel_uid_of(coll, 2, 0, 0);
+      return intel_uid_of(coll, 3, 0, 0);
+    case Collective::kAlltoall:
+      if (m < 256 && p > 8) return intel_uid_of(coll, 1, 0, 2);
+      if (m < 8192) return intel_uid_of(coll, 2, 0, 0);
+      return intel_uid_of(coll, 3, 0, 0);
+    default: break;
+  }
+  throw InvalidArgument("no default decision logic for collective " +
+                        to_string(coll));
+}
+
 }  // namespace
+
+int library_default_uid(MpiLib lib, Collective coll, int p,
+                        std::size_t m_bytes) {
+  switch (lib) {
+    case MpiLib::kOpenMPI: return openmpi_default_uid(coll, p, m_bytes);
+    case MpiLib::kIntelMPI: return intel_static_default(coll, p, m_bytes);
+  }
+  throw InvalidArgument("no default decision logic for library " +
+                        to_string(lib));
+}
 
 int openmpi_default_uid(Collective coll, int p, std::size_t m_bytes) {
   switch (coll) {

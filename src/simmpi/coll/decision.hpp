@@ -23,4 +23,14 @@ namespace mpicp::sim {
 /// m_bytes.
 int openmpi_default_uid(Collective coll, int p, std::size_t m_bytes);
 
+/// Library-agnostic entry point: the uid the library itself would fall
+/// back to without any tuning input. For Open MPI this is the fixed
+/// decision logic above; for Intel MPI (whose real default is a
+/// factory-tuned table needing benchmark data) it is a static
+/// threshold-rule analogue over the Intel registry. This is the
+/// degradation target when the prediction pipeline has no usable model
+/// for an instance — always returns a valid uid for (lib, coll).
+int library_default_uid(MpiLib lib, Collective coll, int p,
+                        std::size_t m_bytes);
+
 }  // namespace mpicp::sim

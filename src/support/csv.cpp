@@ -44,27 +44,48 @@ std::int64_t CsvTable::cell_int(std::size_t row, std::size_t col) const {
   return parse_int(cell(row, col));
 }
 
-CsvTable read_csv(const std::filesystem::path& path) {
+namespace {
+
+/// Shared reader core: strict mode throws on the first structurally bad
+/// row, lenient mode logs and skips it.
+CsvReadResult read_csv_impl(const std::filesystem::path& path,
+                            bool lenient) {
   std::ifstream in(path);
   if (!in) throw ParseError("cannot open CSV file " + path.string());
   std::string line;
   if (!std::getline(in, line)) {
     throw ParseError("CSV file " + path.string() + " is empty");
   }
-  CsvTable table(split(trim(line), ','));
+  CsvReadResult result;
+  result.table = CsvTable(split(trim(line), ','));
   std::size_t lineno = 1;
   while (std::getline(in, line)) {
     ++lineno;
     const auto trimmed = trim(line);
     if (trimmed.empty()) continue;
     auto cells = split(trimmed, ',');
-    if (cells.size() != table.header().size()) {
-      throw ParseError(path.string() + ":" + std::to_string(lineno) +
-                       ": row width mismatch");
+    if (cells.size() != result.table.header().size()) {
+      if (!lenient) {
+        throw ParseError(path.string() + ":" + std::to_string(lineno) +
+                         ": row width mismatch");
+      }
+      result.errors.push_back({lineno, "row width mismatch"});
+      continue;
     }
-    table.add_row(std::move(cells));
+    result.table.add_row(std::move(cells));
+    result.linenos.push_back(lineno);
   }
-  return table;
+  return result;
+}
+
+}  // namespace
+
+CsvTable read_csv(const std::filesystem::path& path) {
+  return read_csv_impl(path, /*lenient=*/false).table;
+}
+
+CsvReadResult read_csv_lenient(const std::filesystem::path& path) {
+  return read_csv_impl(path, /*lenient=*/true);
 }
 
 void write_csv(const std::filesystem::path& path, const CsvTable& table) {

@@ -40,4 +40,23 @@ class CsvTable {
 CsvTable read_csv(const std::filesystem::path& path);
 void write_csv(const std::filesystem::path& path, const CsvTable& table);
 
+/// One structurally bad row skipped by read_csv_lenient.
+struct CsvRowError {
+  std::size_t lineno = 0;  ///< 1-based line number in the file
+  std::string reason;
+};
+
+struct CsvReadResult {
+  CsvTable table;
+  /// 1-based file line number of each kept row, parallel to the table's
+  /// rows (for error reporting downstream of the CSV layer).
+  std::vector<std::size_t> linenos;
+  std::vector<CsvRowError> errors;
+};
+
+/// Like read_csv, but structurally bad rows (wrong cell count) are
+/// recorded in `errors` and skipped instead of aborting the read. The
+/// header and file-level failures (missing/empty file) still throw.
+CsvReadResult read_csv_lenient(const std::filesystem::path& path);
+
 }  // namespace mpicp::support

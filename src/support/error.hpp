@@ -37,15 +37,27 @@ class InternalError : public Error {
 
 namespace detail {
 
-[[noreturn]] inline void fail(const char* kind, const char* expr,
+/// Which check macro fired — selects both the message prefix and the
+/// exception type without string comparisons on the failure path.
+enum class FailKind { kPrecondition, kInvariant, kParse };
+
+[[noreturn]] inline void fail(FailKind kind, const char* expr,
                               const std::string& msg,
                               const std::source_location& loc) {
+  const char* label = "internal invariant violated";
+  switch (kind) {
+    case FailKind::kPrecondition: label = "precondition violated"; break;
+    case FailKind::kParse: label = "malformed input"; break;
+    case FailKind::kInvariant: break;
+  }
   std::ostringstream os;
-  os << kind << ": " << expr;
+  os << label << ": " << expr;
   if (!msg.empty()) os << " — " << msg;
   os << " [" << loc.file_name() << ':' << loc.line() << ']';
-  if (kind == std::string("precondition violated")) {
-    throw InvalidArgument(os.str());
+  switch (kind) {
+    case FailKind::kPrecondition: throw InvalidArgument(os.str());
+    case FailKind::kParse: throw ParseError(os.str());
+    case FailKind::kInvariant: break;
   }
   throw InternalError(os.str());
 }
@@ -58,7 +70,8 @@ namespace detail {
 #define MPICP_REQUIRE(expr, msg)                                          \
   do {                                                                    \
     if (!(expr)) {                                                        \
-      ::mpicp::detail::fail("precondition violated", #expr, (msg),        \
+      ::mpicp::detail::fail(::mpicp::detail::FailKind::kPrecondition,     \
+                            #expr, (msg),                                 \
                             std::source_location::current());             \
     }                                                                     \
   } while (0)
@@ -67,7 +80,19 @@ namespace detail {
 #define MPICP_ASSERT(expr, msg)                                           \
   do {                                                                    \
     if (!(expr)) {                                                        \
-      ::mpicp::detail::fail("internal invariant violated", #expr, (msg),  \
-                            std::source_location::current());             \
+      ::mpicp::detail::fail(::mpicp::detail::FailKind::kInvariant, #expr, \
+                            (msg), std::source_location::current());      \
+    }                                                                     \
+  } while (0)
+
+/// Validate external input (file contents, wire formats); throws
+/// mpicp::ParseError. Use at ingest sites instead of hand-rolled
+/// `throw ParseError(...)` so the message carries the failing expression
+/// and source location.
+#define MPICP_CHECK_PARSE(expr, msg)                                      \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::mpicp::detail::fail(::mpicp::detail::FailKind::kParse, #expr,     \
+                            (msg), std::source_location::current());      \
     }                                                                     \
   } while (0)

@@ -31,7 +31,11 @@ TuningConfig build_tuning_config(const Selector& selector, sim::MpiLib lib,
   config.nodes = nodes;
   config.ppn = ppn;
   for (std::size_t i = 0; i < msizes.size(); ++i) {
-    const int uid = selector.select_uid({nodes, ppn, msizes[i]});
+    // Degradation-aware: a message size where every model prediction is
+    // unusable gets the library's own default rule instead of aborting
+    // the whole tuning file.
+    const int uid =
+        selector.select_uid_or_default({nodes, ppn, msizes[i]}, lib, coll);
     // A rule covers messages up to halfway (log scale) to the next
     // queried size; the last rule covers everything beyond.
     std::uint64_t upto = kInfinity;

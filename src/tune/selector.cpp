@@ -5,8 +5,11 @@
 #include <fstream>
 
 #include "ml/io.hpp"
+#include "simmpi/coll/decision.hpp"
 #include "support/error.hpp"
+#include "support/faultinject.hpp"
 #include "support/parallel.hpp"
+#include "support/table.hpp"
 
 namespace mpicp::tune {
 
@@ -21,12 +24,68 @@ std::vector<double> instance_features(const bench::Instance& inst,
   return x;
 }
 
+std::size_t FitReport::uids_clean() const {
+  return static_cast<std::size_t>(
+      std::count_if(outcomes.begin(), outcomes.end(),
+                    [](const FitOutcome& o) {
+                      return o.usable() && o.fallback_depth == 0;
+                    }));
+}
+
+std::size_t FitReport::uids_fallback() const {
+  return static_cast<std::size_t>(
+      std::count_if(outcomes.begin(), outcomes.end(),
+                    [](const FitOutcome& o) {
+                      return o.usable() && o.fallback_depth > 0;
+                    }));
+}
+
+std::size_t FitReport::uids_unusable() const {
+  return static_cast<std::size_t>(
+      std::count_if(outcomes.begin(), outcomes.end(),
+                    [](const FitOutcome& o) { return !o.usable(); }));
+}
+
+std::size_t FitReport::rows_dropped() const {
+  std::size_t n = 0;
+  for (const FitOutcome& o : outcomes) n += o.rows_dropped;
+  return n;
+}
+
+bool FitReport::degraded() const {
+  return std::any_of(outcomes.begin(), outcomes.end(),
+                     [](const FitOutcome& o) { return !o.clean(); });
+}
+
+void print_fit_report(std::ostream& os, const FitReport& report) {
+  support::TextTable summary({"fit", "uids"});
+  summary.add_row({"total", std::to_string(report.uids_total())});
+  summary.add_row({"clean", std::to_string(report.uids_clean())});
+  summary.add_row({"fallback", std::to_string(report.uids_fallback())});
+  summary.add_row({"unusable", std::to_string(report.uids_unusable())});
+  summary.add_row(
+      {"rows dropped", std::to_string(report.rows_dropped())});
+  summary.print(os);
+  if (!report.degraded()) return;
+  support::TextTable detail(
+      {"uid", "rows", "dropped", "learner", "depth", "first error"});
+  for (const FitOutcome& o : report.outcomes) {
+    if (o.clean()) continue;
+    detail.add_row({std::to_string(o.uid), std::to_string(o.rows_total),
+                    std::to_string(o.rows_dropped),
+                    o.usable() ? o.learner : "(none)",
+                    std::to_string(o.fallback_depth), o.error});
+  }
+  detail.print(os);
+}
+
 Selector::Selector(SelectorOptions options) : options_(std::move(options)) {}
 
 void Selector::fit(const bench::Dataset& ds,
                    const std::vector<int>& train_nodes) {
   MPICP_REQUIRE(!train_nodes.empty(), "empty training node set");
   models_.clear();
+  report_ = FitReport{};
 
   // Bucket the raw observations per uid.
   std::map<int, std::vector<const bench::Record*>> rows;
@@ -39,10 +98,21 @@ void Selector::fit(const bench::Dataset& ds,
   }
   MPICP_REQUIRE(!rows.empty(), "no training rows for the given node set");
 
+  // The degradation ladder: configured learner first, then the fallback
+  // chain (skipping duplicates of the configured learner).
+  std::vector<std::string> chain = {options_.learner};
+  for (const std::string& name : options_.fallback_learners) {
+    if (std::find(chain.begin(), chain.end(), name) == chain.end()) {
+      chain.push_back(name);
+    }
+  }
+
   // One independent fit per uid — the embarrassingly parallel half of
   // the paper's design. Each task owns its learner instance and writes
   // into a preallocated slot, so the resulting bank is bit-identical
-  // regardless of the thread count.
+  // regardless of the thread count. A fit failure stays inside its task
+  // (degrading through the chain) instead of riding the parallel_for
+  // exception path out of the whole bank.
   std::vector<std::pair<int, const std::vector<const bench::Record*>*>>
       tasks;
   tasks.reserve(rows.size());
@@ -51,24 +121,63 @@ void Selector::fit(const bench::Dataset& ds,
   const std::size_t dim =
       instance_features({1, 1, 1}, options_.features).size();
   std::vector<std::unique_ptr<ml::Regressor>> fitted(tasks.size());
+  std::vector<FitOutcome> outcomes(tasks.size());
   support::parallel_for(tasks.size(), 1, [&](std::size_t t) {
+    const int uid = tasks[t].first;
     const auto& recs = *tasks[t].second;
-    ml::Matrix x(recs.size(), dim);
-    std::vector<double> y(recs.size());
-    for (std::size_t i = 0; i < recs.size(); ++i) {
+    FitOutcome& outcome = outcomes[t];
+    outcome.uid = uid;
+    outcome.rows_total = recs.size();
+
+    // Screen the rows no learner accepts (corrupt in-memory datasets:
+    // NaN / negative / zero timings) before they poison a fit.
+    std::vector<const bench::Record*> valid;
+    valid.reserve(recs.size());
+    for (const bench::Record* rec : recs) {
+      if (std::isfinite(rec->time_us) && rec->time_us > 0.0) {
+        valid.push_back(rec);
+      }
+    }
+    outcome.rows_dropped = recs.size() - valid.size();
+    if (valid.empty()) {
+      outcome.error = "no valid training rows";
+      return;
+    }
+
+    ml::Matrix x(valid.size(), dim);
+    std::vector<double> y(valid.size());
+    for (std::size_t i = 0; i < valid.size(); ++i) {
       const auto feat = instance_features(
-          {recs[i]->nodes, recs[i]->ppn, recs[i]->msize},
+          {valid[i]->nodes, valid[i]->ppn, valid[i]->msize},
           options_.features);
       std::copy(feat.begin(), feat.end(), x.row(i).begin());
-      y[i] = recs[i]->time_us;
+      y[i] = valid[i]->time_us;
     }
-    auto model = ml::make_regressor(options_.learner);
-    model->fit(x, y);
-    fitted[t] = std::move(model);
+    for (std::size_t level = 0; level < chain.size(); ++level) {
+      try {
+        if (support::faultinject::consume_fit_failure(uid)) {
+          throw Error("fault injection: forced fit failure");
+        }
+        auto model = ml::make_regressor(chain[level]);
+        model->fit(x, y);
+        fitted[t] = std::move(model);
+        outcome.learner = chain[level];
+        outcome.fallback_depth = static_cast<int>(level);
+        return;
+      } catch (const std::exception& e) {
+        if (outcome.error.empty()) outcome.error = e.what();
+      }
+    }
+    // Whole chain failed: the uid stays out of the bank, recorded above.
   });
   for (std::size_t t = 0; t < tasks.size(); ++t) {
-    models_.emplace(tasks[t].first, std::move(fitted[t]));
+    report_.outcomes.push_back(std::move(outcomes[t]));
+    if (fitted[t]) {
+      models_.emplace(tasks[t].first, std::move(fitted[t]));
+    }
   }
+  MPICP_REQUIRE(!models_.empty(),
+                "no uid could be fitted by any learner in the chain");
 }
 
 double Selector::predicted_time_us(int uid,
@@ -89,30 +198,64 @@ std::vector<Selector::Prediction> Selector::predict_all(
   out.reserve(models_.size());
   bank.reserve(models_.size());
   for (const auto& [uid, model] : models_) {
-    out.push_back({uid, 0.0});
+    out.push_back({uid, 0.0, true});
     bank.push_back(model.get());
   }
   // Single predictions are cheap; chunk so the pool is only engaged for
   // banks large enough to amortize the dispatch.
   support::parallel_for(bank.size(), 16, [&](std::size_t i) {
-    out[i].time_us = bank[i]->predict_one(feat);
+    double t = bank[i]->predict_one(feat);
+    if (support::faultinject::active()) {
+      if (const auto forced =
+              support::faultinject::forced_prediction(out[i].uid)) {
+        t = *forced;
+      }
+    }
+    out[i].time_us = t;
+    out[i].usable = std::isfinite(t) && t >= 0.0;
   });
   return out;
 }
 
-int Selector::select_uid(const bench::Instance& inst) const {
-  const auto predictions = predict_all(inst);
+namespace {
+
+/// Argmin over the usable predictions; -1 when none is usable. Scans in
+/// ascending uid order so ties break identically at every thread count.
+/// Unusable predictions (NaN/inf/negative) never win the argmin —
+/// comparing against them would poison the result.
+int argmin_usable(const std::vector<Selector::Prediction>& predictions) {
   int best_uid = -1;
   double best_time = 0.0;
-  // Scan in ascending uid order so ties break identically at every
-  // thread count.
-  for (const Prediction& p : predictions) {
+  for (const Selector::Prediction& p : predictions) {
+    if (!p.usable) continue;
     if (best_uid < 0 || p.time_us < best_time) {
       best_uid = p.uid;
       best_time = p.time_us;
     }
   }
   return best_uid;
+}
+
+}  // namespace
+
+int Selector::select_uid(const bench::Instance& inst) const {
+  const int best_uid = argmin_usable(predict_all(inst));
+  MPICP_REQUIRE(best_uid > 0,
+                "no usable model prediction for the instance (use "
+                "select_uid_or_default for graceful degradation)");
+  return best_uid;
+}
+
+int Selector::select_uid_or_default(const bench::Instance& inst,
+                                    sim::MpiLib lib,
+                                    sim::Collective coll) const {
+  if (!models_.empty()) {
+    const int best_uid = argmin_usable(predict_all(inst));
+    if (best_uid > 0) return best_uid;
+  }
+  // No usable model: behave like an untuned library run.
+  return sim::library_default_uid(lib, coll, inst.nodes * inst.ppn,
+                                  inst.msize);
 }
 
 void Selector::save(const std::filesystem::path& path) const {
@@ -138,15 +281,15 @@ Selector Selector::load(const std::filesystem::path& path) {
   if (!is) throw ParseError("cannot open selector file " + path.string());
   ml::io::expect_tag(is, "mpicp-selector");
   const int version = ml::io::read_value<int>(is);
-  MPICP_REQUIRE(version == 1, "unsupported selector file version");
+  MPICP_CHECK_PARSE(version == 1, "unsupported selector file version");
   SelectorOptions options;
   is >> options.learner;
   options.features.include_total_processes =
       ml::io::read_value<int>(is) != 0;
   Selector selector(options);
   const auto count = ml::io::read_value<std::size_t>(is);
-  MPICP_REQUIRE(count >= 1 && count < 100000,
-                "implausible selector model count");
+  MPICP_CHECK_PARSE(count >= 1 && count < 100000,
+                    "implausible selector model count");
   for (std::size_t i = 0; i < count; ++i) {
     const int uid = ml::io::read_value<int>(is);
     selector.models_.emplace(uid, ml::load_regressor(is));

@@ -2,16 +2,25 @@
 // model per algorithm configuration uid, each predicting the running
 // time from the instance features (m, n, N); selection evaluates every
 // model on an unseen instance and returns the argmin.
+//
+// Robustness layer (see README "Fault tolerance & degradation"): fitting
+// degrades per uid through a configurable learner chain instead of
+// aborting the whole bank, every fit is accounted for in a FitReport,
+// and selection excludes non-finite/negative predictions from the
+// argmin — falling back to the library's own default decision when no
+// model is usable at all.
 #pragma once
 
 #include <filesystem>
 #include <map>
 #include <memory>
+#include <ostream>
 #include <string>
 #include <vector>
 
 #include "collbench/dataset.hpp"
 #include "ml/learner.hpp"
+#include "simmpi/coll/registry.hpp"
 
 namespace mpicp::tune {
 
@@ -29,7 +38,42 @@ std::vector<double> instance_features(const bench::Instance& inst,
 struct SelectorOptions {
   std::string learner = "gam";  ///< ml::make_regressor name
   FeatureOptions features;
+  /// Learners tried, in order, for a uid whose configured-learner fit
+  /// failed. The default chain mirrors the degradation ladder: a
+  /// structurally different learner first (knn has no normal equations
+  /// to go singular), then the constant median predictor, which fits
+  /// whenever at least one finite observation exists.
+  std::vector<std::string> fallback_learners = {"knn", "median"};
 };
+
+/// Per-uid account of one Selector::fit — which learner ended up in the
+/// bank, how far down the fallback chain it sits, and why.
+struct FitOutcome {
+  int uid = 0;
+  std::size_t rows_total = 0;    ///< training rows bucketed for the uid
+  std::size_t rows_dropped = 0;  ///< screened out (non-finite/≤0 timing)
+  std::string learner;           ///< learner fitted ("" if unusable)
+  int fallback_depth = 0;        ///< 0 = configured, 1 = first fallback…
+  std::string error;             ///< first failure message ("" if clean)
+
+  bool usable() const { return !learner.empty(); }
+  bool clean() const { return error.empty() && rows_dropped == 0; }
+};
+
+struct FitReport {
+  std::vector<FitOutcome> outcomes;  ///< ascending uid order
+
+  std::size_t uids_total() const { return outcomes.size(); }
+  std::size_t uids_clean() const;
+  std::size_t uids_fallback() const;  ///< usable via a fallback learner
+  std::size_t uids_unusable() const;  ///< whole chain failed
+  std::size_t rows_dropped() const;
+  /// True when anything deviated from a clean full-bank fit.
+  bool degraded() const;
+};
+
+/// Render a fit health report (summary plus one row per non-clean uid).
+void print_fit_report(std::ostream& os, const FitReport& report);
 
 class Selector {
  public:
@@ -37,8 +81,16 @@ class Selector {
 
   /// Fit one model per uid on the dataset rows whose node count is in
   /// `train_nodes` (raw observations, not aggregates — the models see
-  /// the measurement noise, as in the paper).
+  /// the measurement noise, as in the paper). Rows with non-finite or
+  /// non-positive timings are screened out per uid; a uid whose fit
+  /// fails degrades through options().fallback_learners, and a uid with
+  /// no usable model is left out of the bank. Every deviation is
+  /// recorded in fit_report(). Throws only when *no* uid is fittable.
   void fit(const bench::Dataset& ds, const std::vector<int>& train_nodes);
+
+  /// Health account of the last fit() on this selector (empty if the
+  /// bank was loaded from disk instead).
+  const FitReport& fit_report() const { return report_; }
 
   /// Predicted running time of one configuration on an instance.
   double predicted_time_us(int uid, const bench::Instance& inst) const;
@@ -47,6 +99,9 @@ class Selector {
   struct Prediction {
     int uid = 0;
     double time_us = 0.0;
+    /// False when the model produced a non-finite or negative time —
+    /// such predictions are excluded from the argmin.
+    bool usable = true;
   };
 
   /// Batched inference: the predicted running time of *every* modeled
@@ -55,10 +110,19 @@ class Selector {
   /// are evaluated in parallel (see support/parallel.hpp).
   std::vector<Prediction> predict_all(const bench::Instance& inst) const;
 
-  /// The argmin over all modeled configurations (the algorithm ID the
-  /// framework would load into the MPI library). Ties resolve to the
-  /// lowest uid regardless of thread count.
+  /// The argmin over all modeled configurations whose prediction is
+  /// usable (the algorithm ID the framework would load into the MPI
+  /// library). Ties resolve to the lowest uid regardless of thread
+  /// count. Throws if no prediction is usable — callers with a library
+  /// context should prefer select_uid_or_default.
   int select_uid(const bench::Instance& inst) const;
+
+  /// Degradation-aware selection: the argmin when at least one model
+  /// prediction is usable, else the library's own default decision
+  /// (sim::library_default_uid) — the behaviour an untuned run would
+  /// get. Never throws on a fitted or even empty bank.
+  int select_uid_or_default(const bench::Instance& inst, sim::MpiLib lib,
+                            sim::Collective coll) const;
 
   std::vector<int> uids() const;
   const SelectorOptions& options() const { return options_; }
@@ -72,6 +136,7 @@ class Selector {
  private:
   SelectorOptions options_;
   std::map<int, std::unique_ptr<ml::Regressor>> models_;
+  FitReport report_;
 };
 
 }  // namespace mpicp::tune
