@@ -14,11 +14,18 @@
 // runs the full tolerant pipeline — quarantined rows, fit fallbacks and
 // the final tuning file are all reported instead of the run aborting.
 //
+// Observability: --metrics-out writes the process metrics registry as
+// JSON (rows quarantined, fit fallbacks, predictions served, ...) and
+// --trace-out dumps every timing span in Chrome trace format — the
+// run's per-stage wall-clock profile is also printed. See README
+// "Observability".
+//
 // Usage:
 //   autotune_job [--nodes=27] [--ppn=16] [--dataset=d1]
 //                [--learner=gam] [--out=tuning.conf]
 //                [--models=<path>] [--refit]
 //                [--fault-rate=0.1] [--fault-seed=42]
+//                [--metrics-out=metrics.json] [--trace-out=trace.json]
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -27,6 +34,8 @@
 #include "collbench/specs.hpp"
 #include "support/cli.hpp"
 #include "support/faultinject.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
 #include "tune/config_writer.hpp"
 #include "tune/selector.hpp"
 
@@ -38,6 +47,8 @@ int main(int argc, char** argv) {
   const std::string dataset = cli.get("dataset", "d1");
   const std::string learner = cli.get("learner", "gam");
   const std::string out = cli.get("out", "tuning.conf");
+  const std::string metrics_out = cli.get("metrics-out", "");
+  const std::string trace_out = cli.get("trace-out", "");
   const double fault_rate = cli.get_double("fault-rate", 0.0);
   const auto fault_seed =
       static_cast<std::uint64_t>(cli.get_int("fault-seed", 42));
@@ -125,6 +136,26 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(rule.msize_upto),
                   rule.uid, cfg.label().c_str());
     }
+  }
+
+  if (!metrics_out.empty()) {
+    const auto snapshot = support::metrics::Registry::instance().snapshot();
+    std::ofstream os(metrics_out);
+    support::metrics::write_json(os, snapshot);
+    std::printf("\nmetrics snapshot written to %s:\n", metrics_out.c_str());
+    std::ostringstream table;
+    support::metrics::print_metrics(table, snapshot);
+    std::fputs(table.str().c_str(), stdout);
+  }
+  if (!trace_out.empty()) {
+    std::ofstream os(trace_out);
+    support::trace::write_chrome_trace(os);
+    std::printf("\nChrome trace written to %s (load via chrome://tracing); "
+                "span profile:\n",
+                trace_out.c_str());
+    std::ostringstream table;
+    support::trace::print_profile(table);
+    std::fputs(table.str().c_str(), stdout);
   }
   return 0;
 }

@@ -6,9 +6,11 @@
 
 #include "support/csv.hpp"
 #include "support/error.hpp"
+#include "support/metrics.hpp"
 #include "support/stats.hpp"
 #include "support/str.hpp"
 #include "support/table.hpp"
+#include "support/trace.hpp"
 
 namespace mpicp::bench {
 
@@ -163,6 +165,7 @@ Dataset Dataset::load_csv_tolerant(const std::filesystem::path& path,
                                    std::string machine,
                                    IngestReport* report,
                                    const IngestOptions& options) {
+  MPICP_SPAN("ingest.load_csv_tolerant");
   const support::CsvReadResult read = support::read_csv_lenient(path);
   const support::CsvTable& table = read.table;
   Dataset ds(std::move(name), lib, coll, std::move(machine));
@@ -204,6 +207,14 @@ Dataset Dataset::load_csv_tolerant(const std::filesystem::path& path,
       ds.add(rec);
       ++local.rows_ingested;
     }
+  }
+  namespace metrics = support::metrics;
+  metrics::counter("ingest.files").inc();
+  metrics::counter("ingest.rows_seen").inc(local.rows_seen);
+  metrics::counter("ingest.rows_ingested").inc(local.rows_ingested);
+  metrics::counter("ingest.rows_quarantined").inc(local.rows_quarantined);
+  for (const auto& [reason, count] : local.reasons) {
+    metrics::counter("ingest.quarantine." + reason).inc(count);
   }
   if (report) *report = local;
   return ds;

@@ -2,8 +2,10 @@
 
 #include "ml/metrics.hpp"
 #include "support/error.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
+#include "support/trace.hpp"
 
 namespace mpicp::ml {
 
@@ -60,14 +62,19 @@ double kfold_rmse(const std::string& learner, const Matrix& x,
   // learner instance into a preallocated slot, and the per-fold errors
   // are reduced in fold order — the result is bit-identical to the
   // serial loop at any thread count.
+  MPICP_SPAN("cv.kfold_rmse");
+  support::metrics::counter("cv.runs").inc();
+  support::metrics::counter("cv.folds").inc(static_cast<std::size_t>(folds));
   const std::vector<Split> splits = kfold_splits(x.rows(), folds, seed);
   std::vector<double> fold_rmse(splits.size(), 0.0);
   support::parallel_for(splits.size(), 1, [&](std::size_t f) {
+    MPICP_SPAN("cv.fold");
     const Split& split = splits[f];
     auto model = make_regressor(learner);
     model->fit(take_rows(x, split.train), take(y, split.train));
     const auto pred = model->predict(take_rows(x, split.test));
     fold_rmse[f] = rmse(take(y, split.test), pred);
+    support::metrics::histogram("cv.fold_rmse").observe(fold_rmse[f]);
   });
   double acc = 0.0;
   for (const double r : fold_rmse) acc += r;

@@ -1,0 +1,250 @@
+#include "support/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "support/table.hpp"
+
+namespace mpicp::support::metrics {
+
+namespace {
+
+/// Relaxed fetch-min/max via CAS (atomic<double> has no fetch_min).
+void atomic_min(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur && !target.compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur && !target.compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_add(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+std::size_t bucket_index(double v) {
+  if (!(v > 1.0)) return 0;  // also catches NaN
+  const int exp = std::ilogb(v);
+  // Bucket b covers (2^(b-1), 2^b]: an exact power of two stays in its
+  // own bucket, everything above it moves one up.
+  const std::size_t b = static_cast<std::size_t>(exp) +
+                        (std::ldexp(1.0, exp) < v ? 1 : 0);
+  return std::min<std::size_t>(b, Histogram::kBuckets - 1);
+}
+
+}  // namespace
+
+void Histogram::observe(double v) {
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+  atomic_add(sum_, v);
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Histogram::Summary Histogram::summary() const {
+  Summary s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = s.count == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+  s.max = s.count == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const std::uint64_t n = buckets_[b].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    s.buckets.emplace_back(std::ldexp(1.0, static_cast<int>(b)), n);
+  }
+  return s;
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard lock(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard lock(mu_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  const std::lock_guard lock(mu_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_
+              .emplace(std::string(name), std::make_unique<Histogram>())
+              .first->second;
+}
+
+Snapshot Registry::snapshot() const {
+  const std::lock_guard lock(mu_);
+  Snapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = h->summary();
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  const std::lock_guard lock(mu_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+}
+
+Counter& counter(std::string_view name) {
+  return Registry::instance().counter(name);
+}
+
+Gauge& gauge(std::string_view name) {
+  return Registry::instance().gauge(name);
+}
+
+Histogram& histogram(std::string_view name) {
+  return Registry::instance().histogram(name);
+}
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// JSON number: non-finite doubles have no JSON spelling, emit null.
+void json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+void json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void print_metrics(std::ostream& os, const Snapshot& snapshot) {
+  if (!snapshot.counters.empty()) {
+    TextTable table({"counter", "value"});
+    for (const auto& [name, v] : snapshot.counters) {
+      table.add_row({name, std::to_string(v)});
+    }
+    table.print(os);
+  }
+  if (!snapshot.gauges.empty()) {
+    TextTable table({"gauge", "value"});
+    for (const auto& [name, v] : snapshot.gauges) {
+      table.add_row({name, fmt(v)});
+    }
+    table.print(os);
+  }
+  if (!snapshot.histograms.empty()) {
+    TextTable table({"histogram", "count", "mean", "min", "max", "sum"});
+    for (const auto& [name, h] : snapshot.histograms) {
+      table.add_row({name, std::to_string(h.count), fmt(h.mean()),
+                     fmt(h.min), fmt(h.max), fmt(h.sum)});
+    }
+    table.print(os);
+  }
+}
+
+void write_json(std::ostream& os, const Snapshot& snapshot) {
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : snapshot.counters) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    json_string(os, name);
+    os << ": " << v;
+  }
+  os << (first ? "}" : "\n  }") << ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : snapshot.gauges) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    json_string(os, name);
+    os << ": ";
+    json_number(os, v);
+  }
+  os << (first ? "}" : "\n  }") << ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    json_string(os, name);
+    os << ": {\"count\": " << h.count << ", \"sum\": ";
+    json_number(os, h.sum);
+    os << ", \"min\": ";
+    json_number(os, h.min);
+    os << ", \"max\": ";
+    json_number(os, h.max);
+    os << ", \"mean\": ";
+    json_number(os, h.mean());
+    os << ", \"buckets\": [";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "{\"le\": ";
+      json_number(os, h.buckets[i].first);
+      os << ", \"count\": " << h.buckets[i].second << "}";
+    }
+    os << "]}";
+  }
+  os << (first ? "}" : "\n  }") << "\n}\n";
+}
+
+}  // namespace mpicp::support::metrics

@@ -1,0 +1,150 @@
+// Process-wide metrics registry (counters, gauges, histograms).
+//
+// The pipeline's health reports (bench::IngestReport, tune::FitReport)
+// account for one call; this registry accumulates the same quantities —
+// rows quarantined, fallback depths, argmin exclusions, predictions
+// served, per-learner fit times — across a whole process, so operators
+// and benches can see where a run spent its budget and how often the
+// degradation paths fired. Metric values are updated with relaxed
+// atomics from inside parallel_for bodies; registration takes a mutex
+// once per name, and instruments are never deallocated (reset() zeroes
+// values in place), so cached references stay valid for the process
+// lifetime.
+//
+// Exporters: print_metrics renders an aligned table (support/table);
+// write_json emits the machine-readable snapshot (`metrics.json`) the
+// benches and the golden tests consume. See README "Observability".
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mpicp::support::metrics {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar (e.g. a configuration value or a level).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Distribution of observed values: exact count/sum/min/max plus
+/// power-of-two buckets (bucket b counts values in (2^(b-1), 2^b]).
+/// Values <= 0 land in the first bucket. All updates are lock-free, so
+/// observe() is safe from parallel_for bodies.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void observe(double v);
+
+  struct Summary {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  ///< meaningless when count == 0
+    double max = 0.0;
+    double mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+    /// Non-empty buckets as (upper bound, count), ascending.
+    std::vector<std::pair<double, std::uint64_t>> buckets;
+  };
+  Summary summary() const;
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  // +/-inf sentinels so the first observe() seeds the bounds through
+  // the same CAS path as every later one; summary() maps the empty
+  // histogram back to 0.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// Point-in-time copy of every registered metric.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram::Summary> histograms;
+};
+
+/// The process-wide name -> instrument map. Lookup registers on first
+/// use and returns a stable reference; hot paths should cache it.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  Snapshot snapshot() const;
+
+  /// Zero every registered metric in place. References handed out
+  /// before the reset stay valid (tests and repeated bench reps rely
+  /// on this).
+  void reset();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+      histograms_;
+};
+
+/// Convenience accessors into Registry::instance().
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Histogram& histogram(std::string_view name);
+
+/// Render a snapshot as aligned human-readable tables.
+void print_metrics(std::ostream& os, const Snapshot& snapshot);
+
+/// Emit a snapshot as JSON:
+///   {"counters": {name: int, ...},
+///    "gauges": {name: float, ...},
+///    "histograms": {name: {"count": int, "sum": float, "min": float,
+///                          "max": float, "mean": float,
+///                          "buckets": [{"le": float, "count": int}]}}}
+/// Non-finite values are emitted as null so the output always parses.
+void write_json(std::ostream& os, const Snapshot& snapshot);
+
+}  // namespace mpicp::support::metrics

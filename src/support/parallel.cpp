@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "support/error.hpp"
+#include "support/trace.hpp"
 
 namespace mpicp::support {
 
@@ -197,8 +198,14 @@ void parallel_for(std::size_t n, std::size_t chunk,
       static_cast<std::size_t>(threads - 1), num_chunks - 1));
   state->active_runners = helpers + 1;
   ThreadPool& pool = ThreadPool::shared(helpers);
+  // Pool runners inherit the caller's span path so spans opened inside
+  // fn merge under the stage that spawned the region (support/trace).
+  const std::string trace_parent = trace::current_path();
   for (int i = 0; i < helpers; ++i) {
-    pool.submit([state] { run_chunks(state); });
+    pool.submit([state, trace_parent] {
+      const trace::ScopedParent parent(trace_parent);
+      run_chunks(state);
+    });
   }
   run_chunks(state);  // the calling thread participates
   {

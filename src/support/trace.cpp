@@ -1,0 +1,230 @@
+#include "support/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "support/table.hpp"
+
+namespace mpicp::support::trace {
+
+namespace {
+
+// -1 = not yet resolved from the environment; 0 = off; 1 = on.
+std::atomic<int> g_enabled{-1};
+
+int resolve_enabled_from_env() {
+  const char* env = std::getenv("MPICP_TRACE");
+  if (env != nullptr &&
+      (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+       std::strcmp(env, "false") == 0)) {
+    return 0;
+  }
+  return 1;
+}
+
+std::uint64_t now_ns() {
+  // A process-wide epoch keeps timestamps small and lets Chrome trace
+  // viewers align spans from different threads.
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+/// Per-thread span sink. Appends take the buffer's own mutex, which is
+/// uncontended except while records()/reset() walks all buffers.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<SpanRecord> spans;
+  int thread_id = 0;
+};
+
+struct Buffers {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> all;
+  int next_thread_id = 0;
+};
+
+Buffers& buffers() {
+  static Buffers* b = new Buffers;  // leaked: outlives pool threads
+  return *b;
+}
+
+struct ThreadState {
+  std::shared_ptr<ThreadBuffer> buffer;  // lazily registered
+  std::vector<std::string> stack;        // active span paths, innermost last
+  std::string ambient;                   // parent inherited via ScopedParent
+};
+
+ThreadState& thread_state() {
+  thread_local ThreadState state;
+  return state;
+}
+
+ThreadBuffer& thread_buffer() {
+  ThreadState& state = thread_state();
+  if (!state.buffer) {
+    state.buffer = std::make_shared<ThreadBuffer>();
+    Buffers& b = buffers();
+    const std::lock_guard lock(b.mu);
+    state.buffer->thread_id = b.next_thread_id++;
+    b.all.push_back(state.buffer);
+  }
+  return *state.buffer;
+}
+
+}  // namespace
+
+bool enabled() {
+  int state = g_enabled.load(std::memory_order_relaxed);
+  if (state < 0) {
+    state = resolve_enabled_from_env();
+    g_enabled.store(state, std::memory_order_relaxed);
+  }
+  return state != 0;
+}
+
+void set_enabled(bool on) {
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+ScopedEnabled::ScopedEnabled(bool on) : previous_(enabled()) {
+  set_enabled(on);
+}
+
+ScopedEnabled::~ScopedEnabled() { set_enabled(previous_); }
+
+Span::Span(const char* name) {
+  if (!enabled()) return;
+  ThreadState& state = thread_state();
+  const std::string& parent =
+      state.stack.empty() ? state.ambient : state.stack.back();
+  path_ = parent.empty() ? std::string(name) : parent + "/" + name;
+  depth_ = static_cast<int>(state.stack.size());
+  state.stack.push_back(path_);
+  start_ns_ = now_ns();
+  active_ = true;
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const std::uint64_t dur = now_ns() - start_ns_;
+  ThreadState& state = thread_state();
+  // The stack is strictly LIFO per thread (spans are scoped locals).
+  state.stack.pop_back();
+  ThreadBuffer& buf = thread_buffer();
+  const std::lock_guard lock(buf.mu);
+  buf.spans.push_back(
+      {std::move(path_), start_ns_, dur, buf.thread_id, depth_});
+}
+
+std::string current_path() {
+  const ThreadState& state = thread_state();
+  return state.stack.empty() ? state.ambient : state.stack.back();
+}
+
+ScopedParent::ScopedParent(std::string path) {
+  ThreadState& state = thread_state();
+  previous_ = std::move(state.ambient);
+  state.ambient = std::move(path);
+}
+
+ScopedParent::~ScopedParent() {
+  thread_state().ambient = std::move(previous_);
+}
+
+std::vector<SpanRecord> records() {
+  Buffers& b = buffers();
+  std::vector<std::shared_ptr<ThreadBuffer>> all;
+  {
+    const std::lock_guard lock(b.mu);
+    all = b.all;
+  }
+  std::vector<SpanRecord> out;
+  for (const auto& buf : all) {
+    const std::lock_guard lock(buf->mu);
+    out.insert(out.end(), buf->spans.begin(), buf->spans.end());
+  }
+  return out;
+}
+
+std::vector<ProfileEntry> profile() {
+  std::map<std::string, ProfileEntry> agg;
+  for (SpanRecord& rec : records()) {
+    ProfileEntry& e = agg[rec.path];
+    if (e.count == 0) {
+      e.path = std::move(rec.path);
+      e.min_ns = rec.dur_ns;
+      e.max_ns = rec.dur_ns;
+    } else {
+      e.min_ns = std::min(e.min_ns, rec.dur_ns);
+      e.max_ns = std::max(e.max_ns, rec.dur_ns);
+    }
+    ++e.count;
+    e.total_ns += rec.dur_ns;
+  }
+  std::vector<ProfileEntry> out;
+  out.reserve(agg.size());
+  for (auto& [path, e] : agg) out.push_back(std::move(e));
+  return out;
+}
+
+void reset() {
+  Buffers& b = buffers();
+  const std::lock_guard lock(b.mu);
+  for (const auto& buf : b.all) {
+    const std::lock_guard buf_lock(buf->mu);
+    buf->spans.clear();
+  }
+}
+
+namespace {
+
+std::string fmt_us(std::uint64_t ns) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f",
+                static_cast<double>(ns) / 1e3);
+  return buf;
+}
+
+}  // namespace
+
+void print_profile(std::ostream& os) {
+  TextTable table(
+      {"span", "count", "total [us]", "mean [us]", "min [us]", "max [us]"});
+  for (const ProfileEntry& e : profile()) {
+    table.add_row({e.path, std::to_string(e.count), fmt_us(e.total_ns),
+                   fmt_us(e.total_ns / std::max<std::uint64_t>(e.count, 1)),
+                   fmt_us(e.min_ns), fmt_us(e.max_ns)});
+  }
+  table.print(os);
+}
+
+void write_chrome_trace(std::ostream& os) {
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  for (const SpanRecord& rec : records()) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    char buf[64];
+    os << "{\"name\": \"" << rec.path
+       << "\", \"cat\": \"mpicp\", \"ph\": \"X\", \"ts\": ";
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(rec.start_ns) / 1e3);
+    os << buf << ", \"dur\": ";
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(rec.dur_ns) / 1e3);
+    os << buf << ", \"pid\": 1, \"tid\": " << rec.thread << "}";
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace mpicp::support::trace

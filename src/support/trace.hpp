@@ -1,0 +1,129 @@
+// Lightweight RAII tracing spans with a hierarchical wall-clock profile.
+//
+// Usage: MPICP_SPAN("fit.uid"); times the enclosing scope. Spans nest —
+// a span opened while another is active on the same thread records the
+// path "outer/inner" — and aggregate into a per-path profile (count,
+// total, min, max). Span records land in per-thread buffers (registered
+// once per thread, appended under a per-buffer mutex that is only ever
+// contended by an explicit profile()/records() collection), so tracing
+// composes with the support/parallel thread pool; parallel_for
+// propagates the caller's span path into its runners (ScopedParent), so
+// work executed on pool threads merges under the logical stage that
+// spawned it rather than appearing as disconnected roots.
+//
+// Tracing is on by default and controlled by the MPICP_TRACE
+// environment variable ("0" disables) or programmatically via
+// set_enabled / ScopedEnabled. When disabled, a span is a single
+// relaxed atomic load — nothing is allocated or recorded
+// (bench/bench_observability_overhead asserts this stays negligible).
+//
+// Exporters: print_profile renders the aggregated profile as a table;
+// write_chrome_trace dumps every span in Chrome trace format (load via
+// chrome://tracing or https://ui.perfetto.dev).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mpicp::support::trace {
+
+/// Is span recording currently on? One relaxed atomic load.
+bool enabled();
+
+/// Programmatic override of the MPICP_TRACE environment variable.
+void set_enabled(bool on);
+
+/// RAII enable/disable for tests and benches; restores on destruction.
+class ScopedEnabled {
+ public:
+  explicit ScopedEnabled(bool on);
+  ~ScopedEnabled();
+
+  ScopedEnabled(const ScopedEnabled&) = delete;
+  ScopedEnabled& operator=(const ScopedEnabled&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// One completed span as recorded in a thread buffer.
+struct SpanRecord {
+  std::string path;        ///< "selector.fit/fit.uid"
+  std::uint64_t start_ns;  ///< since the process trace epoch
+  std::uint64_t dur_ns;
+  int thread = 0;          ///< stable small per-thread id
+  int depth = 0;           ///< nesting depth on its thread (root = 0)
+};
+
+/// The timing scope behind MPICP_SPAN. `name` must outlive the span
+/// (string literals in practice).
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  std::string path_;            // empty when tracing was disabled at entry
+  std::uint64_t start_ns_ = 0;
+  int depth_ = 0;
+  bool active_ = false;
+};
+
+/// The innermost active span path on this thread (the ambient parent if
+/// no span is open); "" at top level or when tracing is disabled.
+std::string current_path();
+
+/// Ambient parent for spans opened on this thread while no local span
+/// is active — how parallel_for runners inherit the caller's stage.
+class ScopedParent {
+ public:
+  explicit ScopedParent(std::string path);
+  ~ScopedParent();
+
+  ScopedParent(const ScopedParent&) = delete;
+  ScopedParent& operator=(const ScopedParent&) = delete;
+
+ private:
+  std::string previous_;
+};
+
+/// Aggregated wall-clock statistics of one span path.
+struct ProfileEntry {
+  std::string path;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t min_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+/// Merged copy of every completed span across all thread buffers, in
+/// (thread, completion) order.
+std::vector<SpanRecord> records();
+
+/// records() aggregated by path, sorted by path (the hierarchy reads
+/// top-down because a child path extends its parent's).
+std::vector<ProfileEntry> profile();
+
+/// Drop all recorded spans (buffers stay registered).
+void reset();
+
+/// Render profile() as an aligned table.
+void print_profile(std::ostream& os);
+
+/// Dump records() in Chrome trace format ("X" complete events; ts/dur
+/// in microseconds; tid is the stable per-thread id).
+void write_chrome_trace(std::ostream& os);
+
+}  // namespace mpicp::support::trace
+
+#define MPICP_SPAN_CONCAT2(a, b) a##b
+#define MPICP_SPAN_CONCAT(a, b) MPICP_SPAN_CONCAT2(a, b)
+/// Time the enclosing scope under `name` (see support/trace.hpp).
+#define MPICP_SPAN(name)                     \
+  ::mpicp::support::trace::Span MPICP_SPAN_CONCAT( \
+      mpicp_span_, __LINE__)(name)

@@ -5,14 +5,17 @@
 
 #include "collbench/specs.hpp"
 #include "support/error.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
 #include "support/stats.hpp"
+#include "support/trace.hpp"
 
 namespace mpicp::tune {
 
 Evaluation evaluate(const bench::Dataset& ds, const Selector& selector,
                     const bench::DefaultLogic& default_logic,
                     const std::vector<int>& test_nodes) {
+  MPICP_SPAN("evaluate");
   std::vector<bench::Instance> instances;
   for (const bench::Instance& inst : ds.instances()) {
     if (std::find(test_nodes.begin(), test_nodes.end(), inst.nodes) !=
@@ -21,12 +24,15 @@ Evaluation evaluate(const bench::Dataset& ds, const Selector& selector,
     }
   }
   MPICP_REQUIRE(!instances.empty(), "no test instances found");
+  support::metrics::counter("evaluate.calls").inc();
+  support::metrics::counter("evaluate.instances").inc(instances.size());
 
   // Each instance is scored independently against the three strategies;
   // rows are preallocated so the parallel fill is order-independent.
   Evaluation eval;
   eval.rows.resize(instances.size());
   support::parallel_for(instances.size(), 1, [&](std::size_t i) {
+    MPICP_SPAN("evaluate.instance");
     const bench::Instance& inst = instances[i];
     EvalRow row;
     row.inst = inst;

@@ -4,14 +4,20 @@
 #include <cmath>
 #include <fstream>
 
+#include <chrono>
+
 #include "ml/io.hpp"
 #include "simmpi/coll/decision.hpp"
 #include "support/error.hpp"
 #include "support/faultinject.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
 #include "support/table.hpp"
+#include "support/trace.hpp"
 
 namespace mpicp::tune {
+
+namespace metrics = support::metrics;
 
 std::vector<double> instance_features(const bench::Instance& inst,
                                       const FeatureOptions& opts) {
@@ -83,6 +89,7 @@ Selector::Selector(SelectorOptions options) : options_(std::move(options)) {}
 
 void Selector::fit(const bench::Dataset& ds,
                    const std::vector<int>& train_nodes) {
+  MPICP_SPAN("selector.fit");
   MPICP_REQUIRE(!train_nodes.empty(), "empty training node set");
   models_.clear();
   report_ = FitReport{};
@@ -123,6 +130,7 @@ void Selector::fit(const bench::Dataset& ds,
   std::vector<std::unique_ptr<ml::Regressor>> fitted(tasks.size());
   std::vector<FitOutcome> outcomes(tasks.size());
   support::parallel_for(tasks.size(), 1, [&](std::size_t t) {
+    MPICP_SPAN("fit.uid");
     const int uid = tasks[t].first;
     const auto& recs = *tasks[t].second;
     FitOutcome& outcome = outcomes[t];
@@ -159,7 +167,11 @@ void Selector::fit(const bench::Dataset& ds,
           throw Error("fault injection: forced fit failure");
         }
         auto model = ml::make_regressor(chain[level]);
+        const auto t0 = std::chrono::steady_clock::now();
         model->fit(x, y);
+        const auto dt = std::chrono::steady_clock::now() - t0;
+        metrics::histogram("fit.time_us." + chain[level])
+            .observe(std::chrono::duration<double, std::micro>(dt).count());
         fitted[t] = std::move(model);
         outcome.learner = chain[level];
         outcome.fallback_depth = static_cast<int>(level);
@@ -174,6 +186,20 @@ void Selector::fit(const bench::Dataset& ds,
     report_.outcomes.push_back(std::move(outcomes[t]));
     if (fitted[t]) {
       models_.emplace(tasks[t].first, std::move(fitted[t]));
+    }
+  }
+  // The registry mirrors the FitReport exactly (the golden test pins
+  // this reconciliation), accumulated once on the calling thread so the
+  // totals are independent of the thread count.
+  metrics::counter("fit.calls").inc();
+  metrics::counter("fit.uids_total").inc(report_.uids_total());
+  metrics::counter("fit.uids_clean").inc(report_.uids_clean());
+  metrics::counter("fit.uids_fallback").inc(report_.uids_fallback());
+  metrics::counter("fit.uids_unusable").inc(report_.uids_unusable());
+  metrics::counter("fit.rows_dropped").inc(report_.rows_dropped());
+  for (const FitOutcome& o : report_.outcomes) {
+    if (o.usable()) {
+      metrics::histogram("fit.fallback_depth").observe(o.fallback_depth);
     }
   }
   MPICP_REQUIRE(!models_.empty(),
@@ -191,7 +217,10 @@ double Selector::predicted_time_us(int uid,
 
 std::vector<Selector::Prediction> Selector::predict_all(
     const bench::Instance& inst) const {
+  MPICP_SPAN("selector.predict_all");
   MPICP_REQUIRE(!models_.empty(), "selector has not been fitted");
+  metrics::counter("predict.calls").inc();
+  metrics::counter("predict.predictions_served").inc(models_.size());
   const auto feat = instance_features(inst, options_.features);
   std::vector<Prediction> out;
   std::vector<const ml::Regressor*> bank;
@@ -226,12 +255,19 @@ namespace {
 int argmin_usable(const std::vector<Selector::Prediction>& predictions) {
   int best_uid = -1;
   double best_time = 0.0;
+  std::size_t excluded = 0;
   for (const Selector::Prediction& p : predictions) {
-    if (!p.usable) continue;
+    if (!p.usable) {
+      ++excluded;
+      continue;
+    }
     if (best_uid < 0 || p.time_us < best_time) {
       best_uid = p.uid;
       best_time = p.time_us;
     }
+  }
+  if (excluded > 0) {
+    metrics::counter("select.argmin_excluded").inc(excluded);
   }
   return best_uid;
 }
@@ -239,6 +275,7 @@ int argmin_usable(const std::vector<Selector::Prediction>& predictions) {
 }  // namespace
 
 int Selector::select_uid(const bench::Instance& inst) const {
+  metrics::counter("select.requests").inc();
   const int best_uid = argmin_usable(predict_all(inst));
   MPICP_REQUIRE(best_uid > 0,
                 "no usable model prediction for the instance (use "
@@ -249,11 +286,13 @@ int Selector::select_uid(const bench::Instance& inst) const {
 int Selector::select_uid_or_default(const bench::Instance& inst,
                                     sim::MpiLib lib,
                                     sim::Collective coll) const {
+  metrics::counter("select.requests").inc();
   if (!models_.empty()) {
     const int best_uid = argmin_usable(predict_all(inst));
     if (best_uid > 0) return best_uid;
   }
   // No usable model: behave like an untuned library run.
+  metrics::counter("select.default_fallbacks").inc();
   return sim::library_default_uid(lib, coll, inst.nodes * inst.ppn,
                                   inst.msize);
 }

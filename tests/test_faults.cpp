@@ -488,6 +488,12 @@ TEST(EndToEnd, CorruptedCampaignCompletesAndAccounts) {
   EXPECT_EQ(fit.uids_fallback(), 1u);
   EXPECT_EQ(fit.outcomes[0].uid, 1);
   EXPECT_EQ(fit.outcomes[0].learner, "knn");
+  // The report must cover *every* uid the dataset contains — no uid can
+  // vanish from the accounting — and the three outcome classes must
+  // partition that total exactly.
+  EXPECT_EQ(fit.uids_total(), ds.uids().size());
+  EXPECT_EQ(fit.uids_clean() + fit.uids_fallback() + fit.uids_unusable(),
+            fit.uids_total());
 
   // Select across the whole instance grid; every decision must be a
   // usable (finite, non-negative) prediction from the bank.

@@ -1,0 +1,284 @@
+// Golden regression test of the full ingest -> fit -> select pipeline.
+//
+// One fixed-seed Bcast campaign (synthetic data, 10% injected CSV
+// corruption, one forced fit fallback) runs end to end; its observable
+// outcome — ingest accounting, fit report, every selection over a fixed
+// instance grid, and the metrics-registry counters — is rendered as
+// canonical JSON and compared *byte for byte* against the committed
+// snapshot in tests/golden/. Any behavioural drift in ingest screening,
+// the fallback chain, feature encoding, a learner, or the argmin shows
+// up as a diff against a reviewable artifact.
+//
+// Refresh path: MPICP_UPDATE_GOLDEN=1 ctest -R test_golden rewrites the
+// snapshot in the source tree; commit the diff deliberately.
+//
+// Timing metrics (span durations, fit-time histograms) are excluded —
+// only deterministic counters are snapshotted, so the comparison holds
+// at any MPICP_THREADS and on any machine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "collbench/dataset.hpp"
+#include "support/faultinject.hpp"
+#include "support/metrics.hpp"
+#include "support/rng.hpp"
+#include "support/trace.hpp"
+#include "tune/selector.hpp"
+
+#ifndef MPICP_GOLDEN_DIR
+#error "build must define MPICP_GOLDEN_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace mpicp {
+namespace {
+
+namespace fi = support::faultinject;
+namespace metrics = support::metrics;
+
+/// Same three-algorithm Bcast shape the fault tests train on; fully
+/// determined by the seed.
+bench::Dataset make_synthetic(std::uint64_t seed = 1) {
+  bench::Dataset ds("synth", sim::MpiLib::kOpenMPI,
+                    sim::Collective::kBcast, "Hydra");
+  support::Xoshiro256 rng(seed);
+  for (const int n : {2, 4, 8, 16, 32}) {
+    for (const int ppn : {1, 4, 8}) {
+      const double p = n * ppn;
+      for (const std::uint64_t m :
+           {std::uint64_t{64}, std::uint64_t{4096}, std::uint64_t{65536},
+            std::uint64_t{1048576}}) {
+        const double md = static_cast<double>(m);
+        const double t1 = 10.0 * std::log2(p + 1) + 0.01 * md;
+        const double t2 = 2.0 * p + 0.001 * md;
+        const double t3 = 50.0 + 0.01 * md + p;
+        for (int rep = 0; rep < 3; ++rep) {
+          ds.add({1, n, ppn, m, rng.lognormal_median(t1, 0.05)});
+          ds.add({2, n, ppn, m, rng.lognormal_median(t2, 0.05)});
+          ds.add({3, n, ppn, m, rng.lognormal_median(t3, 0.05)});
+        }
+      }
+    }
+  }
+  return ds;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+struct PipelineRun {
+  bench::IngestReport ingest;
+  tune::FitReport fit;
+  std::string json;  ///< canonical rendering of the whole outcome
+  metrics::Snapshot snapshot;
+};
+
+/// The one fixed-seed campaign this test snapshots. Resets the metrics
+/// registry first, so the counters in the rendering cover exactly this
+/// run.
+PipelineRun run_pipeline() {
+  metrics::Registry::instance().reset();
+  support::trace::reset();
+  PipelineRun run;
+
+  // Ingest: save a pristine campaign, corrupt 10% of the rows with the
+  // seeded injector, re-load through the tolerant path.
+  const bench::Dataset pristine = make_synthetic(1);
+  const auto path = std::filesystem::temp_directory_path() /
+                    "mpicp_golden_bcast.csv";
+  pristine.save_csv(path);
+  std::string text;
+  {
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    text = os.str();
+  }
+  const std::string corrupted = fi::corrupt_csv(
+      text, {.fault_rate = 0.1, .value_column = 4, .seed = 2026}, nullptr);
+  {
+    std::ofstream out(path);
+    out << corrupted;
+  }
+  const bench::Dataset ds = bench::Dataset::load_csv_tolerant(
+      path, "synth", sim::MpiLib::kOpenMPI, sim::Collective::kBcast,
+      "Hydra", &run.ingest);
+  std::filesystem::remove(path);
+
+  // Fit: gam bank with uid 2's configured fit forced to fail once, so
+  // the snapshot pins the fallback chain's behaviour too.
+  tune::Selector selector(tune::SelectorOptions{.learner = "gam"});
+  {
+    fi::ScopedFaults faults({.fit_failures = {{2, 1}}});
+    selector.fit(ds, {2, 4, 8, 16, 32});
+  }
+  run.fit = selector.fit_report();
+
+  // Select over a fixed grid of unseen instances.
+  std::ostringstream sel;
+  bool first = true;
+  for (const int n : {3, 6, 12, 24}) {
+    for (const int ppn : {1, 4, 8}) {
+      for (const std::uint64_t m :
+           {std::uint64_t{64}, std::uint64_t{65536},
+            std::uint64_t{1048576}}) {
+        const int uid = selector.select_uid_or_default(
+            {n, ppn, m}, sim::MpiLib::kOpenMPI, sim::Collective::kBcast);
+        sel << (first ? "" : ",") << "\n    {\"nodes\": " << n
+            << ", \"ppn\": " << ppn << ", \"msize\": " << m
+            << ", \"uid\": " << uid << "}";
+        first = false;
+      }
+    }
+  }
+
+  run.snapshot = metrics::Registry::instance().snapshot();
+
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"ingest\": {\n";
+  os << "    \"rows_seen\": " << run.ingest.rows_seen << ",\n";
+  os << "    \"rows_ingested\": " << run.ingest.rows_ingested << ",\n";
+  os << "    \"rows_quarantined\": " << run.ingest.rows_quarantined
+     << ",\n";
+  os << "    \"reasons\": {";
+  first = true;
+  for (const auto& [reason, count] : run.ingest.reasons) {
+    os << (first ? "" : ",") << "\n      \"" << json_escape(reason)
+       << "\": " << count;
+    first = false;
+  }
+  os << "\n    }\n  },\n";
+  os << "  \"fit\": {\n";
+  os << "    \"uids_total\": " << run.fit.uids_total() << ",\n";
+  os << "    \"uids_clean\": " << run.fit.uids_clean() << ",\n";
+  os << "    \"uids_fallback\": " << run.fit.uids_fallback() << ",\n";
+  os << "    \"uids_unusable\": " << run.fit.uids_unusable() << ",\n";
+  os << "    \"rows_dropped\": " << run.fit.rows_dropped() << ",\n";
+  os << "    \"outcomes\": [";
+  first = true;
+  for (const auto& o : run.fit.outcomes) {
+    os << (first ? "" : ",") << "\n      {\"uid\": " << o.uid
+       << ", \"learner\": \"" << json_escape(o.learner)
+       << "\", \"fallback_depth\": " << o.fallback_depth
+       << ", \"rows_total\": " << o.rows_total
+       << ", \"rows_dropped\": " << o.rows_dropped << "}";
+    first = false;
+  }
+  os << "\n    ]\n  },\n";
+  os << "  \"selections\": [" << sel.str() << "\n  ],\n";
+  // Deterministic counters only (prefix-filtered, nonzero): histograms
+  // and span timings vary run to run and are deliberately left out.
+  os << "  \"counters\": {";
+  first = true;
+  for (const auto& [name, value] : run.snapshot.counters) {
+    const bool pipeline_counter =
+        name.starts_with("ingest.") || name.starts_with("fit.") ||
+        name.starts_with("predict.") || name.starts_with("select.");
+    if (!pipeline_counter || value == 0) continue;
+    os << (first ? "" : ",") << "\n    \"" << json_escape(name)
+       << "\": " << value;
+    first = false;
+  }
+  os << "\n  }\n}\n";
+  run.json = os.str();
+  return run;
+}
+
+std::filesystem::path golden_path() {
+  return std::filesystem::path(MPICP_GOLDEN_DIR) / "bcast_pipeline.json";
+}
+
+std::uint64_t counter_or_zero(const metrics::Snapshot& snap,
+                              const std::string& name) {
+  const auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+// The acceptance reconciliation: the process-wide counters must mirror
+// the per-call health reports *exactly* — same totals, same per-reason
+// quarantine split — or the observability layer is lying about the run.
+TEST(Golden, CountersReconcileWithReports) {
+  const PipelineRun run = run_pipeline();
+  const metrics::Snapshot& snap = run.snapshot;
+
+  EXPECT_EQ(counter_or_zero(snap, "ingest.files"), 1u);
+  EXPECT_EQ(counter_or_zero(snap, "ingest.rows_seen"),
+            run.ingest.rows_seen);
+  EXPECT_EQ(counter_or_zero(snap, "ingest.rows_ingested"),
+            run.ingest.rows_ingested);
+  EXPECT_EQ(counter_or_zero(snap, "ingest.rows_quarantined"),
+            run.ingest.rows_quarantined);
+  for (const auto& [reason, count] : run.ingest.reasons) {
+    EXPECT_EQ(counter_or_zero(snap, "ingest.quarantine." + reason), count)
+        << reason;
+  }
+
+  EXPECT_EQ(counter_or_zero(snap, "fit.calls"), 1u);
+  EXPECT_EQ(counter_or_zero(snap, "fit.uids_total"),
+            run.fit.uids_total());
+  EXPECT_EQ(counter_or_zero(snap, "fit.uids_clean"),
+            run.fit.uids_clean());
+  EXPECT_EQ(counter_or_zero(snap, "fit.uids_fallback"),
+            run.fit.uids_fallback());
+  EXPECT_EQ(counter_or_zero(snap, "fit.uids_unusable"),
+            run.fit.uids_unusable());
+  EXPECT_EQ(counter_or_zero(snap, "fit.rows_dropped"),
+            run.fit.rows_dropped());
+
+  // 4 node counts x 3 ppns x 3 msizes selections, each fanning out over
+  // the whole (usable) bank.
+  EXPECT_EQ(counter_or_zero(snap, "select.requests"), 36u);
+  EXPECT_EQ(counter_or_zero(snap, "select.default_fallbacks"), 0u);
+  EXPECT_EQ(counter_or_zero(snap, "predict.calls"), 36u);
+  EXPECT_EQ(counter_or_zero(snap, "predict.predictions_served"),
+            36u * run.fit.uids_total());
+}
+
+// Two back-to-back runs must render byte-identically — the pipeline and
+// its accounting are deterministic in the seeds alone. A failure here
+// means the golden comparison below would flake; fix that first.
+TEST(Golden, PipelineRenderingIsDeterministic) {
+  const std::string a = run_pipeline().json;
+  const std::string b = run_pipeline().json;
+  EXPECT_EQ(a, b);
+}
+
+TEST(Golden, MatchesCommittedSnapshot) {
+  const PipelineRun run = run_pipeline();
+  const auto path = golden_path();
+
+  const char* update = std::getenv("MPICP_UPDATE_GOLDEN");
+  if (update != nullptr && std::string(update) == "1") {
+    std::ofstream os(path);
+    ASSERT_TRUE(os.good()) << "cannot write " << path;
+    os << run.json;
+    GTEST_SKIP() << "golden snapshot rewritten at " << path
+                 << " — review and commit the diff";
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing golden snapshot " << path
+      << " — generate it with MPICP_UPDATE_GOLDEN=1 and commit it";
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(run.json, want.str())
+      << "pipeline outcome drifted from the committed snapshot; if the "
+         "change is intentional, refresh with MPICP_UPDATE_GOLDEN=1 and "
+         "commit the diff";
+}
+
+}  // namespace
+}  // namespace mpicp
