@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
       opts.learner = learner;
       opts.features.include_total_processes = with_p;
       tune::Selector selector(opts);
-      selector.fit(ds, split.train_full);
+      bench::fit_or_warn(selector, ds, split.train_full);
       const tune::Evaluation eval =
           tune::evaluate(ds, selector, *default_logic, split.test);
       table.add_row(

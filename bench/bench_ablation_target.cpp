@@ -154,7 +154,7 @@ int main(int argc, char** argv) {
 
   // (a) runtime target — the paper's approach.
   tune::Selector selector(tune::SelectorOptions{.learner = "gam"});
-  selector.fit(ds, split.train_full);
+  bench::fit_or_warn(selector, ds, split.train_full);
   const tune::Evaluation runtime_eval =
       tune::evaluate(ds, selector, *default_logic, split.test);
   table.add_row(

@@ -13,6 +13,24 @@
 
 namespace mpicp::bench {
 
+/// Fit a selector and surface — rather than silently drop — a degraded
+/// bank. Benches run on clean generated datasets, so degradation is
+/// worth a loud stderr note, but not worth aborting the figure. Not
+/// [[nodiscard]]: this helper IS the report consumer; the return is a
+/// convenience for callers that also want the details.
+// mpicp-lint: allow(nodiscard-report)
+inline const tune::FitReport& fit_or_warn(tune::Selector& selector,
+                                          const Dataset& ds,
+                                          const std::vector<int>& nodes) {
+  const tune::FitReport& report = selector.fit(ds, nodes);
+  if (report.degraded()) {
+    std::fprintf(stderr,
+                 "warning: selector fit degraded (%zu/%zu uids clean)\n",
+                 report.uids_clean(), report.uids_total());
+  }
+  return report;
+}
+
 /// Load a Table II dataset from the data directory, generating (and
 /// caching) it on first use. Generation of the large datasets takes
 /// minutes; run examples/generate_datasets ahead of time to avoid it
@@ -48,7 +66,7 @@ inline void print_strategy_comparison(const std::string& dataset_name,
   const bench::NodeSplit split = bench::node_split(ds.machine());
 
   tune::Selector selector(tune::SelectorOptions{.learner = learner});
-  selector.fit(ds, split.train_full);
+  fit_or_warn(selector, ds, split.train_full);
   const auto default_logic = bench::make_default_for(ds);
 
   std::printf("strategies: Exhaustive Search (Best) / Default (%s) / "

@@ -21,7 +21,7 @@ int main() {
 
   for (const std::string learner : {"knn", "gam", "xgboost"}) {
     tune::Selector selector(tune::SelectorOptions{.learner = learner});
-    selector.fit(ds, split.train_full);
+    bench::fit_or_warn(selector, ds, split.train_full);
 
     std::printf("== learner: %s ==\n", learner.c_str());
     std::vector<std::string> header = {"msize [B]"};

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
                             "mean norm. runtime", "frac. optimal"});
   for (const char* learner : ml::kLearnerNames) {
     tune::Selector selector(tune::SelectorOptions{.learner = learner});
-    selector.fit(ds, split.train_full);
+    bench::fit_or_warn(selector, ds, split.train_full);
     const tune::Evaluation eval =
         tune::evaluate(ds, selector, *default_logic, split.test);
     table.add_row(

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   for (const std::string learner : {"knn", "gam", "xgboost", "rf",
                                     "linear"}) {
     tune::Selector selector(tune::SelectorOptions{.learner = learner});
-    selector.fit(ds, split.train_full);
+    bench::fit_or_warn(selector, ds, split.train_full);
     std::vector<double> truth_log;
     std::vector<double> pred_log;
     std::vector<double> truth;

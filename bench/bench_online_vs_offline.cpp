@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   }
 
   tune::Selector offline(tune::SelectorOptions{.learner = "gam"});
-  offline.fit(ds, split.train_full);
+  bench::fit_or_warn(offline, ds, split.train_full);
   tune::OnlineSelector online(
       {.candidate_uids = ds.uids(), .probes_per_algorithm = 2});
 

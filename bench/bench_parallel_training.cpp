@@ -64,7 +64,9 @@ TimedRun run_at(int threads, const mpicp::bench::Dataset& ds,
     mpicp::tune::Selector selector(
         mpicp::tune::SelectorOptions{.learner = learner});
     auto start = Clock::now();
-    selector.fit(ds, train_nodes);
+    // Timed region: the report is deliberately dropped — fit health on
+    // this clean synthetic grid is covered by the unit suite.
+    (void)selector.fit(ds, train_nodes);
     out.fit_s = std::min(out.fit_s, seconds_since(start));
 
     std::vector<int> selected;

@@ -54,7 +54,7 @@ void BM_SelectorFit(benchmark::State& state, const char* learner) {
   const bench::Dataset& ds = training_data();
   for (auto _ : state) {
     tune::Selector selector(tune::SelectorOptions{.learner = learner});
-    selector.fit(ds, ds.node_counts());
+    benchmark::DoNotOptimize(selector.fit(ds, ds.node_counts()));
     benchmark::DoNotOptimize(selector.uids());
   }
 }
@@ -66,7 +66,10 @@ BENCHMARK_CAPTURE(BM_SelectorFit, xgboost, "xgboost")
 void BM_SelectUid(benchmark::State& state, const char* learner) {
   const bench::Dataset& ds = training_data();
   tune::Selector selector(tune::SelectorOptions{.learner = learner});
-  selector.fit(ds, ds.node_counts());
+  if (selector.fit(ds, ds.node_counts()).degraded()) {
+    state.SkipWithError("selector fit degraded on synthetic data");
+    return;
+  }
   std::uint64_t m = 1;
   for (auto _ : state) {
     benchmark::DoNotOptimize(selector.select_uid({13, 16, m}));

@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   const bench::NodeSplit split = bench::node_split(ds.machine());
 
   tune::Selector selector(tune::SelectorOptions{.learner = "gam"});
-  selector.fit(ds, split.train_full);
+  bench::fit_or_warn(selector, ds, split.train_full);
 
   // Label the full instance grid with the selector's picks.
   std::vector<tune::LabeledInstance> points;

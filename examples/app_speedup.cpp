@@ -46,9 +46,14 @@ int main(int argc, char** argv) {
 
   const bench::NodeSplit split = bench::node_split("Hydra");
   tune::Selector sel_ar(tune::SelectorOptions{.learner = "gam"});
-  sel_ar.fit(ds_ar, split.train_full);
+  const bool ar_degraded = sel_ar.fit(ds_ar, split.train_full).degraded();
   tune::Selector sel_a2a(tune::SelectorOptions{.learner = "gam"});
-  sel_a2a.fit(ds_a2a, split.train_full);
+  const bool a2a_degraded =
+      sel_a2a.fit(ds_a2a, split.train_full).degraded();
+  if (ar_degraded || a2a_degraded) {
+    std::printf("warning: model-bank fit degraded; speedups may be "
+                "conservative\n");
+  }
 
   // Scoring uses the measured dataset, so snap the app's message sizes
   // to the nearest benchmarked grid size (log scale).

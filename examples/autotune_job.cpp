@@ -98,19 +98,21 @@ int main(int argc, char** argv) {
                  (dataset + "." + learner + ".models"))
                     .string());
   tune::Selector selector(tune::SelectorOptions{.learner = learner});
+  // Exact zero: 0.0 is the CLI default, not a computed value.
+  // mpicp-lint: allow(no-float-eq)
   if (!cli.get_bool("refit", false) && fault_rate == 0.0 &&
       std::filesystem::exists(model_path)) {
     std::printf("loading trained models from %s ...\n",
                 model_path.string().c_str());
     selector = tune::Selector::load(model_path);
   } else {
-    selector.fit(ds, split.train_full);
-    if (selector.fit_report().degraded()) {
+    if (selector.fit(ds, split.train_full).degraded()) {
       std::printf("model-bank fit degraded:\n");
       std::ostringstream report;
       tune::print_fit_report(report, selector.fit_report());
       std::fputs(report.str().c_str(), stdout);
     }
+    // mpicp-lint: allow(no-float-eq) — CLI default, not computed
     if (fault_rate == 0.0) {
       selector.save(model_path);
       std::printf("trained models saved to %s\n",

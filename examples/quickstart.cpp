@@ -51,7 +51,9 @@ int main() {
   const bench::Dataset ds = bench::generate_dataset(spec);
 
   tune::Selector selector(tune::SelectorOptions{.learner = "gam"});
-  selector.fit(ds, {4, 8, 16});
+  const tune::FitReport& fit = selector.fit(ds, {4, 8, 16});
+  std::printf("fitted %zu per-algorithm models (%s)\n", fit.uids_total(),
+              fit.degraded() ? "degraded — see fit report" : "all clean");
 
   const bench::Instance unseen{12, 16, 32768};  // not in the grid
   const int uid = selector.select_uid(unseen);

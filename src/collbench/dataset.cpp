@@ -81,7 +81,7 @@ double Dataset::time_us(int uid, const Instance& inst) const {
   }
   const auto it = samples_.find(k);
   if (it == samples_.end()) {
-    throw InvalidArgument("dataset " + name_ + ": no measurement for uid " +
+    MPICP_RAISE_ARG("dataset " + name_ + ": no measurement for uid " +
                           std::to_string(uid) + " at n=" +
                           std::to_string(inst.nodes) + " ppn=" +
                           std::to_string(inst.ppn) + " m=" +

@@ -113,7 +113,7 @@ class Dataset {
 
   // ---- persistence ----------------------------------------------------
   void save_csv(const std::filesystem::path& path) const;
-  static Dataset load_csv(const std::filesystem::path& path,
+  [[nodiscard]] static Dataset load_csv(const std::filesystem::path& path,
                           std::string name, sim::MpiLib lib,
                           sim::Collective coll, std::string machine);
 
@@ -122,7 +122,8 @@ class Dataset {
   /// timings) are quarantined into `report` instead of aborting the
   /// load. File-level failures (missing file, bad header) still throw.
   /// On a clean file this is byte-for-byte equivalent to load_csv.
-  static Dataset load_csv_tolerant(const std::filesystem::path& path,
+  [[nodiscard]] static Dataset load_csv_tolerant(
+      const std::filesystem::path& path,
                                    std::string name, sim::MpiLib lib,
                                    sim::Collective coll,
                                    std::string machine,

@@ -31,7 +31,7 @@ struct GuidelineResult {
 /// Evaluate all built-in guidelines for one allocation over the given
 /// message sizes. `tolerance` guards against flagging noise-level
 /// differences (default: flag only >10 % violations).
-std::vector<GuidelineResult> check_guidelines(
+[[nodiscard]] std::vector<GuidelineResult> check_guidelines(
     const sim::MachineDesc& machine, int nodes, int ppn,
     const std::vector<std::uint64_t>& msizes, double tolerance = 1.10);
 

@@ -32,10 +32,10 @@ struct RunnerResult {
 /// Benchmark one algorithm configuration on an existing network
 /// allocation. `rng` supplies the observation noise; the uid's
 /// systematic factor comes from `noise`.
-RunnerResult run_benchmark(sim::Network& net, sim::MpiLib lib,
-                           sim::Collective coll, const sim::AlgoConfig& cfg,
-                           std::uint64_t msize, const NoiseModel& noise,
-                           const RunnerBudget& budget,
-                           support::Xoshiro256& rng);
+[[nodiscard]] RunnerResult run_benchmark(
+    sim::Network& net, sim::MpiLib lib, sim::Collective coll,
+    const sim::AlgoConfig& cfg, std::uint64_t msize,
+    const NoiseModel& noise, const RunnerBudget& budget,
+    support::Xoshiro256& rng);
 
 }  // namespace mpicp::bench

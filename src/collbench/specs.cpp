@@ -75,7 +75,7 @@ const DatasetSpec& dataset_spec(const std::string& name) {
   for (const DatasetSpec& spec : all_dataset_specs()) {
     if (spec.name == name) return spec;
   }
-  throw InvalidArgument("unknown dataset '" + name + "'");
+  MPICP_RAISE_ARG("unknown dataset '" + name + "'");
 }
 
 NodeSplit node_split(const std::string& machine) {
@@ -90,7 +90,7 @@ NodeSplit node_split(const std::string& machine) {
   if (machine == "SuperMUC-NG") {
     return {{20, 32, 48}, {20, 32, 48}, {27, 35}};
   }
-  throw InvalidArgument("no node split for machine '" + machine + "'");
+  MPICP_RAISE_ARG("no node split for machine '" + machine + "'");
 }
 
 }  // namespace mpicp::bench

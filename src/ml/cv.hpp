@@ -29,7 +29,8 @@ std::vector<double> take(std::span<const double> y,
                          const std::vector<std::size_t>& rows);
 
 /// Mean k-fold RMSE of a learner factory on (x, y).
-double kfold_rmse(const std::string& learner, const Matrix& x,
-                  std::span<const double> y, int folds, std::uint64_t seed);
+[[nodiscard]] double kfold_rmse(const std::string& learner,
+                                const Matrix& x, std::span<const double> y,
+                                int folds, std::uint64_t seed);
 
 }  // namespace mpicp::ml

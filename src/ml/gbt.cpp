@@ -29,7 +29,7 @@ GradPair grad_hess(GbtObjective obj, double tweedie_p, double y, double f) {
       return {-y * a + b, (p - 1.0) * y * a + (2.0 - p) * b};
     }
   }
-  throw InternalError("unhandled GbtObjective");
+  MPICP_RAISE_INTERNAL("unhandled GbtObjective");
 }
 
 double loss_value(GbtObjective obj, double tweedie_p, double y, double f) {
@@ -44,7 +44,7 @@ double loss_value(GbtObjective obj, double tweedie_p, double y, double f) {
              std::exp((2.0 - p) * f) / (2.0 - p);
     }
   }
-  throw InternalError("unhandled GbtObjective");
+  MPICP_RAISE_INTERNAL("unhandled GbtObjective");
 }
 
 }  // namespace

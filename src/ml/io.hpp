@@ -26,11 +26,11 @@ inline void write_tag(std::ostream& os, const std::string& tag) {
 inline void expect_tag(std::istream& is, const std::string& tag) {
   std::string got;
   if (!(is >> got)) {
-    throw ParseError("model stream: unexpected end of stream while "
+    MPICP_RAISE_PARSE("model stream: unexpected end of stream while "
                      "expecting '" + tag + "'");
   }
   if (got != tag) {
-    throw ParseError("model stream: expected '" + tag + "', got '" + got +
+    MPICP_RAISE_PARSE("model stream: expected '" + tag + "', got '" + got +
                      "'");
   }
 }
@@ -52,14 +52,14 @@ T read_value(std::istream& is) {
     // chain of read_value calls after a truncation would silently hand
     // back default-initialized values. (eof alone is fine — the
     // extraction below reports it precisely.)
-    throw ParseError("model stream: read past a previous failure");
+    MPICP_RAISE_PARSE("model stream: read past a previous failure");
   }
   T value{};
   if (!(is >> value)) {
     if (is.eof()) {
-      throw ParseError("model stream: unexpected end of stream");
+      MPICP_RAISE_PARSE("model stream: unexpected end of stream");
     }
-    throw ParseError("model stream: malformed value");
+    MPICP_RAISE_PARSE("model stream: malformed value");
   }
   return value;
 }

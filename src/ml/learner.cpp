@@ -39,14 +39,14 @@ void save_regressor(std::ostream& os, const Regressor& model) {
 std::unique_ptr<Regressor> load_regressor(std::istream& is) {
   std::string tag;
   if (!(is >> tag)) {
-    throw ParseError("model stream: missing regressor header");
+    MPICP_RAISE_PARSE("model stream: missing regressor header");
   }
   if (tag == "regressor") {
     // Legacy v1 envelope (no checksum): still loadable so pre-existing
     // model banks survive the format bump.
     std::string name;
     if (!(is >> name)) {
-      throw ParseError("model stream: missing regressor name");
+      MPICP_RAISE_PARSE("model stream: missing regressor name");
     }
     auto model = make_regressor(name);
     model->load(is);
@@ -59,7 +59,7 @@ std::unique_ptr<Regressor> load_regressor(std::istream& is) {
   std::size_t bytes = 0;
   std::string checksum_hex;
   if (!(is >> name >> bytes >> checksum_hex)) {
-    throw ParseError("model stream: truncated regressor-v2 header");
+    MPICP_RAISE_PARSE("model stream: truncated regressor-v2 header");
   }
   MPICP_CHECK_PARSE(bytes < (1u << 30),
                     "model stream: implausible payload size");
@@ -68,7 +68,7 @@ std::unique_ptr<Regressor> load_regressor(std::istream& is) {
   is.read(body.data(), static_cast<std::streamsize>(bytes));
   const auto got = static_cast<std::size_t>(is.gcount());
   if (got != bytes) {
-    throw ParseError("model stream: truncated payload for '" + name +
+    MPICP_RAISE_PARSE("model stream: truncated payload for '" + name +
                      "' — expected " + std::to_string(bytes) +
                      " bytes, got " + std::to_string(got));
   }
@@ -76,7 +76,7 @@ std::unique_ptr<Regressor> load_regressor(std::istream& is) {
   try {
     expected = std::stoull(checksum_hex, nullptr, 16);
   } catch (const std::exception&) {
-    throw ParseError("model stream: malformed checksum '" + checksum_hex +
+    MPICP_RAISE_PARSE("model stream: malformed checksum '" + checksum_hex +
                      "'");
   }
   const std::uint64_t actual = io::fnv1a64(body);
@@ -84,7 +84,7 @@ std::unique_ptr<Regressor> load_regressor(std::istream& is) {
     std::ostringstream os;
     os << "model stream: checksum mismatch for '" << name << "' — header "
        << std::hex << expected << ", payload " << actual;
-    throw ParseError(os.str());
+    MPICP_RAISE_PARSE(os.str());
   }
   std::istringstream payload(body);
   auto model = make_regressor(name);
@@ -99,7 +99,7 @@ std::unique_ptr<Regressor> make_regressor(const std::string& name) {
   if (name == "rf") return std::make_unique<RandomForest>();
   if (name == "linear") return std::make_unique<LinearRegressor>();
   if (name == "median") return std::make_unique<MedianRegressor>();
-  throw InvalidArgument("unknown learner '" + name + "'");
+  MPICP_RAISE_ARG("unknown learner '" + name + "'");
 }
 
 }  // namespace mpicp::ml

@@ -13,6 +13,8 @@ Matrix Matrix::gram(std::span<const double> weights) const {
     const auto r = row(i);
     for (std::size_t a = 0; a < cols_; ++a) {
       const double wa = w * r[a];
+      // Exact zero skip: a sparsity shortcut, not a tolerance test.
+      // mpicp-lint: allow(no-float-eq)
       if (wa == 0.0) continue;
       for (std::size_t b = a; b < cols_; ++b) g(a, b) += wa * r[b];
     }
@@ -29,6 +31,7 @@ std::vector<double> Matrix::transpose_times(
   std::vector<double> out(cols_, 0.0);
   for (std::size_t i = 0; i < rows_; ++i) {
     const double w = (weights.empty() ? 1.0 : weights[i]) * v[i];
+    // mpicp-lint: allow(no-float-eq) — exact-zero sparsity shortcut
     if (w == 0.0) continue;
     const auto r = row(i);
     for (std::size_t a = 0; a < cols_; ++a) out[a] += w * r[a];
@@ -74,6 +77,7 @@ std::vector<double> cholesky_solve(Matrix a, std::vector<double> b,
       }
     }
     if (!ok) {
+      // mpicp-lint: allow(no-float-eq) — jitter starts at literal 0.0
       jitter = jitter == 0.0 ? 1e-10 : jitter * 100.0;
       continue;
     }
@@ -89,7 +93,7 @@ std::vector<double> cholesky_solve(Matrix a, std::vector<double> b,
     }
     return x;
   }
-  throw InternalError("cholesky_solve: matrix not positive definite");
+  MPICP_RAISE_INTERNAL("cholesky_solve: matrix not positive definite");
 }
 
 }  // namespace mpicp::ml

@@ -39,6 +39,7 @@ double mape(std::span<const double> truth, std::span<const double> pred) {
   check(truth, pred);
   double acc = 0.0;
   for (std::size_t i = 0; i < truth.size(); ++i) {
+    // mpicp-lint: allow(no-float-eq) — division-by-zero guard
     MPICP_REQUIRE(truth[i] != 0.0, "MAPE undefined for zero truth");
     acc += std::abs((truth[i] - pred[i]) / truth[i]);
   }
@@ -54,6 +55,8 @@ double r2(std::span<const double> truth, std::span<const double> pred) {
     ss_res += (truth[i] - pred[i]) * (truth[i] - pred[i]);
     ss_tot += (truth[i] - mean_truth) * (truth[i] - mean_truth);
   }
+  // Exact zeros pick the degenerate-R² convention; a tolerance would
+  // misclassify genuinely tiny variance. mpicp-lint: allow(no-float-eq)
   return ss_tot == 0.0 ? (ss_res == 0.0 ? 1.0 : 0.0)
                        : 1.0 - ss_res / ss_tot;
 }

@@ -5,6 +5,7 @@
 
 #include "simmpi/coll/pipeline.hpp"
 #include "simmpi/coll/trees.hpp"
+#include "support/error.hpp"
 
 namespace mpicp::sim {
 
@@ -306,7 +307,7 @@ BuiltCollective allreduce_tree(const Comm& comm, std::size_t bytes,
       return reduce_then_bcast(comm, bytes, seg_bytes,
                                knomial_tree(comm.size(), radix));
   }
-  throw InternalError("unhandled AllreduceTreeKind");
+  MPICP_RAISE_INTERNAL("unhandled AllreduceTreeKind");
 }
 
 BuiltCollective allreduce_reduce_scatter_allgather(const Comm& comm,

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "support/error.hpp"
+
 namespace mpicp::sim {
 
 namespace {
@@ -171,7 +173,7 @@ std::string validate_store(Collective coll, const DataStore& store, int p,
     case Collective::kBarrier:
       return "";
   }
-  throw InternalError("unhandled Collective in validate_store");
+  MPICP_RAISE_INTERNAL("unhandled Collective in validate_store");
 }
 
 }  // namespace mpicp::sim

@@ -1,5 +1,7 @@
 #include "simmpi/coll/decision.hpp"
 
+#include "support/error.hpp"
+
 namespace mpicp::sim {
 
 namespace {
@@ -15,7 +17,7 @@ int uid_of(Collective coll, int alg_id, std::size_t seg, int param) {
       return cfg.uid;
     }
   }
-  throw InternalError("default decision refers to unknown configuration");
+  MPICP_RAISE_INTERNAL("default decision refers to unknown configuration");
 }
 
 int bcast_default(int p, std::size_t m) {
@@ -62,7 +64,7 @@ int intel_uid_of(Collective coll, int alg_id, std::size_t seg, int param) {
       return cfg.uid;
     }
   }
-  throw InternalError("default decision refers to unknown configuration");
+  MPICP_RAISE_INTERNAL("default decision refers to unknown configuration");
 }
 
 /// Static threshold analogue of Intel MPI's release-to-release fallback
@@ -84,7 +86,7 @@ int intel_static_default(Collective coll, int p, std::size_t m) {
       return intel_uid_of(coll, 3, 0, 0);
     default: break;
   }
-  throw InvalidArgument("no default decision logic for collective " +
+  MPICP_RAISE_ARG("no default decision logic for collective " +
                         to_string(coll));
 }
 
@@ -96,7 +98,7 @@ int library_default_uid(MpiLib lib, Collective coll, int p,
     case MpiLib::kOpenMPI: return openmpi_default_uid(coll, p, m_bytes);
     case MpiLib::kIntelMPI: return intel_static_default(coll, p, m_bytes);
   }
-  throw InvalidArgument("no default decision logic for library " +
+  MPICP_RAISE_ARG("no default decision logic for library " +
                         to_string(lib));
 }
 
@@ -107,7 +109,7 @@ int openmpi_default_uid(Collective coll, int p, std::size_t m_bytes) {
     case Collective::kAlltoall: return alltoall_default(p, m_bytes);
     default: break;
   }
-  throw InvalidArgument("no default decision logic for collective " +
+  MPICP_RAISE_ARG("no default decision logic for collective " +
                         to_string(coll));
 }
 

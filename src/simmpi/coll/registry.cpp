@@ -5,6 +5,7 @@
 #include "simmpi/coll/allreduce.hpp"
 #include "simmpi/coll/alltoall.hpp"
 #include "simmpi/coll/bcast.hpp"
+#include "support/error.hpp"
 #include "support/str.hpp"
 
 namespace mpicp::sim {
@@ -164,7 +165,7 @@ BuiltCollective build_openmpi_bcast(const AlgoConfig& cfg, const Comm& comm,
     case 9: return bcast_scatter_ring_allgather(comm, bytes, root);
     default: break;
   }
-  throw InvalidArgument("unknown Open MPI bcast algorithm id " +
+  MPICP_RAISE_ARG("unknown Open MPI bcast algorithm id " +
                         std::to_string(cfg.alg_id));
 }
 
@@ -183,7 +184,7 @@ BuiltCollective build_openmpi_allreduce(const AlgoConfig& cfg,
                             AllreduceTreeKind::kBinary);
     default: break;
   }
-  throw InvalidArgument("unknown Open MPI allreduce algorithm id " +
+  MPICP_RAISE_ARG("unknown Open MPI allreduce algorithm id " +
                         std::to_string(cfg.alg_id));
 }
 
@@ -197,7 +198,7 @@ BuiltCollective build_alltoall(const AlgoConfig& cfg, const Comm& comm,
   if (cfg.name == "linear_sync") {
     return alltoall_linear_sync(comm, bytes, cfg.param);
   }
-  throw InvalidArgument("unknown alltoall algorithm '" + cfg.name + "'");
+  MPICP_RAISE_ARG("unknown alltoall algorithm '" + cfg.name + "'");
 }
 
 BuiltCollective build_intel_bcast(const AlgoConfig& cfg, const Comm& comm,
@@ -229,7 +230,7 @@ BuiltCollective build_intel_bcast(const AlgoConfig& cfg, const Comm& comm,
     case 12: return bcast_linear(comm, bytes, root);
     default: break;
   }
-  throw InvalidArgument("unknown Intel MPI bcast algorithm id " +
+  MPICP_RAISE_ARG("unknown Intel MPI bcast algorithm id " +
                         std::to_string(cfg.alg_id));
 }
 
@@ -272,7 +273,7 @@ BuiltCollective build_intel_allreduce(const AlgoConfig& cfg,
                             AllreduceTreeKind::kBinary);
     default: break;
   }
-  throw InvalidArgument("unknown Intel MPI allreduce algorithm id " +
+  MPICP_RAISE_ARG("unknown Intel MPI allreduce algorithm id " +
                         std::to_string(cfg.alg_id));
 }
 
@@ -285,7 +286,7 @@ std::string to_string(MpiLib lib) {
 MpiLib mpilib_from_string(const std::string& name) {
   if (name == "OpenMPI") return MpiLib::kOpenMPI;
   if (name == "IntelMPI") return MpiLib::kIntelMPI;
-  throw InvalidArgument("unknown MPI library '" + name + "'");
+  MPICP_RAISE_ARG("unknown MPI library '" + name + "'");
 }
 
 std::string AlgoConfig::label() const {
@@ -307,7 +308,7 @@ const std::vector<AlgoConfig>& algorithm_configs(MpiLib lib,
   const auto& tables = config_tables();
   const auto it = tables.find({lib, coll});
   if (it == tables.end()) {
-    throw InvalidArgument("no algorithm table for " + to_string(lib) + "/" +
+    MPICP_RAISE_ARG("no algorithm table for " + to_string(lib) + "/" +
                           to_string(coll));
   }
   return it->second;
@@ -316,7 +317,7 @@ const std::vector<AlgoConfig>& algorithm_configs(MpiLib lib,
 const AlgoConfig& config_by_uid(MpiLib lib, Collective coll, int uid) {
   const auto& configs = algorithm_configs(lib, coll);
   if (uid < 1 || uid > static_cast<int>(configs.size())) {
-    throw InvalidArgument("uid " + std::to_string(uid) +
+    MPICP_RAISE_ARG("uid " + std::to_string(uid) +
                           " out of range for " + to_string(lib) + "/" +
                           to_string(coll));
   }
@@ -348,7 +349,7 @@ BuiltCollective build_algorithm(MpiLib lib, Collective coll,
     default:
       break;
   }
-  throw InvalidArgument("no registry builder for collective " +
+  MPICP_RAISE_ARG("no registry builder for collective " +
                         to_string(coll));
 }
 

@@ -1,5 +1,7 @@
 #include "simmpi/coll/types.hpp"
 
+#include "support/error.hpp"
+
 namespace mpicp::sim {
 
 std::string to_string(Collective c) {
@@ -15,7 +17,7 @@ std::string to_string(Collective c) {
     case Collective::kScan: return "scan";
     case Collective::kReduceScatter: return "reduce_scatter";
   }
-  throw InternalError("unhandled Collective value");
+  MPICP_RAISE_INTERNAL("unhandled Collective value");
 }
 
 Collective collective_from_string(const std::string& name) {
@@ -29,7 +31,7 @@ Collective collective_from_string(const std::string& name) {
   if (name == "barrier") return Collective::kBarrier;
   if (name == "scan") return Collective::kScan;
   if (name == "reduce_scatter") return Collective::kReduceScatter;
-  throw InvalidArgument("unknown collective '" + name + "'");
+  MPICP_RAISE_ARG("unknown collective '" + name + "'");
 }
 
 Segmentation make_segmentation(std::size_t total_bytes,

@@ -9,6 +9,8 @@
 #include <utility>
 #include <vector>
 
+#include "support/error.hpp"
+
 namespace mpicp::sim {
 
 namespace {
@@ -477,7 +479,7 @@ class Engine {
   void exec_waitone(int r) {
     RankState& st = ranks_[r];
     if (st.recv_order.empty()) {
-      throw InternalError(
+      MPICP_RAISE_INTERNAL(
           "kWaitOne with no outstanding receive (algorithm builder bug)");
     }
     const std::int32_t idx = st.recv_order.front();
@@ -504,7 +506,7 @@ class Engine {
          << (ranks_[r].blocked_rec >= 0 ? " blocked on p2p" : "") << ']';
       ++shown;
     }
-    throw InternalError(os.str());
+    MPICP_RAISE_INTERNAL(os.str());
   }
 
   Network& net_;

@@ -34,7 +34,8 @@ class Executor {
   /// tracking is enabled: sends snapshot blocks, receive completions
   /// apply them. Throws InternalError on deadlock (some rank blocked
   /// forever) with a diagnostic of the first stuck ranks.
-  ExecResult run(const ProgramSet& programs, DataStore* store = nullptr);
+  [[nodiscard]] ExecResult run(const ProgramSet& programs,
+                               DataStore* store = nullptr);
 
  private:
   Network& net_;

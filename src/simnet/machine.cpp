@@ -80,7 +80,7 @@ MachineDesc machine_by_name(const std::string& name) {
   if (name == "Hydra") return hydra_machine();
   if (name == "Jupiter") return jupiter_machine();
   if (name == "SuperMUC-NG") return supermucng_machine();
-  throw InvalidArgument("unknown machine preset '" + name + "'");
+  MPICP_RAISE_ARG("unknown machine preset '" + name + "'");
 }
 
 }  // namespace mpicp::sim

@@ -55,7 +55,7 @@ bool CliParser::get_bool(const std::string& name, bool default_value) const {
   if (it->second == "false" || it->second == "0" || it->second == "no") {
     return false;
   }
-  throw ParseError("option --" + name + " expects a boolean, got '" +
+  MPICP_RAISE_PARSE("option --" + name + " expects a boolean, got '" +
                    it->second + "'");
 }
 

@@ -16,7 +16,7 @@ std::size_t CsvTable::column(const std::string& name) const {
   for (std::size_t i = 0; i < header_.size(); ++i) {
     if (header_[i] == name) return i;
   }
-  throw ParseError("CSV column '" + name + "' not found");
+  MPICP_RAISE_PARSE("CSV column '" + name + "' not found");
 }
 
 void CsvTable::add_row(std::vector<std::string> row) {
@@ -51,10 +51,10 @@ namespace {
 CsvReadResult read_csv_impl(const std::filesystem::path& path,
                             bool lenient) {
   std::ifstream in(path);
-  if (!in) throw ParseError("cannot open CSV file " + path.string());
+  if (!in) MPICP_RAISE_PARSE("cannot open CSV file " + path.string());
   std::string line;
   if (!std::getline(in, line)) {
-    throw ParseError("CSV file " + path.string() + " is empty");
+    MPICP_RAISE_PARSE("CSV file " + path.string() + " is empty");
   }
   CsvReadResult result;
   result.table = CsvTable(split(trim(line), ','));
@@ -66,7 +66,7 @@ CsvReadResult read_csv_impl(const std::filesystem::path& path,
     auto cells = split(trimmed, ',');
     if (cells.size() != result.table.header().size()) {
       if (!lenient) {
-        throw ParseError(path.string() + ":" + std::to_string(lineno) +
+        MPICP_RAISE_PARSE(path.string() + ":" + std::to_string(lineno) +
                          ": row width mismatch");
       }
       result.errors.push_back({lineno, "row width mismatch"});
@@ -93,12 +93,12 @@ void write_csv(const std::filesystem::path& path, const CsvTable& table) {
     std::filesystem::create_directories(path.parent_path());
   }
   std::ofstream out(path);
-  if (!out) throw Error("cannot open " + path.string() + " for writing");
+  if (!out) MPICP_RAISE_ERROR("cannot open " + path.string() + " for writing");
   out << join(table.header(), ",") << '\n';
   for (std::size_t i = 0; i < table.num_rows(); ++i) {
     out << join(table.row(i), ",") << '\n';
   }
-  if (!out) throw Error("failed writing CSV file " + path.string());
+  if (!out) MPICP_RAISE_ERROR("failed writing CSV file " + path.string());
 }
 
 }  // namespace mpicp::support

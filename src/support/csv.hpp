@@ -37,7 +37,7 @@ class CsvTable {
   std::vector<std::vector<std::string>> rows_;
 };
 
-CsvTable read_csv(const std::filesystem::path& path);
+[[nodiscard]] CsvTable read_csv(const std::filesystem::path& path);
 void write_csv(const std::filesystem::path& path, const CsvTable& table);
 
 /// One structurally bad row skipped by read_csv_lenient.
@@ -57,6 +57,7 @@ struct CsvReadResult {
 /// Like read_csv, but structurally bad rows (wrong cell count) are
 /// recorded in `errors` and skipped instead of aborting the read. The
 /// header and file-level failures (missing/empty file) still throw.
-CsvReadResult read_csv_lenient(const std::filesystem::path& path);
+[[nodiscard]] CsvReadResult read_csv_lenient(
+    const std::filesystem::path& path);
 
 }  // namespace mpicp::support

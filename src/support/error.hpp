@@ -39,7 +39,17 @@ namespace detail {
 
 /// Which check macro fired — selects both the message prefix and the
 /// exception type without string comparisons on the failure path.
-enum class FailKind { kPrecondition, kInvariant, kParse };
+enum class FailKind { kPrecondition, kInvariant, kParse, kGeneric };
+
+[[noreturn]] inline void raise(FailKind kind, const std::string& what) {
+  switch (kind) {
+    case FailKind::kPrecondition: throw InvalidArgument(what);
+    case FailKind::kParse: throw ParseError(what);
+    case FailKind::kGeneric: throw Error(what);
+    case FailKind::kInvariant: break;
+  }
+  throw InternalError(what);
+}
 
 [[noreturn]] inline void fail(FailKind kind, const char* expr,
                               const std::string& msg,
@@ -48,18 +58,24 @@ enum class FailKind { kPrecondition, kInvariant, kParse };
   switch (kind) {
     case FailKind::kPrecondition: label = "precondition violated"; break;
     case FailKind::kParse: label = "malformed input"; break;
+    case FailKind::kGeneric:
     case FailKind::kInvariant: break;
   }
   std::ostringstream os;
   os << label << ": " << expr;
   if (!msg.empty()) os << " — " << msg;
   os << " [" << loc.file_name() << ':' << loc.line() << ']';
-  switch (kind) {
-    case FailKind::kPrecondition: throw InvalidArgument(os.str());
-    case FailKind::kParse: throw ParseError(os.str());
-    case FailKind::kInvariant: break;
-  }
-  throw InternalError(os.str());
+  raise(kind, os.str());
+}
+
+/// Implementation of the MPICP_RAISE_* macros: the user message plus the
+/// raise site, so every error in a log is attributable without a
+/// debugger.
+[[noreturn]] inline void raise_at(FailKind kind, const std::string& msg,
+                                  const std::source_location& loc) {
+  std::ostringstream os;
+  os << msg << " [" << loc.file_name() << ':' << loc.line() << ']';
+  raise(kind, os.str());
 }
 
 }  // namespace detail
@@ -96,3 +112,34 @@ enum class FailKind { kPrecondition, kInvariant, kParse };
                             (msg), std::source_location::current());      \
     }                                                                     \
   } while (0)
+
+// Unconditional raise macros — the project-sanctioned replacement for a
+// bare `throw <Type>(msg)` in library code (lint rule R5, see
+// tools/mpicp_lint). They go through detail::raise_at so the message
+// carries the raise site, and they are statements usable anywhere a
+// throw-statement was (after `if`, as a `default:` body, as the
+// fall-through tail of a lookup function — the compiler still sees the
+// enclosed call as [[noreturn]]).
+
+/// Raise mpicp::InvalidArgument: a caller-facing precondition that has
+/// no single checkable expression (e.g. "name not in registry").
+#define MPICP_RAISE_ARG(msg)                                              \
+  ::mpicp::detail::raise_at(::mpicp::detail::FailKind::kPrecondition,     \
+                            (msg), std::source_location::current())
+
+/// Raise mpicp::InternalError: a broken internal invariant reached
+/// without a checkable expression (e.g. an unhandled enum value).
+#define MPICP_RAISE_INTERNAL(msg)                                         \
+  ::mpicp::detail::raise_at(::mpicp::detail::FailKind::kInvariant, (msg), \
+                            std::source_location::current())
+
+/// Raise mpicp::ParseError: malformed external input.
+#define MPICP_RAISE_PARSE(msg)                                            \
+  ::mpicp::detail::raise_at(::mpicp::detail::FailKind::kParse, (msg),     \
+                            std::source_location::current())
+
+/// Raise the root mpicp::Error: environment/I-O failures that are
+/// neither caller bugs nor malformed input (e.g. an unwritable file).
+#define MPICP_RAISE_ERROR(msg)                                            \
+  ::mpicp::detail::raise_at(::mpicp::detail::FailKind::kGeneric, (msg),   \
+                            std::source_location::current())

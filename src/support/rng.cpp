@@ -70,6 +70,7 @@ double Xoshiro256::normal() {
     u = uniform(-1.0, 1.0);
     v = uniform(-1.0, 1.0);
     s = u * u + v * v;
+    // mpicp-lint: allow(no-float-eq) — Marsaglia polar rejects s == 0
   } while (s >= 1.0 || s == 0.0);
   const double mul = std::sqrt(-2.0 * std::log(s) / s);
   spare_ = v * mul;

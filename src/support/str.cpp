@@ -40,7 +40,7 @@ double parse_double(std::string_view s) {
   double v = 0.0;
   const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
   if (ec != std::errc{} || ptr != s.data() + s.size()) {
-    throw ParseError("cannot parse '" + std::string(s) + "' as double");
+    MPICP_RAISE_PARSE("cannot parse '" + std::string(s) + "' as double");
   }
   return v;
 }
@@ -50,7 +50,7 @@ std::int64_t parse_int(std::string_view s) {
   std::int64_t v = 0;
   const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
   if (ec != std::errc{} || ptr != s.data() + s.size()) {
-    throw ParseError("cannot parse '" + std::string(s) + "' as integer");
+    MPICP_RAISE_PARSE("cannot parse '" + std::string(s) + "' as integer");
   }
   return v;
 }

@@ -58,7 +58,7 @@ void write_tuning_file(const std::filesystem::path& path,
     std::filesystem::create_directories(path.parent_path());
   }
   std::ofstream out(path);
-  if (!out) throw Error("cannot open " + path.string() + " for writing");
+  if (!out) MPICP_RAISE_ERROR("cannot open " + path.string() + " for writing");
   out << "# mpicp collective tuning file\n";
   out << "lib " << to_string(config.lib) << '\n';
   out << "collective " << to_string(config.coll) << '\n';
@@ -74,12 +74,12 @@ void write_tuning_file(const std::filesystem::path& path,
     }
     out << " uid=" << rule.uid << "  # " << cfg.label() << '\n';
   }
-  if (!out) throw Error("failed writing tuning file " + path.string());
+  if (!out) MPICP_RAISE_ERROR("failed writing tuning file " + path.string());
 }
 
 TuningConfig read_tuning_file(const std::filesystem::path& path) {
   std::ifstream in(path);
-  if (!in) throw ParseError("cannot open tuning file " + path.string());
+  if (!in) MPICP_RAISE_PARSE("cannot open tuning file " + path.string());
   TuningConfig config;
   std::string line;
   while (std::getline(in, line)) {
@@ -110,7 +110,7 @@ TuningConfig read_tuning_file(const std::filesystem::path& path) {
       MPICP_REQUIRE(rule.uid > 0, "tuning rule without uid");
       config.rules.push_back(rule);
     } else {
-      throw ParseError("unknown tuning-file directive '" + parts[0] + "'");
+      MPICP_RAISE_PARSE("unknown tuning-file directive '" + parts[0] + "'");
     }
   }
   return config;

@@ -71,10 +71,12 @@ Evaluation run_split_evaluation(const bench::Dataset& ds,
                                 bool small_training_set) {
   const bench::NodeSplit split = bench::node_split(ds.machine());
   Selector selector(SelectorOptions{.learner = learner});
-  selector.fit(ds,
-               small_training_set ? split.train_small : split.train_full);
+  const FitReport& fit_report = selector.fit(
+      ds, small_training_set ? split.train_small : split.train_full);
   const auto default_logic = bench::make_default_for(ds);
-  return evaluate(ds, selector, *default_logic, split.test);
+  Evaluation eval = evaluate(ds, selector, *default_logic, split.test);
+  eval.fit_report = fit_report;
+  return eval;
 }
 
 }  // namespace mpicp::tune

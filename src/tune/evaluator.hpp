@@ -43,18 +43,22 @@ struct EvalSummary {
 struct Evaluation {
   std::vector<EvalRow> rows;
   EvalSummary summary;
+  /// Fit health of the selector trained by run_split_evaluation (empty
+  /// when the caller fitted the selector itself, as with evaluate()).
+  FitReport fit_report;
 };
 
 /// Evaluate a fitted selector against the default logic on every dataset
 /// instance whose node count is in `test_nodes`.
-Evaluation evaluate(const bench::Dataset& ds, const Selector& selector,
+[[nodiscard]] Evaluation evaluate(
+    const bench::Dataset& ds, const Selector& selector,
                     const bench::DefaultLogic& default_logic,
                     const std::vector<int>& test_nodes);
 
 /// Convenience: fit a selector with `learner` on the machine's training
 /// split and evaluate it on the test split (paper Table IV cell).
-Evaluation run_split_evaluation(const bench::Dataset& ds,
-                                const std::string& learner,
-                                bool small_training_set);
+[[nodiscard]] Evaluation run_split_evaluation(const bench::Dataset& ds,
+                                              const std::string& learner,
+                                              bool small_training_set);
 
 }  // namespace mpicp::tune

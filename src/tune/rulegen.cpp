@@ -33,7 +33,7 @@ double DecisionRules::feature_of(const bench::Instance& inst, int f) {
           static_cast<double>(std::max<std::uint64_t>(inst.msize, 1)));
     case 1: return static_cast<double>(inst.nodes);
     case 2: return static_cast<double>(inst.ppn);
-    default: throw InternalError("bad rule feature index");
+    default: MPICP_RAISE_INTERNAL("bad rule feature index");
   }
 }
 

@@ -87,8 +87,8 @@ void print_fit_report(std::ostream& os, const FitReport& report) {
 
 Selector::Selector(SelectorOptions options) : options_(std::move(options)) {}
 
-void Selector::fit(const bench::Dataset& ds,
-                   const std::vector<int>& train_nodes) {
+const FitReport& Selector::fit(const bench::Dataset& ds,
+                               const std::vector<int>& train_nodes) {
   MPICP_SPAN("selector.fit");
   MPICP_REQUIRE(!train_nodes.empty(), "empty training node set");
   models_.clear();
@@ -164,7 +164,7 @@ void Selector::fit(const bench::Dataset& ds,
     for (std::size_t level = 0; level < chain.size(); ++level) {
       try {
         if (support::faultinject::consume_fit_failure(uid)) {
-          throw Error("fault injection: forced fit failure");
+          MPICP_RAISE_ERROR("fault injection: forced fit failure");
         }
         auto model = ml::make_regressor(chain[level]);
         const auto t0 = std::chrono::steady_clock::now();
@@ -204,6 +204,7 @@ void Selector::fit(const bench::Dataset& ds,
   }
   MPICP_REQUIRE(!models_.empty(),
                 "no uid could be fitted by any learner in the chain");
+  return report_;
 }
 
 double Selector::predicted_time_us(int uid,
@@ -303,7 +304,7 @@ void Selector::save(const std::filesystem::path& path) const {
     std::filesystem::create_directories(path.parent_path());
   }
   std::ofstream os(path);
-  if (!os) throw Error("cannot open " + path.string() + " for writing");
+  if (!os) MPICP_RAISE_ERROR("cannot open " + path.string() + " for writing");
   os << "mpicp-selector 1\n";
   os << options_.learner << '\n';
   os << (options_.features.include_total_processes ? 1 : 0) << '\n';
@@ -312,12 +313,12 @@ void Selector::save(const std::filesystem::path& path) const {
     os << uid << '\n';
     ml::save_regressor(os, *model);
   }
-  if (!os) throw Error("failed writing selector to " + path.string());
+  if (!os) MPICP_RAISE_ERROR("failed writing selector to " + path.string());
 }
 
 Selector Selector::load(const std::filesystem::path& path) {
   std::ifstream is(path);
-  if (!is) throw ParseError("cannot open selector file " + path.string());
+  if (!is) MPICP_RAISE_PARSE("cannot open selector file " + path.string());
   ml::io::expect_tag(is, "mpicp-selector");
   const int version = ml::io::read_value<int>(is);
   MPICP_CHECK_PARSE(version == 1, "unsupported selector file version");

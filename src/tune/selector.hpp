@@ -85,12 +85,17 @@ class Selector {
   /// non-positive timings are screened out per uid; a uid whose fit
   /// fails degrades through options().fallback_learners, and a uid with
   /// no usable model is left out of the bank. Every deviation is
-  /// recorded in fit_report(). Throws only when *no* uid is fittable.
-  void fit(const bench::Dataset& ds, const std::vector<int>& train_nodes);
+  /// recorded in the returned FitReport (also retained and queryable via
+  /// fit_report()). Throws only when *no* uid is fittable. The report is
+  /// [[nodiscard]] deliberately: silently dropping it hides degraded
+  /// fits — callers that expect a clean bank should assert
+  /// !report.degraded().
+  [[nodiscard]] const FitReport& fit(const bench::Dataset& ds,
+                                     const std::vector<int>& train_nodes);
 
   /// Health account of the last fit() on this selector (empty if the
   /// bank was loaded from disk instead).
-  const FitReport& fit_report() const { return report_; }
+  [[nodiscard]] const FitReport& fit_report() const { return report_; }
 
   /// Predicted running time of one configuration on an instance.
   double predicted_time_us(int uid, const bench::Instance& inst) const;
@@ -108,21 +113,23 @@ class Selector {
   /// configuration on an instance, in ascending uid order. This is the
   /// fan-out half of the paper's argmin selection; the per-uid models
   /// are evaluated in parallel (see support/parallel.hpp).
-  std::vector<Prediction> predict_all(const bench::Instance& inst) const;
+  [[nodiscard]] std::vector<Prediction> predict_all(
+      const bench::Instance& inst) const;
 
   /// The argmin over all modeled configurations whose prediction is
   /// usable (the algorithm ID the framework would load into the MPI
   /// library). Ties resolve to the lowest uid regardless of thread
   /// count. Throws if no prediction is usable — callers with a library
   /// context should prefer select_uid_or_default.
-  int select_uid(const bench::Instance& inst) const;
+  [[nodiscard]] int select_uid(const bench::Instance& inst) const;
 
   /// Degradation-aware selection: the argmin when at least one model
   /// prediction is usable, else the library's own default decision
   /// (sim::library_default_uid) — the behaviour an untuned run would
   /// get. Never throws on a fitted or even empty bank.
-  int select_uid_or_default(const bench::Instance& inst, sim::MpiLib lib,
-                            sim::Collective coll) const;
+  [[nodiscard]] int select_uid_or_default(const bench::Instance& inst,
+                                          sim::MpiLib lib,
+                                          sim::Collective coll) const;
 
   std::vector<int> uids() const;
   const SelectorOptions& options() const { return options_; }

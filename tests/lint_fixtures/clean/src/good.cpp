@@ -1,0 +1,6 @@
+// Fixture: clean translation unit — nothing for mpicp_lint to flag.
+#include <cmath>
+
+double fixture_good(double x) {
+  return std::sqrt(x) + 1.0;
+}

@@ -1,0 +1,13 @@
+// Fixture: clean header — #pragma once first, project include via
+// quotes, and a [[nodiscard]] report-returning declaration.
+#pragma once
+
+#include <vector>
+
+#include "support/rng.hpp"
+
+struct ScanReport {
+  std::vector<int> lines;
+};
+
+[[nodiscard]] ScanReport fixture_scan();

@@ -1,0 +1,8 @@
+// Fixture: violates no-wall-clock (R3).
+#include <chrono>
+#include <ctime>
+
+double fixture_clock() {
+  const auto now = std::chrono::system_clock::now();
+  return static_cast<double>(time(nullptr)) + now.time_since_epoch().count();
+}

@@ -1,0 +1,4 @@
+// Fixture: violates no-float-eq (R6).
+bool fixture_floateq(double x) {
+  return x == 0.0;
+}

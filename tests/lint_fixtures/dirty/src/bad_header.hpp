@@ -1,0 +1,7 @@
+// Fixture: violates header-hygiene (R7) — missing #pragma once, a
+// project header via angle brackets, and a duplicate include.
+#include <support/rng.hpp>
+#include <vector>
+#include <vector>
+
+inline int fixture_header() { return 1; }

@@ -1,0 +1,6 @@
+// Fixture: violates nodiscard-report (R8).
+#pragma once
+
+struct FitReport {};
+
+FitReport fixture_fit();

@@ -1,0 +1,9 @@
+// Fixture: violates no-raw-rand (R1).
+#include <cstdlib>
+#include <random>
+
+int fixture_rand() {
+  std::mt19937 gen(42);
+  std::random_device rd;
+  return static_cast<int>(gen()) + static_cast<int>(rd()) + rand();
+}

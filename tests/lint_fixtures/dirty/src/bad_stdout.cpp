@@ -1,0 +1,8 @@
+// Fixture: violates no-stdout (R4) — this path counts as library code.
+#include <cstdio>
+#include <iostream>
+
+void fixture_stdout(int v) {
+  std::cout << v << '\n';
+  printf("%d\n", v);
+}

@@ -1,0 +1,7 @@
+// Fixture: violates no-raw-thread (R2).
+#include <thread>
+
+void fixture_thread() {
+  std::thread t([] {});
+  t.detach();
+}

@@ -1,0 +1,6 @@
+// Fixture: violates no-bare-throw (R5).
+#include <stdexcept>
+
+void fixture_throw(bool fail) {
+  if (fail) throw std::runtime_error("boom");
+}

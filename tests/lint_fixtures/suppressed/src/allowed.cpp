@@ -1,0 +1,12 @@
+// Fixture: every violation here carries a suppression — same-line
+// allow, own-line allow applying to the next code line, and allow(all).
+#include <cstdio>
+
+void fixture_suppressed(double x) {
+  printf("%f\n", x);  // mpicp-lint: allow(no-stdout)
+  // mpicp-lint: allow(no-float-eq)
+  if (x == 0.0) {
+    // mpicp-lint: allow(all)
+    printf("zero\n");
+  }
+}

@@ -1,0 +1,4 @@
+// Fixture: an unknown rule id inside allow(...) is itself a finding.
+void fixture_unknown() {
+  // mpicp-lint: allow(not-a-rule)
+}

@@ -133,6 +133,7 @@ TEST_P(CsvQuarantine, InjectedFaultsExactlyAccounted) {
         booked == report.reasons.end() ? 0 : booked->second;
     EXPECT_EQ(got, want) << map.injected << " -> " << map.reason;
   }
+  // mpicp-lint: allow(no-float-eq) — test parameter, not computed
   if (fault_rate == 0.0) {
     EXPECT_TRUE(report.clean());
     EXPECT_EQ(loaded.num_records(), ds.num_records());
@@ -172,7 +173,7 @@ TEST(FitFallback, ForcedFailureFallsBackToKnn) {
   tune::Selector selector(tune::SelectorOptions{.learner = "gam"});
   {
     fi::ScopedFaults faults({.fit_failures = {{2, 1}}});
-    selector.fit(ds, kTrainNodes);
+    ASSERT_EQ(selector.fit(ds, kTrainNodes).uids_total(), 3u);
   }
   ASSERT_EQ(selector.uids(), (std::vector<int>{1, 2, 3}));
   const tune::FitReport& report = selector.fit_report();
@@ -194,7 +195,7 @@ TEST(FitFallback, DoubleFailureLandsOnMedian) {
   tune::Selector selector(tune::SelectorOptions{.learner = "gam"});
   {
     fi::ScopedFaults faults({.fit_failures = {{2, 2}}});
-    selector.fit(ds, kTrainNodes);
+    ASSERT_EQ(selector.fit(ds, kTrainNodes).uids_total(), 3u);
   }
   const tune::FitOutcome& o = selector.fit_report().outcomes[1];
   EXPECT_EQ(o.learner, "median");
@@ -211,7 +212,7 @@ TEST(FitFallback, WholeChainFailureExcludesUid) {
   tune::Selector selector(tune::SelectorOptions{.learner = "gam"});
   {
     fi::ScopedFaults faults({.fit_failures = {{2, 3}}});
-    selector.fit(ds, kTrainNodes);
+    ASSERT_EQ(selector.fit(ds, kTrainNodes).uids_total(), 3u);
   }
   EXPECT_EQ(selector.uids(), (std::vector<int>{1, 3}));
   const tune::FitReport& report = selector.fit_report();
@@ -227,7 +228,7 @@ TEST(FitFallback, AllUidsUnfittableThrows) {
   tune::Selector selector(tune::SelectorOptions{.learner = "gam"});
   fi::ScopedFaults faults(
       {.fit_failures = {{1, 3}, {2, 3}, {3, 3}}});
-  EXPECT_THROW(selector.fit(ds, kTrainNodes), Error);
+  EXPECT_THROW((void)selector.fit(ds, kTrainNodes), Error);
 }
 
 TEST(FitFallback, CorruptRowsScreenedPerUid) {
@@ -239,8 +240,7 @@ TEST(FitFallback, CorruptRowsScreenedPerUid) {
   ds.add_unchecked({1, 8, 4, 4096, -5.0});
   ds.add_unchecked({1, 16, 4, 4096, 0.0});
   tune::Selector selector(tune::SelectorOptions{.learner = "gam"});
-  selector.fit(ds, kTrainNodes);
-  const tune::FitReport& report = selector.fit_report();
+  const tune::FitReport& report = selector.fit(ds, kTrainNodes);
   ASSERT_EQ(report.uids_total(), 3u);
   EXPECT_EQ(report.outcomes[0].rows_dropped, 3u);
   EXPECT_EQ(report.outcomes[1].rows_dropped, 0u);
@@ -259,9 +259,9 @@ TEST(FitFallback, UidWithNoValidRowsIsUnusable) {
     ds.add_unchecked({9, n, 4, 4096, nan});
   }
   tune::Selector selector(tune::SelectorOptions{.learner = "gam"});
-  selector.fit(ds, kTrainNodes);
+  const tune::FitReport& report = selector.fit(ds, kTrainNodes);
   EXPECT_EQ(selector.uids(), (std::vector<int>{1, 2, 3}));
-  const tune::FitOutcome& o = selector.fit_report().outcomes.back();
+  const tune::FitOutcome& o = report.outcomes.back();
   EXPECT_EQ(o.uid, 9);
   EXPECT_FALSE(o.usable());
   EXPECT_EQ(o.error, "no valid training rows");
@@ -270,14 +270,13 @@ TEST(FitFallback, UidWithNoValidRowsIsUnusable) {
 TEST(FitFallback, ZeroFaultFitIsCleanAndUnchanged) {
   const bench::Dataset ds = make_synthetic();
   tune::Selector hardened(tune::SelectorOptions{.learner = "gam"});
-  hardened.fit(ds, kTrainNodes);
-  EXPECT_FALSE(hardened.fit_report().degraded());
-  EXPECT_EQ(hardened.fit_report().uids_clean(), 3u);
+  const tune::FitReport& report = hardened.fit(ds, kTrainNodes);
+  EXPECT_FALSE(report.degraded());
+  EXPECT_EQ(report.uids_clean(), 3u);
   // And the report totals are internally consistent.
-  EXPECT_EQ(hardened.fit_report().uids_clean() +
-                hardened.fit_report().uids_fallback() +
-                hardened.fit_report().uids_unusable(),
-            hardened.fit_report().uids_total());
+  EXPECT_EQ(report.uids_clean() + report.uids_fallback() +
+                report.uids_unusable(),
+            report.uids_total());
 }
 
 // ---- prediction sanitization ---------------------------------------------
@@ -285,7 +284,7 @@ TEST(FitFallback, ZeroFaultFitIsCleanAndUnchanged) {
 TEST(PredictSanitize, NonFinitePredictionExcludedFromArgmin) {
   const bench::Dataset ds = make_synthetic();
   tune::Selector selector(tune::SelectorOptions{.learner = "gam"});
-  selector.fit(ds, kTrainNodes);
+  ASSERT_FALSE(selector.fit(ds, kTrainNodes).degraded());
 
   const bench::Instance inst{6, 2, 65536};
   const int honest = selector.select_uid(inst);
@@ -308,13 +307,13 @@ TEST(PredictSanitize, NonFinitePredictionExcludedFromArgmin) {
 TEST(PredictSanitize, AllPredictionsPoisonedFallsBackToDefault) {
   const bench::Dataset ds = make_synthetic();
   tune::Selector selector(tune::SelectorOptions{.learner = "gam"});
-  selector.fit(ds, kTrainNodes);
+  ASSERT_FALSE(selector.fit(ds, kTrainNodes).degraded());
 
   const double nan = std::numeric_limits<double>::quiet_NaN();
   fi::ScopedFaults faults(
       {.forced_predictions = {{1, nan}, {2, nan}, {3, nan}}});
   const bench::Instance inst{6, 2, 65536};
-  EXPECT_THROW(selector.select_uid(inst), Error);
+  EXPECT_THROW((void)selector.select_uid(inst), Error);
   const int uid = selector.select_uid_or_default(
       inst, sim::MpiLib::kOpenMPI, sim::Collective::kBcast);
   EXPECT_EQ(uid, sim::library_default_uid(sim::MpiLib::kOpenMPI,
@@ -481,9 +480,8 @@ TEST(EndToEnd, CorruptedCampaignCompletesAndAccounts) {
 
   tune::Selector selector(tune::SelectorOptions{.learner = "gam"});
   fi::ScopedFaults faults({.fit_failures = {{1, 1}}});
-  selector.fit(ds, kTrainNodes);
+  const tune::FitReport& fit = selector.fit(ds, kTrainNodes);
 
-  const tune::FitReport& fit = selector.fit_report();
   EXPECT_TRUE(fit.degraded());
   EXPECT_EQ(fit.uids_fallback(), 1u);
   EXPECT_EQ(fit.outcomes[0].uid, 1);
@@ -530,8 +528,7 @@ TEST(EndToEnd, ZeroFaultRunMatchesPrePipelineBehaviour) {
   // valid data and the fallback chain never engages).
   const bench::Dataset ds = make_synthetic();
   tune::Selector selector(tune::SelectorOptions{.learner = "gam"});
-  selector.fit(ds, kTrainNodes);
-  EXPECT_FALSE(selector.fit_report().degraded());
+  EXPECT_FALSE(selector.fit(ds, kTrainNodes).degraded());
   for (const int n : {3, 6, 12}) {
     for (const std::uint64_t m : {std::uint64_t{64}, std::uint64_t{65536}}) {
       const bench::Instance inst{n, 2, m};

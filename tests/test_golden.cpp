@@ -121,9 +121,8 @@ PipelineRun run_pipeline() {
   tune::Selector selector(tune::SelectorOptions{.learner = "gam"});
   {
     fi::ScopedFaults faults({.fit_failures = {{2, 1}}});
-    selector.fit(ds, {2, 4, 8, 16, 32});
+    run.fit = selector.fit(ds, {2, 4, 8, 16, 32});
   }
-  run.fit = selector.fit_report();
 
   // Select over a fixed grid of unseen instances.
   std::ostringstream sel;

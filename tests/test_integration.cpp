@@ -35,7 +35,7 @@ TEST(Integration, BcastPipelineBeatsDefaultOnHeldOutNodes) {
   const auto default_logic = bench::make_default_for(ds);
   for (const std::string learner : {"knn", "gam", "xgboost"}) {
     tune::Selector selector(tune::SelectorOptions{.learner = learner});
-    selector.fit(ds, train);
+    ASSERT_FALSE(selector.fit(ds, train).degraded()) << learner;
     const tune::Evaluation eval =
         tune::evaluate(ds, selector, *default_logic, test);
     // The prediction must clearly beat the portable Open MPI thresholds
@@ -51,7 +51,7 @@ TEST(Integration, BcastPipelineBeatsDefaultOnHeldOutNodes) {
 TEST(Integration, PredictionNeverWorseThanWorstMeasured) {
   const bench::Dataset ds = bench::generate_dataset(mini_spec("d2", 8));
   tune::Selector selector(tune::SelectorOptions{.learner = "gam"});
-  selector.fit(ds, {4, 8, 16});
+  ASSERT_FALSE(selector.fit(ds, {4, 8, 16}).degraded());
   for (const bench::Instance& inst : ds.instances()) {
     const int uid = selector.select_uid(inst);
     EXPECT_TRUE(ds.has(uid, inst));
@@ -88,7 +88,7 @@ TEST(Integration, IntelTunedDefaultIsNearOptimalOnItsGrid) {
 TEST(Integration, TuningFileMatchesSelectorDecisions) {
   const bench::Dataset ds = bench::generate_dataset(mini_spec("d1", 10));
   tune::Selector selector(tune::SelectorOptions{.learner = "knn"});
-  selector.fit(ds, {4, 8, 16});
+  ASSERT_FALSE(selector.fit(ds, {4, 8, 16}).degraded());
   const tune::TuningConfig config = tune::build_tuning_config(
       selector, ds.lib(), ds.collective(), 12, 8, ds.msizes());
   const auto path = std::filesystem::temp_directory_path() /

@@ -1,0 +1,167 @@
+// Self-test for tools/mpicp_lint: runs the real binary over checked-in
+// fixture trees (tests/lint_fixtures/*) and asserts exact rule-id/line
+// diagnostics, suppression behaviour, baseline handling — and that the
+// repository itself is lint-clean against the checked-in baseline.
+//
+// The binary path and the fixture/source directories are injected by
+// CMake (MPICP_LINT_BIN, MPICP_LINT_FIXTURES, MPICP_SOURCE_DIR).
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;  // stdout only (diagnostics)
+};
+
+LintRun run_lint(const std::string& args) {
+  const std::string cmd =
+      std::string(MPICP_LINT_BIN) + " " + args + " 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  LintRun run;
+  if (!pipe) return run;
+  char buf[4096];
+  while (std::fgets(buf, sizeof buf, pipe)) run.output += buf;
+  const int status = pclose(pipe);
+  run.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return run;
+}
+
+std::string fixture_root(const std::string& name) {
+  return std::string(MPICP_LINT_FIXTURES) + "/" + name;
+}
+
+/// One parsed `file:line: [rule-id]` diagnostic triple.
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+
+  bool operator==(const Finding&) const = default;
+  bool operator<(const Finding& o) const {
+    return std::tie(file, line, rule) < std::tie(o.file, o.line, o.rule);
+  }
+};
+
+std::vector<Finding> parse_findings(const std::string& output) {
+  std::vector<Finding> out;
+  static const std::regex diag(R"(^([^:\s]+):(\d+): \[([a-z\-]+)\] )");
+  std::stringstream ss(output);
+  std::string line;
+  while (std::getline(ss, line)) {
+    std::smatch m;
+    if (std::regex_search(line, m, diag)) {
+      out.push_back({m[1].str(), std::stoi(m[2].str()), m[3].str()});
+    }
+  }
+  return out;
+}
+
+TEST(Lint, ListsAllEightRules) {
+  const LintRun run = run_lint("--list-rules");
+  EXPECT_EQ(run.exit_code, 0);
+  for (const char* rule :
+       {"no-raw-rand", "no-raw-thread", "no-wall-clock", "no-stdout",
+        "no-bare-throw", "no-float-eq", "header-hygiene",
+        "nodiscard-report"}) {
+    EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
+  }
+}
+
+TEST(Lint, CleanFixtureTreePasses) {
+  const LintRun run = run_lint("--root " + fixture_root("clean"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_TRUE(parse_findings(run.output).empty()) << run.output;
+}
+
+TEST(Lint, DirtyFixtureTreeReportsExactDiagnostics) {
+  const LintRun run = run_lint("--root " + fixture_root("dirty"));
+  EXPECT_EQ(run.exit_code, 1);
+
+  const std::vector<Finding> expected = {
+      {"src/bad_clock.cpp", 6, "no-wall-clock"},
+      {"src/bad_clock.cpp", 7, "no-wall-clock"},
+      {"src/bad_floateq.cpp", 3, "no-float-eq"},
+      {"src/bad_header.hpp", 1, "header-hygiene"},
+      {"src/bad_header.hpp", 3, "header-hygiene"},
+      {"src/bad_header.hpp", 5, "header-hygiene"},
+      {"src/bad_nodiscard.hpp", 6, "nodiscard-report"},
+      {"src/bad_rand.cpp", 6, "no-raw-rand"},
+      {"src/bad_rand.cpp", 7, "no-raw-rand"},
+      {"src/bad_rand.cpp", 8, "no-raw-rand"},
+      {"src/bad_stdout.cpp", 6, "no-stdout"},
+      {"src/bad_stdout.cpp", 7, "no-stdout"},
+      {"src/bad_thread.cpp", 5, "no-raw-thread"},
+      {"src/bad_thread.cpp", 6, "no-raw-thread"},
+      {"src/bad_throw.cpp", 5, "no-bare-throw"},
+  };
+  std::vector<Finding> got = parse_findings(run.output);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected) << run.output;
+}
+
+TEST(Lint, SuppressionsSilenceEveryForm) {
+  // Same-line allow, own-line allow, and allow(all) — all must hold.
+  const LintRun run = run_lint("--root " + fixture_root("suppressed"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(Lint, UnknownRuleInsideAllowIsItselfAFinding) {
+  const LintRun run = run_lint("--root " + fixture_root("unknown"));
+  EXPECT_EQ(run.exit_code, 1);
+  const std::vector<Finding> got = parse_findings(run.output);
+  ASSERT_EQ(got.size(), 1u) << run.output;
+  EXPECT_EQ(got[0], (Finding{"src/unknown.cpp", 3, "header-hygiene"}));
+}
+
+TEST(Lint, BaselineGrandfathersFindings) {
+  namespace fs = std::filesystem;
+  const fs::path baseline =
+      fs::temp_directory_path() / "mpicp_lint_test_baseline.txt";
+
+  // --write-baseline captures the dirty tree's findings...
+  const LintRun wrote = run_lint("--root " + fixture_root("dirty") +
+                                 " --write-baseline " + baseline.string());
+  EXPECT_EQ(wrote.exit_code, 0);
+  std::ifstream in(baseline);
+  ASSERT_TRUE(in.good());
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("src/bad_rand.cpp: [no-raw-rand]"),
+            std::string::npos)
+      << text;
+
+  // ...and a rerun against that baseline is clean.
+  const LintRun rerun = run_lint("--root " + fixture_root("dirty") +
+                                 " --baseline " + baseline.string());
+  EXPECT_EQ(rerun.exit_code, 0) << rerun.output;
+  fs::remove(baseline);
+}
+
+TEST(Lint, MissingBaselineFileIsAUsageError) {
+  const LintRun run = run_lint("--root " + fixture_root("clean") +
+                               " --baseline /nonexistent/baseline.txt");
+  EXPECT_EQ(run.exit_code, 2);
+}
+
+// The gate itself: the repository must be lint-clean against the
+// checked-in (empty) baseline. This is what keeps the determinism
+// conventions machine-enforced from `ctest` onward.
+TEST(Lint, RepositoryIsClean) {
+  const LintRun run =
+      run_lint("--root " MPICP_SOURCE_DIR " --baseline " MPICP_SOURCE_DIR
+               "/tools/lint_baseline.txt");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+}  // namespace

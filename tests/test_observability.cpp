@@ -109,7 +109,7 @@ TEST_P(TraceThreads, FitSpansAggregatePerUid) {
     }
   }
   tune::Selector selector(tune::SelectorOptions{.learner = "knn"});
-  selector.fit(ds, {2, 4, 8, 16});
+  ASSERT_FALSE(selector.fit(ds, {2, 4, 8, 16}).degraded());
 
   const auto profile = trace::profile();
   const auto* fit = find_path(profile, "selector.fit");
@@ -317,7 +317,7 @@ TEST_P(PipelineCounters, FitCountersMatchReportAtEveryThreadCount) {
     }
   }
   tune::Selector selector(tune::SelectorOptions{.learner = "linear"});
-  selector.fit(ds, {2, 4, 8, 16});
+  ASSERT_FALSE(selector.fit(ds, {2, 4, 8, 16}).degraded());
   const int uid = selector.select_uid({6, 2, 4096});
   EXPECT_GT(uid, 0);
 

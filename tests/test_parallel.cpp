@@ -152,11 +152,11 @@ TEST_P(ParallelDeterminism, SelectorIsBitIdenticalAcrossThreadCounts) {
   tune::Selector parallel(tune::SelectorOptions{.learner = GetParam()});
   {
     ScopedThreads one(1);
-    serial.fit(ds, train);
+    ASSERT_FALSE(serial.fit(ds, train).degraded());
   }
   {
     ScopedThreads four(4);
-    parallel.fit(ds, train);
+    ASSERT_FALSE(parallel.fit(ds, train).degraded());
   }
   ASSERT_EQ(serial.uids(), parallel.uids());
   for (const bench::Instance& inst : queries) {
@@ -186,7 +186,7 @@ TEST(ParallelDeterminismSuite, EvaluationIsBitIdenticalAcrossThreadCounts) {
     int select_uid(const bench::Instance&) const override { return 1; }
   };
   tune::Selector selector(tune::SelectorOptions{.learner = "gam"});
-  selector.fit(ds, {2, 4, 16});
+  ASSERT_FALSE(selector.fit(ds, {2, 4, 16}).degraded());
 
   ScopedThreads one(1);
   const tune::Evaluation a = evaluate(ds, selector, FixedDefault{}, {8});

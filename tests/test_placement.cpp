@@ -62,7 +62,7 @@ TEST_P(CyclicSemantics, EveryUidCorrectUnderCyclicPlacement) {
           build_algorithm(lib, coll, cfg, comm, m, 0, true);
       DataStore store =
           make_initial_store(coll, comm.size(), built.blocks_per_rank, 0);
-      exec.run(built.programs, &store);
+      EXPECT_GT(exec.run(built.programs, &store).makespan_us, 0.0);
       EXPECT_EQ(validate_store(coll, store, comm.size(), 0), "")
           << to_string(lib) << "/" << to_string(coll) << " uid=" << cfg.uid
           << " m=" << m;

@@ -75,7 +75,7 @@ TEST_P(ArgminInvariance, SelectedUidMinimizesUsablePredictions) {
   const bench::Dataset ds = random_dataset(seed);
   tune::Selector selector(
       tune::SelectorOptions{.learner = learner_for_seed(seed)});
-  selector.fit(ds, ds.node_counts());
+  ASSERT_GT(selector.fit(ds, ds.node_counts()).uids_total(), 0u);
 
   support::Xoshiro256 rng(seed ^ 0xfeedbeef);
   for (int trial = 0; trial < 20; ++trial) {
@@ -215,7 +215,7 @@ TEST_P(BankRoundTrip, SelectorBankSelectsIdenticallyAfterSaveLoad) {
   const bench::Dataset ds = random_dataset(seed);
   tune::Selector selector(
       tune::SelectorOptions{.learner = learner_for_seed(seed)});
-  selector.fit(ds, ds.node_counts());
+  ASSERT_GT(selector.fit(ds, ds.node_counts()).uids_total(), 0u);
 
   const auto path = std::filesystem::temp_directory_path() /
                     ("mpicp_props_bank_" + std::to_string(seed) +

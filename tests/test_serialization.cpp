@@ -81,7 +81,7 @@ TEST(SelectorRoundTrip, DecisionsIdenticalAfterSaveLoad) {
     }
   }
   tune::Selector selector(tune::SelectorOptions{.learner = "gam"});
-  selector.fit(ds, {2, 4, 8, 16});
+  ASSERT_FALSE(selector.fit(ds, {2, 4, 8, 16}).degraded());
 
   const auto path = std::filesystem::temp_directory_path() /
                     "mpicp_selector_roundtrip.model";

@@ -72,7 +72,7 @@ TEST_P(SelectorLearners, RecoversCrossoverStructure) {
   const Dataset train_ds =
       make_synthetic({2, 4, 8, 16, 32}, 0.05, 1);
   Selector selector(SelectorOptions{.learner = GetParam()});
-  selector.fit(train_ds, {2, 4, 16, 32});
+  ASSERT_FALSE(selector.fit(train_ds, {2, 4, 16, 32}).degraded());
   EXPECT_EQ(selector.uids().size(), 3u);
 
   // On unseen node counts, the selector must pick the latency algorithm
@@ -118,7 +118,7 @@ INSTANTIATE_TEST_SUITE_P(Learners, SelectorLearners,
 TEST(Selector, PredictedTimesArePositive) {
   const Dataset ds = make_synthetic({2, 4, 8}, 0.05, 2);
   Selector selector(SelectorOptions{.learner = "gam"});
-  selector.fit(ds, {2, 4, 8});
+  ASSERT_FALSE(selector.fit(ds, {2, 4, 8}).degraded());
   for (const int uid : selector.uids()) {
     EXPECT_GT(selector.predicted_time_us(uid, {3, 2, 512}), 0.0);
   }
@@ -127,7 +127,7 @@ TEST(Selector, PredictedTimesArePositive) {
 
 TEST(Selector, ThrowsBeforeFit) {
   Selector selector;
-  EXPECT_THROW(selector.select_uid({2, 1, 16}), Error);
+  EXPECT_THROW((void)selector.select_uid({2, 1, 16}), Error);
 }
 
 TEST(Evaluator, AccountingIsExact) {
@@ -147,7 +147,7 @@ TEST(Evaluator, AccountingIsExact) {
   // A "selector" trained on this toy set with knn k=1 picks the true
   // best at the training points.
   Selector selector(SelectorOptions{.learner = "knn"});
-  selector.fit(ds, {2, 3});
+  ASSERT_FALSE(selector.fit(ds, {2, 3}).degraded());
 
   const Evaluation eval = evaluate(ds, selector, FixedDefault{}, {2, 3});
   ASSERT_EQ(eval.rows.size(), 2u);
@@ -177,7 +177,7 @@ TEST(Evaluator, EndToEndBeatsBadDefaultOnSynthetic) {
     int select_uid(const Instance&) const override { return 3; }
   };
   Selector selector(SelectorOptions{.learner = "xgboost"});
-  selector.fit(ds, {2, 4, 16, 32});
+  ASSERT_FALSE(selector.fit(ds, {2, 4, 16, 32}).degraded());
   const Evaluation eval = evaluate(ds, selector, AlwaysThree{}, {8});
   EXPECT_GT(eval.summary.mean_speedup, 1.2);
   EXPECT_LT(eval.summary.mean_norm_predicted, 1.5);
@@ -186,7 +186,7 @@ TEST(Evaluator, EndToEndBeatsBadDefaultOnSynthetic) {
 TEST(ConfigWriter, FoldsAndRoundTrips) {
   const Dataset ds = make_synthetic({2, 4, 8, 16, 32}, 0.02, 4);
   Selector selector(SelectorOptions{.learner = "knn"});
-  selector.fit(ds, {2, 4, 8, 16, 32});
+  ASSERT_FALSE(selector.fit(ds, {2, 4, 8, 16, 32}).degraded());
   const std::vector<std::uint64_t> ladder = {16,    256,    4096,
                                              65536, 262144, 1048576};
   const TuningConfig config = build_tuning_config(

@@ -1,0 +1,759 @@
+// mpicp_lint — the project's invariant checker.
+//
+// A standalone static-analysis pass (own lightweight tokenizer, no
+// libclang) that walks src/, tests/, bench/ and examples/ and enforces
+// the conventions the reproduction's determinism guarantees rest on:
+// all randomness through support/rng, all threading through
+// support/parallel, no wall-clock reads outside the tracing layer, no
+// stray output in library code, structured error raising, no exact
+// floating-point comparisons, header hygiene, and [[nodiscard]] on
+// health-report APIs. See DESIGN.md §10 for the rule catalogue.
+//
+// Diagnostics are machine readable — `file:line: [rule-id] message` —
+// and the process exits non-zero on any finding that is neither
+// suppressed inline (`// mpicp-lint: allow(rule-id)`) nor listed in the
+// baseline file.
+//
+// This tool is deliberately dependency-free (std only) so it can be
+// built and run before any of the project libraries compile.
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------
+// Rule identifiers (the `[rule-id]` in diagnostics and in allow(...)).
+// ---------------------------------------------------------------------
+constexpr const char* kRuleRand = "no-raw-rand";          // R1
+constexpr const char* kRuleThread = "no-raw-thread";      // R2
+constexpr const char* kRuleWallClock = "no-wall-clock";   // R3
+constexpr const char* kRuleStdout = "no-stdout";          // R4
+constexpr const char* kRuleThrow = "no-bare-throw";       // R5
+constexpr const char* kRuleFloatEq = "no-float-eq";       // R6
+constexpr const char* kRuleHeader = "header-hygiene";     // R7
+constexpr const char* kRuleNodiscard = "nodiscard-report";// R8
+
+const std::set<std::string>& all_rules() {
+  static const std::set<std::string> rules = {
+      kRuleRand,    kRuleThread, kRuleWallClock, kRuleStdout,
+      kRuleThrow,   kRuleFloatEq, kRuleHeader,   kRuleNodiscard};
+  return rules;
+}
+
+struct Diagnostic {
+  std::string file;  // root-relative, forward slashes
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Diagnostic& o) const {
+    return std::tie(file, line, rule, message) <
+           std::tie(o.file, o.line, o.rule, o.message);
+  }
+};
+
+// ---------------------------------------------------------------------
+// Lexing: split a translation unit into per-line code (comments and
+// string/char literal bodies blanked out) plus per-line comment text
+// (for suppression markers). The state machine spans lines, so block
+// comments and multi-line raw strings are handled.
+// ---------------------------------------------------------------------
+struct LexedFile {
+  std::vector<std::string> code;     // 0-based; literals/comments blanked
+  std::vector<std::string> comment;  // comment text per line
+};
+
+LexedFile lex(const std::vector<std::string>& lines) {
+  LexedFile out;
+  out.code.resize(lines.size());
+  out.comment.resize(lines.size());
+
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar,
+                     kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& s = lines[li];
+    std::string& code = out.code[li];
+    std::string& comment = out.comment[li];
+    code.reserve(s.size());
+    if (state == State::kLineComment) state = State::kCode;
+
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      const char c = s[i];
+      const char next = i + 1 < s.size() ? s[i + 1] : '\0';
+      switch (state) {
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            state = State::kLineComment;
+            comment.append(s.substr(i + 2));
+            i = s.size();  // rest of line is comment
+            break;
+          }
+          if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            code.append("  ");
+            ++i;
+            break;
+          }
+          if (c == '"') {
+            // Raw string? Look back for R (also LR/uR/u8R...).
+            if (i > 0 && s[i - 1] == 'R') {
+              std::size_t close = s.find('(', i + 1);
+              if (close != std::string::npos) {
+                raw_delim = ")" + s.substr(i + 1, close - i - 1) + "\"";
+                state = State::kRawString;
+                code.append(s.size() - i, ' ');  // blank to EOL; loop below
+                // Check whether the raw string closes on this line.
+                std::size_t end = s.find(raw_delim, close);
+                if (end != std::string::npos) {
+                  state = State::kCode;
+                  code.resize(i);
+                  code.append(end + raw_delim.size() - i, ' ');
+                  i = end + raw_delim.size() - 1;
+                } else {
+                  i = s.size();
+                }
+                break;
+              }
+            }
+            state = State::kString;
+            code.push_back(' ');
+            break;
+          }
+          if (c == '\'') {
+            state = State::kChar;
+            code.push_back(' ');
+            break;
+          }
+          code.push_back(c);
+          break;
+        case State::kString:
+          if (c == '\\') { code.append("  "); ++i; break; }
+          if (c == '"') state = State::kCode;
+          code.push_back(' ');
+          break;
+        case State::kChar:
+          if (c == '\\') { code.append("  "); ++i; break; }
+          if (c == '\'') state = State::kCode;
+          code.push_back(' ');
+          break;
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            state = State::kCode;
+            code.append("  ");
+            ++i;
+          } else {
+            comment.push_back(c);
+            code.push_back(' ');
+          }
+          break;
+        case State::kRawString: {
+          std::size_t end = s.find(raw_delim, i);
+          if (end != std::string::npos) {
+            state = State::kCode;
+            code.append(end + raw_delim.size() - i, ' ');
+            i = end + raw_delim.size() - 1;
+          } else {
+            code.append(s.size() - i, ' ');
+            i = s.size();
+          }
+          break;
+        }
+        case State::kLineComment:
+          break;  // unreachable; line comments consume the line above
+      }
+    }
+    // Unterminated single-line states do not leak across lines.
+    if (state == State::kString || state == State::kChar) {
+      state = State::kCode;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Tokens: identifiers, numbers and single punctuation characters, with
+// their line-local column. Enough structure for every rule below.
+// ---------------------------------------------------------------------
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct };
+  Kind kind;
+  std::string text;
+  std::size_t col = 0;
+};
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::vector<Token> tokenize(const std::string& code) {
+  std::vector<Token> toks;
+  std::size_t i = 0;
+  while (i < code.size()) {
+    const char c = code[i];
+    if (std::isspace(static_cast<unsigned char>(c))) { ++i; continue; }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < code.size() && ident_char(code[j])) ++j;
+      toks.push_back({Token::Kind::kIdent, code.substr(i, j - i), i});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < code.size() &&
+         std::isdigit(static_cast<unsigned char>(code[i + 1])))) {
+      std::size_t j = i;
+      // pp-number: digits, dots, ident chars, exponent signs.
+      while (j < code.size() &&
+             (ident_char(code[j]) || code[j] == '.' ||
+              ((code[j] == '+' || code[j] == '-') && j > i &&
+               (code[j - 1] == 'e' || code[j - 1] == 'E' ||
+                code[j - 1] == 'p' || code[j - 1] == 'P')))) {
+        ++j;
+      }
+      toks.push_back({Token::Kind::kNumber, code.substr(i, j - i), i});
+      i = j;
+      continue;
+    }
+    // Two-character comparison operators matter for no-float-eq.
+    if ((c == '=' || c == '!') && i + 1 < code.size() &&
+        code[i + 1] == '=') {
+      toks.push_back({Token::Kind::kPunct, code.substr(i, 2), i});
+      i += 2;
+      continue;
+    }
+    toks.push_back({Token::Kind::kPunct, std::string(1, c), i});
+    ++i;
+  }
+  return toks;
+}
+
+bool is_float_literal(const Token& t) {
+  if (t.kind != Token::Kind::kNumber) return false;
+  const std::string& s = t.text;
+  if (s.size() > 1 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    return s.find('p') != std::string::npos ||
+           s.find('P') != std::string::npos;  // hex float
+  }
+  return s.find('.') != std::string::npos ||
+         s.find('e') != std::string::npos ||
+         s.find('E') != std::string::npos;
+}
+
+// ---------------------------------------------------------------------
+// Suppressions: `// mpicp-lint: allow(rule-a, rule-b)` on a line
+// suppresses those rules there; on a line of its own it suppresses them
+// on the next line with code. `allow(all)` suppresses every rule.
+// ---------------------------------------------------------------------
+std::map<std::size_t, std::set<std::string>> collect_suppressions(
+    const std::vector<std::string>& comments,
+    const std::vector<std::string>& code,
+    std::vector<Diagnostic>* diags, const std::string& rel) {
+  std::map<std::size_t, std::set<std::string>> allow;  // 1-based line
+  static const std::regex marker(
+      R"(mpicp-lint:\s*allow\(([A-Za-z0-9_,\- ]*)\))");
+  for (std::size_t li = 0; li < comments.size(); ++li) {
+    std::smatch m;
+    if (!std::regex_search(comments[li], m, marker)) continue;
+    std::set<std::string> rules;
+    std::stringstream ss(m[1].str());
+    std::string id;
+    while (std::getline(ss, id, ',')) {
+      id.erase(std::remove_if(id.begin(), id.end(), ::isspace), id.end());
+      if (id.empty()) continue;
+      if (id != "all" && !all_rules().count(id)) {
+        diags->push_back({rel, li + 1, kRuleHeader,
+                          "unknown rule '" + id +
+                              "' in mpicp-lint: allow(...)"});
+        continue;
+      }
+      rules.insert(id);
+    }
+    const bool own_line =
+        code[li].find_first_not_of(" \t") == std::string::npos;
+    std::size_t target = li + 1;           // this line, 1-based
+    if (own_line) {
+      // Applies to the next line carrying code.
+      std::size_t j = li + 1;
+      while (j < code.size() &&
+             code[j].find_first_not_of(" \t") == std::string::npos) {
+        ++j;
+      }
+      target = j + 1;
+    }
+    allow[target].insert(rules.begin(), rules.end());
+  }
+  return allow;
+}
+
+// ---------------------------------------------------------------------
+// Path role classification.
+// ---------------------------------------------------------------------
+bool starts_with(const std::string& s, std::string_view prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+struct FileRole {
+  bool in_src = false;
+  bool is_header = false;
+  bool rng_impl = false;       // src/support/rng.*
+  bool parallel_impl = false;  // src/support/parallel.*
+  bool trace_impl = false;     // src/support/trace.*
+  bool error_impl = false;     // src/support/error.hpp
+  bool bench = false;          // bench/** (timing mains)
+};
+
+FileRole classify(const std::string& rel) {
+  FileRole role;
+  role.in_src = starts_with(rel, "src/");
+  role.is_header = rel.size() > 4 &&
+                   rel.compare(rel.size() - 4, 4, ".hpp") == 0;
+  role.rng_impl = starts_with(rel, "src/support/rng.");
+  role.parallel_impl = starts_with(rel, "src/support/parallel.");
+  role.trace_impl = starts_with(rel, "src/support/trace.");
+  role.error_impl = rel == "src/support/error.hpp";
+  role.bench = starts_with(rel, "bench/");
+  return role;
+}
+
+// ---------------------------------------------------------------------
+// The rules.
+// ---------------------------------------------------------------------
+void check_tokens(const std::string& rel, const FileRole& role,
+                  const std::vector<std::vector<Token>>& lines,
+                  std::vector<Diagnostic>* diags) {
+  static const std::set<std::string> kRandIdents = {
+      "rand",          "srand",         "rand_r",
+      "drand48",       "random_device", "mt19937",
+      "mt19937_64",    "minstd_rand",   "minstd_rand0",
+      "default_random_engine", "random_shuffle"};
+  static const std::set<std::string> kWallClockIdents = {
+      "system_clock", "gettimeofday", "localtime", "gmtime", "strftime"};
+
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::vector<Token>& toks = lines[li];
+    for (std::size_t t = 0; t < toks.size(); ++t) {
+      const Token& tok = toks[t];
+      const bool after_std_scope =
+          t >= 2 && toks[t - 1].text == ":" && toks[t - 2].text == ":";
+      const bool member_access =
+          t >= 1 && (toks[t - 1].text == "." || toks[t - 1].text == ">");
+      const bool called =
+          t + 1 < toks.size() && toks[t + 1].text == "(";
+
+      // R1 — randomness primitives outside support/rng.
+      if (!role.rng_impl && tok.kind == Token::Kind::kIdent &&
+          kRandIdents.count(tok.text) && !member_access) {
+        // `rand`/`srand` only count as the C functions when called.
+        const bool c_function = tok.text == "rand" || tok.text == "srand";
+        if (!c_function || called) {
+          diags->push_back(
+              {rel, li + 1, kRuleRand,
+               "non-deterministic randomness primitive '" + tok.text +
+                   "' — route all randomness through support/rng"});
+        }
+      }
+
+      // R2 — raw concurrency primitives outside support/parallel.
+      if (!role.parallel_impl && tok.kind == Token::Kind::kIdent) {
+        if ((tok.text == "thread" || tok.text == "jthread" ||
+             tok.text == "async") &&
+            after_std_scope && t >= 3 && toks[t - 3].text == "std") {
+          diags->push_back(
+              {rel, li + 1, kRuleThread,
+               "raw concurrency primitive 'std::" + tok.text +
+                   "' — use support/parallel (parallel_for/ThreadPool)"});
+        } else if (tok.text == "pthread_create" && called) {
+          diags->push_back({rel, li + 1, kRuleThread,
+                            "raw concurrency primitive 'pthread_create' — "
+                            "use support/parallel"});
+        } else if (tok.text == "detach" && member_access && called) {
+          diags->push_back({rel, li + 1, kRuleThread,
+                            "detached thread — threads must be owned by "
+                            "the support/parallel pool"});
+        }
+      }
+
+      // R3 — wall-clock time sources outside support/trace and bench.
+      if (!role.trace_impl && !role.bench &&
+          tok.kind == Token::Kind::kIdent && !member_access) {
+        if (kWallClockIdents.count(tok.text) ||
+            ((tok.text == "time" || tok.text == "clock") && called &&
+             !after_std_scope)) {
+          // `time(`/`clock(` as free calls; named clocks always.
+          diags->push_back(
+              {rel, li + 1, kRuleWallClock,
+               "wall-clock time source '" + tok.text +
+                   "' — timing belongs to support/trace (or bench mains)"});
+        } else if ((tok.text == "time" || tok.text == "clock") &&
+                   after_std_scope && t >= 3 &&
+                   toks[t - 3].text == "std" && called) {
+          diags->push_back(
+              {rel, li + 1, kRuleWallClock,
+               "wall-clock time source 'std::" + tok.text +
+                   "' — timing belongs to support/trace (or bench mains)"});
+        }
+      }
+
+      // R4 — stdout writes in library code.
+      if (role.in_src && tok.kind == Token::Kind::kIdent) {
+        if (tok.text == "cout" && after_std_scope && t >= 3 &&
+            toks[t - 3].text == "std") {
+          diags->push_back({rel, li + 1, kRuleStdout,
+                            "std::cout in library code — emit through "
+                            "support/table or support/metrics exporters"});
+        } else if ((tok.text == "printf" || tok.text == "puts" ||
+                    tok.text == "putchar" || tok.text == "fprintf") &&
+                   called && !member_access) {
+          diags->push_back({rel, li + 1, kRuleStdout,
+                            "'" + tok.text +
+                                "' in library code — emit through "
+                                "support/table or support/metrics"});
+        }
+      }
+
+      // R5 — bare throw in library code (rethrow `throw;` is allowed).
+      if (role.in_src && !role.error_impl &&
+          tok.kind == Token::Kind::kIdent && tok.text == "throw") {
+        const bool rethrow =
+            t + 1 < toks.size() && toks[t + 1].text == ";";
+        if (!rethrow) {
+          diags->push_back({rel, li + 1, kRuleThrow,
+                            "bare throw — raise through the "
+                            "support/error.hpp macros (MPICP_REQUIRE / "
+                            "MPICP_ASSERT / MPICP_CHECK_PARSE / "
+                            "MPICP_RAISE_*)"});
+        }
+      }
+
+      // R6 — exact floating-point comparison (literal operand).
+      if (tok.kind == Token::Kind::kPunct &&
+          (tok.text == "==" || tok.text == "!=")) {
+        const Token* lhs = t > 0 ? &toks[t - 1] : nullptr;
+        const Token* rhs = t + 1 < toks.size() ? &toks[t + 1] : nullptr;
+        // Allow a leading unary minus on the right literal.
+        const Token* rhs2 =
+            (rhs && rhs->text == "-" && t + 2 < toks.size())
+                ? &toks[t + 2]
+                : nullptr;
+        if ((lhs && is_float_literal(*lhs)) ||
+            (rhs && is_float_literal(*rhs)) ||
+            (rhs2 && is_float_literal(*rhs2))) {
+          diags->push_back(
+              {rel, li + 1, kRuleFloatEq,
+               "exact floating-point comparison against a literal — "
+               "compare with a tolerance, or justify with an inline "
+               "allow(no-float-eq)"});
+        }
+      }
+    }
+  }
+}
+
+void check_header(const std::string& rel,
+                  const std::vector<std::string>& code,
+                  std::vector<Diagnostic>* diags) {
+  // R7a — #pragma once before any other preprocessor/code line.
+  bool pragma_seen = false;
+  bool code_before_pragma = false;
+  std::size_t first_code_line = 0;
+  for (std::size_t li = 0; li < code.size(); ++li) {
+    std::string trimmed = code[li];
+    trimmed.erase(0, trimmed.find_first_not_of(" \t"));
+    if (trimmed.empty()) continue;
+    if (starts_with(trimmed, "#pragma") &&
+        trimmed.find("once") != std::string::npos) {
+      pragma_seen = true;
+      break;
+    }
+    if (!code_before_pragma) {
+      code_before_pragma = true;
+      first_code_line = li + 1;
+    }
+  }
+  if (!pragma_seen) {
+    diags->push_back({rel, 1, kRuleHeader,
+                      "header missing #pragma once"});
+  } else if (code_before_pragma) {
+    diags->push_back({rel, first_code_line, kRuleHeader,
+                      "code before #pragma once (the guard must be the "
+                      "first non-comment line)"});
+  }
+
+  // R7b/R7c — duplicate includes; project headers via quotes.
+  static const std::regex inc(R"(^\s*#\s*include\s*([<"])([^>"]+)[>"])");
+  static const std::vector<std::string> project_prefixes = {
+      "support/", "simmpi/", "simnet/", "collbench/", "ml/", "tune/"};
+  std::map<std::string, std::size_t> seen;
+  for (std::size_t li = 0; li < code.size(); ++li) {
+    std::smatch m;
+    if (!std::regex_search(code[li], m, inc)) continue;
+    const std::string path = m[2].str();
+    auto [it, inserted] = seen.emplace(path, li + 1);
+    if (!inserted) {
+      diags->push_back({rel, li + 1, kRuleHeader,
+                        "duplicate #include of '" + path +
+                            "' (first at line " +
+                            std::to_string(it->second) + ")"});
+    }
+    if (m[1].str() == "<") {
+      for (const std::string& p : project_prefixes) {
+        if (starts_with(path, p)) {
+          diags->push_back({rel, li + 1, kRuleHeader,
+                            "project header '" + path +
+                                "' included with <> — use quotes"});
+          break;
+        }
+      }
+    }
+  }
+}
+
+void check_nodiscard(const std::string& rel,
+                     const std::vector<std::string>& code,
+                     std::vector<Diagnostic>* diags) {
+  // R8 — report/result-returning declarations must be [[nodiscard]].
+  // Join the stripped code so declarations split across lines are seen;
+  // remember each character's line for reporting.
+  std::string joined;
+  std::vector<std::size_t> line_of;
+  for (std::size_t li = 0; li < code.size(); ++li) {
+    joined += code[li];
+    joined += '\n';
+    line_of.resize(joined.size(), li + 1);
+  }
+  static const std::regex decl(
+      R"(([A-Za-z_][A-Za-z0-9_]*(?:Report|Result|Evaluation|Outcome))\s*)"
+      R"(((?:<[^<>;(){}]*>)?\s*[&*]?\s*|>\s*[&*]?\s*))"
+      R"(([A-Za-z_][A-Za-z0-9_]*)\s*\()");
+  for (auto it = std::sregex_iterator(joined.begin(), joined.end(), decl);
+       it != std::sregex_iterator(); ++it) {
+    const std::smatch& m = *it;
+    const std::string type = m[1].str();
+    const std::string name = m[4].str();
+    if (name == type) continue;  // constructor-like
+    // Keywords that show this is not a declaration (e.g. `return
+    // SomeResult(...)`, `case`, comparisons).
+    if (name == "return" || name == "sizeof" || name == "if" ||
+        name == "while" || name == "for" || name == "switch") {
+      continue;
+    }
+    const std::size_t pos = static_cast<std::size_t>(m.position(0));
+    // Look back a bounded window for [[nodiscard]] on the declaration.
+    const std::size_t window_start = pos > 160 ? pos - 160 : 0;
+    std::string_view back(joined.data() + window_start, pos - window_start);
+    // The window must not cross a statement/declaration boundary.
+    const std::size_t boundary = back.find_last_of(";{}");
+    if (boundary != std::string_view::npos) {
+      back = back.substr(boundary + 1);
+    }
+    if (back.find("[[nodiscard]]") != std::string_view::npos) continue;
+    if (back.find("using") != std::string_view::npos) continue;
+    diags->push_back(
+        {rel, line_of[pos], kRuleNodiscard,
+         "'" + type + " " + name +
+             "(...)' returns a health report/result — declare it "
+             "[[nodiscard]] so callers cannot drop it silently"});
+  }
+}
+
+// ---------------------------------------------------------------------
+// Driver.
+// ---------------------------------------------------------------------
+struct Options {
+  fs::path root = ".";
+  fs::path baseline;
+  fs::path write_baseline;
+  std::vector<fs::path> paths;  // explicit files/dirs; default: the tree
+};
+
+void lint_file(const fs::path& abs, const std::string& rel,
+               std::vector<Diagnostic>* out) {
+  std::ifstream in(abs);
+  if (!in) {
+    out->push_back({rel, 0, kRuleHeader, "cannot open file"});
+    return;
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+
+  const FileRole role = classify(rel);
+  const LexedFile lexed = lex(lines);
+
+  std::vector<Diagnostic> diags;
+  const auto allow =
+      collect_suppressions(lexed.comment, lexed.code, &diags, rel);
+
+  std::vector<std::vector<Token>> toks(lexed.code.size());
+  for (std::size_t i = 0; i < lexed.code.size(); ++i) {
+    toks[i] = tokenize(lexed.code[i]);
+  }
+  check_tokens(rel, role, toks, &diags);
+  if (role.is_header) {
+    check_header(rel, lexed.code, &diags);
+    check_nodiscard(rel, lexed.code, &diags);
+  }
+  for (const Diagnostic& d : diags) {
+    const auto it = allow.find(d.line);
+    if (it != allow.end() &&
+        (it->second.count("all") || it->second.count(d.rule))) {
+      continue;
+    }
+    out->push_back(d);
+  }
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp";
+}
+
+bool excluded(const std::string& rel) {
+  // Fixture snippets intentionally violate rules; the self-test lints
+  // them explicitly.
+  return rel.find("lint_fixtures") != std::string::npos;
+}
+
+std::string rel_path(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(p, root, ec);
+  std::string s = (ec || rel.empty() || *rel.begin() == "..")
+                      ? p.generic_string()
+                      : rel.generic_string();
+  return s;
+}
+
+int run(const Options& opt) {
+  std::vector<std::pair<fs::path, std::string>> files;  // abs, rel
+  auto add_tree = [&](const fs::path& dir) {
+    if (!fs::exists(dir)) return;
+    for (const auto& e : fs::recursive_directory_iterator(dir)) {
+      if (!e.is_regular_file() || !lintable(e.path())) continue;
+      const std::string rel = rel_path(e.path(), opt.root);
+      if (excluded(rel)) continue;
+      files.emplace_back(e.path(), rel);
+    }
+  };
+  if (opt.paths.empty()) {
+    for (const char* sub : {"src", "tests", "bench", "examples"}) {
+      add_tree(opt.root / sub);
+    }
+  } else {
+    for (const fs::path& p : opt.paths) {
+      if (fs::is_directory(p)) {
+        add_tree(p);
+      } else {
+        files.emplace_back(p, rel_path(p, opt.root));
+      }
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+
+  std::vector<Diagnostic> diags;
+  for (const auto& [abs, rel] : files) lint_file(abs, rel, &diags);
+  std::sort(diags.begin(), diags.end());
+
+  // Baseline: `path: [rule-id]` lines grandfather existing findings.
+  std::set<std::pair<std::string, std::string>> baselined;
+  if (!opt.baseline.empty()) {
+    std::ifstream in(opt.baseline);
+    if (!in) {
+      std::cerr << "mpicp_lint: cannot open baseline "
+                << opt.baseline.string() << '\n';
+      return 2;
+    }
+    std::string line;
+    static const std::regex entry(R"(^\s*([^#:\s]+)\s*:\s*\[([a-z\-]+)\])");
+    while (std::getline(in, line)) {
+      std::smatch m;
+      if (std::regex_search(line, m, entry)) {
+        baselined.emplace(m[1].str(), m[2].str());
+      }
+    }
+  }
+
+  if (!opt.write_baseline.empty()) {
+    std::ofstream out(opt.write_baseline);
+    out << "# mpicp_lint baseline — `path: [rule-id]` entries grandfather\n"
+           "# existing findings. Keep this file empty: fix violations or\n"
+           "# justify an inline allow() instead (DESIGN.md §10).\n";
+    std::set<std::pair<std::string, std::string>> entries;
+    for (const Diagnostic& d : diags) entries.emplace(d.file, d.rule);
+    for (const auto& [file, rule] : entries) {
+      out << file << ": [" << rule << "]\n";
+    }
+    std::cerr << "mpicp_lint: wrote " << entries.size()
+              << " baseline entr" << (entries.size() == 1 ? "y" : "ies")
+              << " to " << opt.write_baseline.string() << '\n';
+    return 0;
+  }
+
+  std::size_t reported = 0;
+  for (const Diagnostic& d : diags) {
+    if (baselined.count({d.file, d.rule})) continue;
+    std::cout << d.file << ':' << d.line << ": [" << d.rule << "] "
+              << d.message << '\n';
+    ++reported;
+  }
+  std::cerr << "mpicp_lint: " << files.size() << " file(s), " << reported
+            << " finding(s)\n";
+  return reported == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "mpicp_lint: " << flag << " expects a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      opt.root = value("--root");
+    } else if (arg == "--baseline") {
+      opt.baseline = value("--baseline");
+    } else if (arg == "--write-baseline") {
+      opt.write_baseline = value("--write-baseline");
+    } else if (arg == "--list-rules") {
+      for (const std::string& r : all_rules()) std::cout << r << '\n';
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout <<
+          "usage: mpicp_lint [--root DIR] [--baseline FILE]\n"
+          "                  [--write-baseline FILE] [--list-rules]\n"
+          "                  [paths...]\n"
+          "Lints src/ tests/ bench/ examples/ under --root (default: .)\n"
+          "or the explicit files/directories given. Exits 1 on findings.\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "mpicp_lint: unknown option '" << arg << "'\n";
+      return 2;
+    } else {
+      opt.paths.emplace_back(arg);
+    }
+  }
+  return run(opt);
+}
