@@ -1,0 +1,51 @@
+// Machine-readable bench results: every perf harness that tracks a
+// trajectory emits a flat JSON report next to its human-readable
+// tables, so CI can archive BENCH_*.json artifacts per commit and the
+// perf history stays diffable. Schema (EXPERIMENTS.md "Bench JSON
+// reports"):
+//
+//   {"bench": "<name>", "schema": 1,
+//    "metrics": {"<key>": <number>, ...}}
+//
+// Keys are emitted in insertion order; values print with max_digits10
+// so a report round-trips exactly.
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace mpicp::bench {
+
+using JsonMetrics = std::vector<std::pair<std::string, double>>;
+
+inline void json_report(const std::filesystem::path& path,
+                        const std::string& bench_name,
+                        const JsonMetrics& metrics) {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream os(path);
+  if (!os) {
+    MPICP_RAISE_ERROR("cannot open " + path.string() + " for writing");
+  }
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "{\n  \"bench\": \"" << bench_name << "\",\n  \"schema\": 1,\n"
+     << "  \"metrics\": {";
+  bool first = true;
+  for (const auto& [key, value] : metrics) {
+    os << (first ? "\n" : ",\n") << "    \"" << key << "\": " << value;
+    first = false;
+  }
+  os << "\n  }\n}\n";
+  if (!os) {
+    MPICP_RAISE_ERROR("failed writing bench report " + path.string());
+  }
+}
+
+}  // namespace mpicp::bench

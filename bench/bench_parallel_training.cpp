@@ -12,6 +12,8 @@
 //   --threads=<n>      parallel thread count (default 4; serial is
 //                      always measured as the baseline)
 //   --repeats=<n>      timing repetitions, best-of (default 3)
+//   --json-out=<path>  also write a bench_json.hpp report (the CI
+//                      trajectory artifact, e.g. BENCH_training.json)
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -20,6 +22,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "collbench/generator.hpp"
 #include "collbench/specs.hpp"
 #include "support/cli.hpp"
@@ -130,6 +133,21 @@ int main(int argc, char** argv) {
   std::ostringstream os;
   table.print(os);
   std::fputs(os.str().c_str(), stdout);
+
+  const std::string json_path = cli.get("json-out", "");
+  if (!json_path.empty()) {
+    bench::json_report(
+        json_path, "parallel_training",
+        {{"threads", static_cast<double>(threads)},
+         {"queries", static_cast<double>(queries.size())},
+         {"fit_s_serial", serial.fit_s},
+         {"fit_s_parallel", parallel.fit_s},
+         {"fit_speedup", serial.fit_s / parallel.fit_s},
+         {"predict_s_serial", serial.predict_s},
+         {"predict_s_parallel", parallel.predict_s},
+         {"predict_speedup", serial.predict_s / parallel.predict_s}});
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
 
   if (serial.selected != parallel.selected) {
     std::printf("\nFAIL: selected uids differ between thread counts\n");

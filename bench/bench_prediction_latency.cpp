@@ -1,16 +1,39 @@
-// Microbenchmarks (google-benchmark) for the operational costs the
-// paper discusses in §II: offline selection must answer in seconds
-// (SLURM prolog), online selection would need microseconds. Also
-// measures model fitting cost and the simulator's message throughput.
+// Prediction-latency harness: the operational costs the paper discusses
+// in §II (offline selection must answer in seconds, online selection
+// would need microseconds), now measured as interpreted-vs-compiled
+// serving comparison plus the original google-benchmark microbenches.
+//
+// The comparison harness runs first: for each learner it fits a
+// selector, compiles the bank, and times single-query argmin and
+// whole-grid selection on both paths at one thread (the speedup is the
+// engine's, not the pool's), verifying that every pick is identical.
+// Results land in a BENCH_prediction.json report (bench_json.hpp).
+//
+//   --smoke            comparison only (gam + knn, fewer reps), skip the
+//                      google-benchmark microbenches — the CI mode
+//   --json-out=PATH    where to write the JSON report
+//                      (default BENCH_prediction.json)
+// Remaining arguments are passed through to google-benchmark.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "collbench/dataset.hpp"
 #include "simmpi/coll/registry.hpp"
 #include "simmpi/executor.hpp"
 #include "simnet/machine.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+#include "tune/compiled_bank.hpp"
 #include "tune/selector.hpp"
 
 namespace {
@@ -129,6 +152,202 @@ BENCHMARK(BM_SimulatorAlltoallPairwise)
     ->Arg(24)
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------
+// Interpreted vs compiled serving comparison (the perf trajectory).
+// ---------------------------------------------------------------------
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Query instances: the training grid plus extrapolated node counts —
+/// the shape a SLURM-prolog tuning sweep asks for.
+std::vector<bench::Instance> make_query_grid() {
+  std::vector<bench::Instance> grid;
+  const std::vector<int> nodes = {4, 8, 16, 20, 24, 32, 36, 40, 64};
+  const std::vector<int> ppns = {1, 4, 8, 16, 32};
+  const std::vector<std::uint64_t> msizes = {16,    1024,   16384,
+                                             65536, 524288, 4194304};
+  grid.reserve(nodes.size() * ppns.size() * msizes.size());
+  for (const int n : nodes) {
+    for (const int ppn : ppns) {
+      for (const std::uint64_t m : msizes) {
+        grid.push_back({n, ppn, m});
+      }
+    }
+  }
+  return grid;
+}
+
+struct ComparisonRow {
+  std::string learner;
+  double single_us_interpreted = 0.0;
+  double single_us_compiled = 0.0;
+  double grid_us_interpreted = 0.0;  // per instance
+  double grid_us_compiled = 0.0;     // per instance
+  bool picks_identical = true;
+
+  double speedup_single() const {
+    return single_us_interpreted / single_us_compiled;
+  }
+  double speedup_grid() const {
+    return grid_us_interpreted / grid_us_compiled;
+  }
+};
+
+ComparisonRow compare_serving(const std::string& learner, int repeats) {
+  const bench::Dataset& ds = training_data();
+  tune::Selector selector(tune::SelectorOptions{.learner = learner});
+  (void)selector.fit(ds, ds.node_counts());
+  const tune::CompiledBank bank = selector.compile();
+  const std::vector<bench::Instance> grid = make_query_grid();
+
+  // One thread: what is measured is the engine, not the pool.
+  support::ScopedThreads scoped(1);
+  ComparisonRow row;
+  row.learner = learner;
+  row.single_us_interpreted = 1e300;
+  row.single_us_compiled = 1e300;
+  row.grid_us_interpreted = 1e300;
+  row.grid_us_compiled = 1e300;
+
+  std::vector<int> interpreted_picks(grid.size());
+  std::vector<int> compiled_picks;
+  for (int rep = 0; rep < repeats; ++rep) {
+    auto start = Clock::now();
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      interpreted_picks[i] = selector.select_uid(grid[i]);
+    }
+    row.grid_us_interpreted =
+        std::min(row.grid_us_interpreted,
+                 seconds_since(start) * 1e6 / grid.size());
+
+    start = Clock::now();
+    compiled_picks = bank.select_grid(grid);
+    row.grid_us_compiled = std::min(
+        row.grid_us_compiled, seconds_since(start) * 1e6 / grid.size());
+    if (compiled_picks != interpreted_picks) row.picks_identical = false;
+
+    // Single-query latency over a cycling instance, amortized.
+    constexpr int kSingleIters = 64;
+    start = Clock::now();
+    for (int i = 0; i < kSingleIters; ++i) {
+      (void)selector.select_uid(grid[i % grid.size()]);
+    }
+    row.single_us_interpreted =
+        std::min(row.single_us_interpreted,
+                 seconds_since(start) * 1e6 / kSingleIters);
+
+    start = Clock::now();
+    for (int i = 0; i < kSingleIters; ++i) {
+      if (bank.select_uid(grid[i % grid.size()]) !=
+          interpreted_picks[i % grid.size()]) {
+        row.picks_identical = false;
+      }
+    }
+    row.single_us_compiled =
+        std::min(row.single_us_compiled,
+                 seconds_since(start) * 1e6 / kSingleIters);
+  }
+  return row;
+}
+
+int run_comparison(bool smoke, const std::string& json_path) {
+  const std::vector<std::string> learners =
+      smoke ? std::vector<std::string>{"gam", "knn"}
+            : std::vector<std::string>{"gam",    "knn", "linear",
+                                       "median", "rf",  "xgboost"};
+  const int repeats = smoke ? 2 : 3;
+
+  std::printf("interpreted vs compiled serving (1 thread, best of %d, "
+              "%zu-instance grid)\n\n",
+              repeats, make_query_grid().size());
+  support::TextTable table({"learner", "single interp [us]",
+                            "single compiled [us]", "speedup",
+                            "grid/inst interp [us]",
+                            "grid/inst compiled [us]", "speedup",
+                            "picks identical"});
+  bench::JsonMetrics metrics;
+  bool all_identical = true;
+  std::vector<ComparisonRow> rows;
+  rows.reserve(learners.size());
+  for (const std::string& learner : learners) {
+    rows.push_back(compare_serving(learner, repeats));
+    const ComparisonRow& row = rows.back();
+    all_identical = all_identical && row.picks_identical;
+    table.add_row(
+        {row.learner, support::format_double(row.single_us_interpreted, 2),
+         support::format_double(row.single_us_compiled, 2),
+         support::format_double(row.speedup_single(), 2),
+         support::format_double(row.grid_us_interpreted, 2),
+         support::format_double(row.grid_us_compiled, 2),
+         support::format_double(row.speedup_grid(), 2),
+         row.picks_identical ? "yes" : "NO"});
+    metrics.emplace_back(row.learner + ".single_us_interpreted",
+                         row.single_us_interpreted);
+    metrics.emplace_back(row.learner + ".single_us_compiled",
+                         row.single_us_compiled);
+    metrics.emplace_back(row.learner + ".speedup_single",
+                         row.speedup_single());
+    metrics.emplace_back(row.learner + ".grid_us_per_instance_interpreted",
+                         row.grid_us_interpreted);
+    metrics.emplace_back(row.learner + ".grid_us_per_instance_compiled",
+                         row.grid_us_compiled);
+    metrics.emplace_back(row.learner + ".speedup_grid",
+                         row.speedup_grid());
+  }
+  // Headline trajectory keys: the default serving learner.
+  for (const ComparisonRow& row : rows) {
+    if (row.learner == "gam") {
+      metrics.emplace_back("speedup_single", row.speedup_single());
+      metrics.emplace_back("speedup_grid", row.speedup_grid());
+    }
+  }
+  std::ostringstream os;
+  table.print(os);
+  std::fputs(os.str().c_str(), stdout);
+
+  bench::json_report(json_path, "prediction_latency", metrics);
+  std::printf("\nwrote %s\n", json_path.c_str());
+  if (!all_identical) {
+    std::printf("\nFAIL: compiled picks differ from the interpreted "
+                "selector\n");
+    return 1;
+  }
+  std::printf("compiled picks bit-identical to interpreted: yes\n");
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip the harness flags; everything else goes to google-benchmark.
+  bool smoke = false;
+  std::string json_path = "BENCH_prediction.json";
+  std::vector<char*> bench_args;
+  bench_args.reserve(static_cast<std::size_t>(argc));
+  bench_args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--json-out=", 11) == 0) {
+      json_path = argv[i] + 11;
+    } else {
+      bench_args.push_back(argv[i]);
+    }
+  }
+  const int rc = run_comparison(smoke, json_path);
+  if (rc != 0 || smoke) return rc;
+
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             bench_args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,162 @@
+// Flattened (compiled) model bank — the treelite/XGBoost-style lowering
+// of the heterogeneous per-uid `Regressor` objects into contiguous
+// structure-of-arrays pools:
+//
+//   - every GBT/RF tree of every model lives in one node array with
+//     per-tree root offsets (pointer-free, cache-friendly traversal),
+//   - KNN points/targets/kd-nodes are packed row-major with the
+//     standard scaler folded into per-model coefficient strips,
+//   - GAM / linear / median models reduce to packed coefficient blocks,
+//     with bitwise-identical spline bases deduplicated into shared
+//     "evaluation slots" so each distinct basis is evaluated once per
+//     query instead of once per model.
+//
+// Serving is allocation-free: all per-query state lives in a
+// caller-owned `FlatScratch` that only grows on first use. Predictions
+// are bit-identical to the interpreted `Regressor::predict_one` — the
+// lowering reorders memory, never arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "ml/learner.hpp"
+#include "ml/spline.hpp"
+
+namespace mpicp::ml {
+
+class RegressionTree;
+class KnnRegressor;
+class GamRegressor;
+
+struct FlatTreeNode {
+  int feature = -1;  ///< -1: leaf
+  double threshold = 0.0;
+  int left = -1;   ///< global node index
+  int right = -1;  ///< global node index
+  double value = 0.0;
+};
+
+struct FlatKdNode {
+  int axis = -1;  ///< -1: leaf
+  double split = 0.0;
+  int left = -1;   ///< global kd index
+  int right = -1;  ///< global kd index
+  int begin = 0;   ///< leaf: range into the model's order strip
+  int end = 0;
+};
+
+/// One deduplicated (basis, feature-index) evaluation unit shared by
+/// every GAM whose smoother for that feature is bitwise identical.
+struct FlatBasisSlot {
+  int basis = 0;    ///< index into the basis pool
+  int feature = 0;  ///< which query feature it consumes
+};
+
+enum class FlatKind : int {
+  kTreeEnsemble = 0,
+  kKnn = 1,
+  kGam = 2,
+  kLinear = 3,
+  kConstant = 4,
+};
+
+/// Per-model metadata: offsets into the shared pools.
+struct FlatModel {
+  FlatKind kind = FlatKind::kConstant;
+  bool exp_link = false;  ///< apply exp() to the raw score
+  // Tree ensembles.
+  int tree_begin = 0;  ///< range into the tree-root pool
+  int tree_end = 0;
+  double base_score = 0.0;
+  bool mean_over_trees = false;  ///< RF averages, GBT sums
+  // KNN.
+  int k = 0;
+  int points_begin = 0;   ///< element offset into the point pool
+  int num_points = 0;
+  int point_dim = 0;
+  int targets_begin = 0;  ///< row offset into the target pool
+  int order_begin = 0;    ///< offset into the kd leaf permutation pool
+  int kd_root = -1;       ///< global kd index; -1: brute force
+  int scaler_begin = -1;  ///< offset into the scaler pools; -1: unscaled
+  // GAM.
+  int slot_begin = 0;  ///< range into the per-model slot-index pool
+  int num_bases = 0;   ///< one smoother per feature
+  int basis_size = 0;
+  // Coefficient block (GAM beta / linear beta / constant).
+  int coef_begin = 0;
+  int coef_len = 0;
+};
+
+/// Reusable per-query scratch. Owned by the caller (typically
+/// thread_local); every buffer grows to the bank's dimensions on first
+/// use and is never reallocated afterwards.
+struct FlatScratch {
+  std::vector<double> slot_values;  ///< slot-major basis values
+  std::vector<std::uint64_t> slot_stamp;
+  std::uint64_t query_stamp = 0;
+  std::vector<double> scaled;  ///< z-scaled query for KNN models
+  std::vector<std::pair<double, int>> heap;
+};
+
+class FlatBank {
+ public:
+  /// Lower one fitted regressor into the pools; returns its model index.
+  /// Raises kInvalidArgument for regressor types it cannot compile.
+  int add(const Regressor& model);
+
+  std::size_t size() const { return models_.size(); }
+  const FlatModel& model(std::size_t i) const { return models_[i]; }
+  std::size_t num_basis_slots() const { return slots_.size(); }
+
+  /// Start a new query: bumps the slot memoization stamp and grows the
+  /// scratch buffers if needed. Must be called once per query vector
+  /// before any predict_one() on it.
+  void begin_query(FlatScratch& scratch) const;
+
+  /// Predict with model `i` on the feature vector `x`. Bit-identical to
+  /// the interpreted regressor's predict_one. Allocation-free once
+  /// `scratch` has warmed up.
+  double predict_one(std::size_t i, std::span<const double> x,
+                     FlatScratch& scratch) const;
+
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+ private:
+  void lower_trees(const std::vector<RegressionTree>& trees, FlatModel& m);
+  void lower_knn(const KnnRegressor& knn, FlatModel& m);
+  void lower_gam(const GamRegressor& gam, FlatModel& m);
+  int intern_basis(const BSplineBasis& basis);
+  int intern_slot(int basis, int feature);
+  std::span<const double> point_row(const FlatModel& m, int p) const {
+    return {points_.data() +
+                static_cast<std::size_t>(m.points_begin) +
+                static_cast<std::size_t>(p) * m.point_dim,
+            static_cast<std::size_t>(m.point_dim)};
+  }
+  void search_kd(const FlatModel& m, int node, std::span<const double> q,
+                 std::vector<std::pair<double, int>>& heap) const;
+
+  std::vector<FlatModel> models_;
+  std::vector<FlatTreeNode> nodes_;
+  std::vector<int> tree_roots_;
+  std::vector<double> points_;
+  std::vector<double> targets_;
+  std::vector<int> order_;
+  std::vector<FlatKdNode> kd_;
+  std::vector<double> scaler_mean_;
+  std::vector<double> scaler_inv_std_;
+  std::vector<BSplineBasis> bases_;
+  std::vector<FlatBasisSlot> slots_;
+  std::vector<int> gam_slots_;  ///< per model-feature: slot index
+  std::vector<double> coef_;
+  int max_basis_size_ = 0;
+  int max_point_dim_ = 0;
+  int max_k_ = 0;
+};
+
+}  // namespace mpicp::ml

@@ -42,13 +42,17 @@ void RandomForest::fit(const Matrix& x, std::span<const double> y) {
   const auto sample_size = static_cast<std::size_t>(
       params_.row_fraction * static_cast<double>(n));
   trees_.clear();
+  trees_.reserve(static_cast<std::size_t>(params_.num_trees));
+  std::vector<GradPair> hist_scratch;
+  std::vector<int> rows;
+  rows.reserve(std::max<std::size_t>(sample_size, 1));
   for (int t = 0; t < params_.num_trees; ++t) {
-    std::vector<int> rows(std::max<std::size_t>(sample_size, 1));
+    rows.assign(std::max<std::size_t>(sample_size, 1), 0);
     for (auto& r : rows) {
       r = static_cast<int>(rng.uniform_int(n));  // bootstrap
     }
     RegressionTree tree;
-    tree.fit(binner, codes, d, gh, std::move(rows), tree_params);
+    tree.fit(binner, codes, d, gh, rows, tree_params, hist_scratch);
     trees_.push_back(std::move(tree));
   }
 }

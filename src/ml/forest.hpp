@@ -28,6 +28,10 @@ class RandomForest final : public Regressor {
   void save(std::ostream& os) const override;
   void load(std::istream& is) override;
 
+  // Introspection for the compiled bank's lowering pass.
+  const ForestParams& params() const { return params_; }
+  const std::vector<RegressionTree>& trees() const { return trees_; }
+
  private:
   ForestParams params_;
   std::vector<RegressionTree> trees_;

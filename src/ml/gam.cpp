@@ -36,6 +36,7 @@ void GamRegressor::fit(const Matrix& x, std::span<const double> y) {
 
   // Build one basis per feature over the observed range.
   bases_.clear();
+  bases_.reserve(d);
   for (std::size_t f = 0; f < d; ++f) {
     double lo = x(0, f);
     double hi = x(0, f);
@@ -77,9 +78,9 @@ void GamRegressor::fit(const Matrix& x, std::span<const double> y) {
   beta_.assign(cols, 0.0);
   iterations_ = 0;
   double prev_dev = 1e300;
+  std::vector<double> z(n);
   for (int it = 0; it < params_.max_iters; ++it) {
     ++iterations_;
-    std::vector<double> z(n);
     for (std::size_t i = 0; i < n; ++i) {
       const double mu = std::exp(std::clamp(eta[i], -40.0, 40.0));
       z[i] = eta[i] + (y[i] - mu) / mu;

@@ -36,6 +36,11 @@ class GamRegressor final : public Regressor {
 
   int iterations_used() const { return iterations_; }
 
+  // Introspection for the compiled bank's lowering pass.
+  const GamParams& params() const { return params_; }
+  const std::vector<BSplineBasis>& bases() const { return bases_; }
+  const std::vector<double>& beta() const { return beta_; }
+
  private:
   Matrix design_row(std::span<const double> x) const;
 

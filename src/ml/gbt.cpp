@@ -66,6 +66,8 @@ void GradientBoostedTrees::fit(const Matrix& x, std::span<const double> y) {
   }
   trees_.clear();
   loss_.clear();
+  trees_.reserve(static_cast<std::size_t>(params_.rounds));
+  loss_.reserve(static_cast<std::size_t>(params_.rounds));
 
   const double mean_y = support::mean(y);
   base_score_ =
@@ -85,6 +87,7 @@ void GradientBoostedTrees::fit(const Matrix& x, std::span<const double> y) {
   TreeParams tree_params = params_.tree;
   tree_params.learning_rate = params_.learning_rate;
 
+  std::vector<GradPair> hist_scratch;
   for (int round = 0; round < params_.rounds; ++round) {
     double total_loss = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
@@ -96,7 +99,7 @@ void GradientBoostedTrees::fit(const Matrix& x, std::span<const double> y) {
     loss_.push_back(total_loss / static_cast<double>(n));
 
     RegressionTree tree;
-    tree.fit(binner, codes, d, gh, all_rows, tree_params);
+    tree.fit(binner, codes, d, gh, all_rows, tree_params, hist_scratch);
     for (std::size_t i = 0; i < n; ++i) {
       score[i] += tree.predict_one(x.row(i));
     }

@@ -47,6 +47,11 @@ class GradientBoostedTrees final : public Regressor {
   /// fitting). The paper observes message size dominating this ranking.
   std::vector<double> feature_importance() const;
 
+  // Introspection for the compiled bank's lowering pass.
+  const GbtParams& params() const { return params_; }
+  const std::vector<RegressionTree>& trees() const { return trees_; }
+  double base_score() const { return base_score_; }
+
  private:
   double raw_score(std::span<const double> x) const;
 

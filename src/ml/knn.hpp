@@ -21,6 +21,9 @@ class StandardScaler {
   void save(std::ostream& os) const;
   void load(std::istream& is);
 
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& inv_std() const { return inv_std_; }
+
  private:
   std::vector<double> mean_;
   std::vector<double> inv_std_;
@@ -34,15 +37,6 @@ struct KnnParams {
 
 class KnnRegressor final : public Regressor {
  public:
-  explicit KnnRegressor(KnnParams params = {});
-
-  void fit(const Matrix& x, std::span<const double> y) override;
-  double predict_one(std::span<const double> x) const override;
-  std::string name() const override { return "knn"; }
-  void save(std::ostream& os) const override;
-  void load(std::istream& is) override;
-
- private:
   struct KdNode {
     int axis = -1;       // -1: leaf
     double split = 0.0;
@@ -52,6 +46,23 @@ class KnnRegressor final : public Regressor {
     int end = 0;
   };
 
+  explicit KnnRegressor(KnnParams params = {});
+
+  void fit(const Matrix& x, std::span<const double> y) override;
+  double predict_one(std::span<const double> x) const override;
+  std::string name() const override { return "knn"; }
+  void save(std::ostream& os) const override;
+  void load(std::istream& is) override;
+
+  // Introspection for the compiled bank's lowering pass.
+  const KnnParams& params() const { return params_; }
+  const StandardScaler& scaler() const { return scaler_; }
+  const Matrix& points() const { return points_; }
+  const std::vector<double>& targets() const { return targets_; }
+  const std::vector<int>& order() const { return order_; }
+  const std::vector<KdNode>& kd() const { return kd_; }
+
+ private:
   int build_kd(int begin, int end, int depth);
   void search_kd(int node, std::span<const double> q,
                  std::vector<std::pair<double, int>>& heap) const;

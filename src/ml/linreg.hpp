@@ -24,6 +24,8 @@ class LinearRegressor final : public Regressor {
   /// Fitted coefficients (intercept first).
   const std::vector<double>& coefficients() const { return beta_; }
 
+  bool log_target() const { return params_.log_target; }
+
  private:
   LinearParams params_;
   std::vector<double> beta_;

@@ -22,6 +22,9 @@ class MedianRegressor : public Regressor {
   void save(std::ostream& os) const override;
   void load(std::istream& is) override;
 
+  /// The fitted constant (for the compiled bank's lowering pass).
+  double value() const { return median_; }
+
  private:
   double median_ = 0.0;
   bool fitted_ = false;

@@ -14,12 +14,21 @@ BSplineBasis::BSplineBasis(double lo, double hi, int num_basis)
   // needs 3 extra knots on each side.
   const int intervals = num_basis - 3;
   step_ = (hi - lo) / intervals;
+  knots_.reserve(static_cast<std::size_t>(intervals) + 7);
   for (int i = -3; i <= intervals + 3; ++i) knots_.push_back(lo + i * step_);
 }
 
 std::vector<double> BSplineBasis::evaluate(double x) const {
-  x = std::clamp(x, lo_, hi_);
   std::vector<double> out(num_basis_, 0.0);
+  evaluate_into(x, out);
+  return out;
+}
+
+void BSplineBasis::evaluate_into(double x, std::span<double> out) const {
+  MPICP_ASSERT(out.size() == static_cast<std::size_t>(num_basis_),
+               "basis buffer size mismatch");
+  x = std::clamp(x, lo_, hi_);
+  std::fill(out.begin(), out.end(), 0.0);
   // Cox-de-Boor over the 4 bases with support at x. Basis j has support
   // [knots[j], knots[j+4]) with our indexing (knots_[0] = lo - 3h).
   for (int j = 0; j < num_basis_; ++j) {
@@ -44,7 +53,6 @@ std::vector<double> BSplineBasis::evaluate(double x) const {
     }
     out[j] = n[0];
   }
-  return out;
 }
 
 Matrix BSplineBasis::penalty() const {

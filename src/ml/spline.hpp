@@ -2,6 +2,7 @@
 // the GAM, in the P-spline formulation of Eilers & Marx).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "ml/matrix.hpp"
@@ -20,6 +21,11 @@ class BSplineBasis {
 
   /// Evaluate all basis functions at x (clamped to [lo, hi]).
   std::vector<double> evaluate(double x) const;
+
+  /// Allocation-free evaluation into a caller-owned buffer of exactly
+  /// num_basis() doubles — the kernel both the interpreted GAM and the
+  /// compiled flat bank share, so their arithmetic is identical.
+  void evaluate_into(double x, std::span<double> out) const;
 
   /// Second-order difference penalty matrix D2' * D2 (num_basis^2).
   Matrix penalty() const;

@@ -22,11 +22,13 @@ FeatureBinner::FeatureBinner(const Matrix& x, int max_bins) {
     std::vector<double>& e = edges_[f];
     if (static_cast<int>(col.size()) <= max_bins) {
       // Lossless: one bin per distinct value, edges at midpoints.
+      e.reserve(col.size() - 1);
       for (std::size_t i = 0; i + 1 < col.size(); ++i) {
         e.push_back(0.5 * (col[i] + col[i + 1]));
       }
     } else {
       // Quantile edges.
+      e.reserve(static_cast<std::size_t>(max_bins) - 1);
       for (int b = 1; b < max_bins; ++b) {
         const std::size_t pos =
             b * (col.size() - 1) / static_cast<std::size_t>(max_bins);
@@ -59,16 +61,28 @@ void RegressionTree::fit(const FeatureBinner& binner,
                          std::span<const std::uint8_t> codes,
                          int num_features, std::span<const GradPair> gh,
                          std::vector<int> rows, const TreeParams& params) {
+  std::vector<GradPair> hist_scratch;
+  fit(binner, codes, num_features, gh, std::move(rows), params,
+      hist_scratch);
+}
+
+void RegressionTree::fit(const FeatureBinner& binner,
+                         std::span<const std::uint8_t> codes,
+                         int num_features, std::span<const GradPair> gh,
+                         std::vector<int> rows, const TreeParams& params,
+                         std::vector<GradPair>& hist_scratch) {
   MPICP_REQUIRE(!rows.empty(), "cannot fit a tree on zero rows");
   nodes_.clear();
-  build(binner, codes, num_features, gh, std::move(rows), 0, params);
+  build(binner, codes, num_features, gh, std::move(rows), 0, params,
+        hist_scratch);
 }
 
 int RegressionTree::build(const FeatureBinner& binner,
                           std::span<const std::uint8_t> codes,
                           int num_features, std::span<const GradPair> gh,
                           std::vector<int> rows, int depth,
-                          const TreeParams& params) {
+                          const TreeParams& params,
+                          std::vector<GradPair>& hist) {
   double g_sum = 0.0;
   double h_sum = 0.0;
   for (const int i : rows) {
@@ -87,7 +101,8 @@ int RegressionTree::build(const FeatureBinner& binner,
   int best_feature = -1;
   int best_bin = -1;
   double best_gain = params.min_gain;
-  std::vector<GradPair> hist;
+  // `hist` is the fit-wide scratch buffer: assign() below reuses its
+  // capacity, so the whole tree (and ensemble) shares one allocation.
   for (int f = 0; f < num_features; ++f) {
     const int nbins = binner.num_bins(f);
     if (nbins < 2) continue;
@@ -134,9 +149,9 @@ int RegressionTree::build(const FeatureBinner& binner,
   nodes_[node_idx].threshold = binner.edge(best_feature, best_bin);
   nodes_[node_idx].gain = best_gain;
   const int left = build(binner, codes, num_features, gh,
-                         std::move(left_rows), depth + 1, params);
+                         std::move(left_rows), depth + 1, params, hist);
   const int right = build(binner, codes, num_features, gh,
-                          std::move(right_rows), depth + 1, params);
+                          std::move(right_rows), depth + 1, params, hist);
   nodes_[node_idx].left = left;
   nodes_[node_idx].right = right;
   return node_idx;

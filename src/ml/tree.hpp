@@ -55,12 +55,28 @@ struct TreeParams {
 /// -G / (H + lambda), scaled by the learning rate.
 class RegressionTree {
  public:
+  struct Node {
+    int feature = -1;  ///< -1: leaf
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    double value = 0.0;
+    double gain = 0.0;  ///< split gain (internal nodes)
+  };
+
   /// Fit on binned rows. `rows` selects the training subset (with
   /// repetitions allowed, for bagging).
   void fit(const FeatureBinner& binner,
            std::span<const std::uint8_t> codes, int num_features,
            std::span<const GradPair> gh, std::vector<int> rows,
            const TreeParams& params);
+
+  /// As above, but reuses `hist_scratch` for the split-search histogram
+  /// so ensemble fits allocate it once instead of once per tree.
+  void fit(const FeatureBinner& binner,
+           std::span<const std::uint8_t> codes, int num_features,
+           std::span<const GradPair> gh, std::vector<int> rows,
+           const TreeParams& params, std::vector<GradPair>& hist_scratch);
 
   double predict_one(std::span<const double> x) const;
 
@@ -74,20 +90,15 @@ class RegressionTree {
   void save(std::ostream& os) const;
   void load(std::istream& is);
 
- private:
-  struct Node {
-    int feature = -1;  ///< -1: leaf
-    double threshold = 0.0;
-    int left = -1;
-    int right = -1;
-    double value = 0.0;
-    double gain = 0.0;  ///< split gain (internal nodes)
-  };
+  /// Preorder node pool (index 0 is the root) — the compiled bank lowers
+  /// from this representation.
+  const std::vector<Node>& nodes() const { return nodes_; }
 
+ private:
   int build(const FeatureBinner& binner,
             std::span<const std::uint8_t> codes, int num_features,
             std::span<const GradPair> gh, std::vector<int> rows, int depth,
-            const TreeParams& params);
+            const TreeParams& params, std::vector<GradPair>& hist);
 
   std::vector<Node> nodes_;
 };

@@ -1,0 +1,217 @@
+#include "tune/compiled_bank.hpp"
+
+#include <cmath>
+#include <fstream>
+
+#include "ml/io.hpp"
+#include "simmpi/coll/decision.hpp"
+#include "support/error.hpp"
+#include "support/faultinject.hpp"
+#include "support/metrics.hpp"
+#include "support/parallel.hpp"
+#include "support/trace.hpp"
+
+namespace mpicp::tune {
+
+namespace metrics = support::metrics;
+
+namespace {
+
+/// One scratch per thread, reused across queries and banks — the only
+/// mutable per-query state of the compiled serving path.
+ml::FlatScratch& thread_scratch() {
+  thread_local ml::FlatScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+void CompiledBank::predict_all_into(
+    const bench::Instance& inst,
+    std::span<Selector::Prediction> out) const {
+  MPICP_SPAN("compiled.predict_all");
+  MPICP_REQUIRE(!uids_.empty(), "serving from an empty compiled bank");
+  MPICP_REQUIRE(out.size() == uids_.size(),
+                "prediction buffer size mismatch");
+  metrics::counter("compiled.predict.calls").inc();
+  metrics::counter("compiled.predict.predictions_served")
+      .inc(uids_.size());
+  double feat[kMaxInstanceFeatures];
+  const std::size_t dim = feature_dim(features_);
+  instance_features_into(inst, features_, std::span<double>(feat, dim));
+  ml::FlatScratch& scratch = thread_scratch();
+  bank_.begin_query(scratch);
+  for (std::size_t i = 0; i < uids_.size(); ++i) {
+    double t = bank_.predict_one(i, {feat, dim}, scratch);
+    if (support::faultinject::active()) {
+      if (const auto forced =
+              support::faultinject::forced_prediction(uids_[i])) {
+        t = *forced;
+      }
+    }
+    out[i].uid = uids_[i];
+    out[i].time_us = t;
+    out[i].usable = std::isfinite(t) && t >= 0.0;
+  }
+}
+
+std::vector<Selector::Prediction> CompiledBank::predict_all(
+    const bench::Instance& inst) const {
+  std::vector<Selector::Prediction> out(uids_.size());
+  predict_all_into(inst, out);
+  return out;
+}
+
+int CompiledBank::argmin_uid(const bench::Instance& inst) const {
+  double feat[kMaxInstanceFeatures];
+  const std::size_t dim = feature_dim(features_);
+  instance_features_into(inst, features_, std::span<double>(feat, dim));
+  ml::FlatScratch& scratch = thread_scratch();
+  bank_.begin_query(scratch);
+  int best_uid = -1;
+  double best_time = 0.0;
+  std::size_t excluded = 0;
+  // Fused predict+argmin in ascending uid order: same tie-breaking and
+  // the same usability screen as the interpreted argmin_usable, without
+  // materializing a prediction vector.
+  for (std::size_t i = 0; i < uids_.size(); ++i) {
+    double t = bank_.predict_one(i, {feat, dim}, scratch);
+    if (support::faultinject::active()) {
+      if (const auto forced =
+              support::faultinject::forced_prediction(uids_[i])) {
+        t = *forced;
+      }
+    }
+    if (!(std::isfinite(t) && t >= 0.0)) {
+      ++excluded;
+      continue;
+    }
+    if (best_uid < 0 || t < best_time) {
+      best_uid = uids_[i];
+      best_time = t;
+    }
+  }
+  if (excluded > 0) {
+    metrics::counter("compiled.select.argmin_excluded").inc(excluded);
+  }
+  return best_uid;
+}
+
+int CompiledBank::argmin_uid_cached(const bench::Instance& inst) const {
+  if (!cache_enabled_) return argmin_uid(inst);
+  const std::tuple<std::uint64_t, int, int> key{inst.msize, inst.nodes,
+                                                inst.ppn};
+  {
+    const std::lock_guard<std::mutex> lock(cache_->mu);
+    const auto it = cache_->memo.find(key);
+    if (it != cache_->memo.end()) {
+      cache_->hits.fetch_add(1, std::memory_order_relaxed);
+      metrics::counter("compiled.cache.hits").inc();
+      return it->second;
+    }
+  }
+  const int best = argmin_uid(inst);
+  {
+    const std::lock_guard<std::mutex> lock(cache_->mu);
+    cache_->memo.emplace(key, best);
+  }
+  cache_->misses.fetch_add(1, std::memory_order_relaxed);
+  metrics::counter("compiled.cache.misses").inc();
+  return best;
+}
+
+int CompiledBank::select_uid(const bench::Instance& inst) const {
+  MPICP_REQUIRE(!uids_.empty(), "serving from an empty compiled bank");
+  metrics::counter("compiled.select.requests").inc();
+  const int best_uid = argmin_uid_cached(inst);
+  MPICP_REQUIRE(best_uid > 0,
+                "no usable model prediction for the instance (use "
+                "select_uid_or_default for graceful degradation)");
+  return best_uid;
+}
+
+int CompiledBank::select_uid_or_default(const bench::Instance& inst,
+                                        sim::MpiLib lib,
+                                        sim::Collective coll) const {
+  metrics::counter("compiled.select.requests").inc();
+  if (!uids_.empty()) {
+    const int best_uid = argmin_uid_cached(inst);
+    if (best_uid > 0) return best_uid;
+  }
+  // No usable model: behave like an untuned library run.
+  metrics::counter("compiled.select.default_fallbacks").inc();
+  return sim::library_default_uid(lib, coll, inst.nodes * inst.ppn,
+                                  inst.msize);
+}
+
+std::vector<int> CompiledBank::select_grid(
+    std::span<const bench::Instance> grid) const {
+  MPICP_SPAN("compiled.select_grid");
+  MPICP_REQUIRE(!uids_.empty(), "serving from an empty compiled bank");
+  metrics::counter("compiled.select.grid_requests").inc();
+  metrics::counter("compiled.select.grid_instances").inc(grid.size());
+  std::vector<int> out(grid.size(), -1);
+  // Batched argmin: parallelize over the instances (each of which scans
+  // the whole bank serially) instead of over the uids of one query —
+  // grids are the abundant axis, and per-query state stays thread-local.
+  support::parallel_for(grid.size(), 8, [&](std::size_t i) {
+    const int best_uid = argmin_uid_cached(grid[i]);
+    MPICP_REQUIRE(best_uid > 0,
+                  "no usable model prediction for a grid instance (use "
+                  "select_uid_or_default for graceful degradation)");
+    out[i] = best_uid;
+  });
+  return out;
+}
+
+void CompiledBank::set_cache_enabled(bool enabled) {
+  const std::lock_guard<std::mutex> lock(cache_->mu);
+  cache_enabled_ = enabled;
+  cache_->memo.clear();
+  cache_->hits.store(0, std::memory_order_relaxed);
+  cache_->misses.store(0, std::memory_order_relaxed);
+}
+
+CompiledBank::CacheStats CompiledBank::cache_stats() const {
+  return {cache_->hits.load(std::memory_order_relaxed),
+          cache_->misses.load(std::memory_order_relaxed)};
+}
+
+void CompiledBank::save(const std::filesystem::path& path) const {
+  MPICP_REQUIRE(!uids_.empty(), "saving an empty compiled bank");
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream os(path);
+  if (!os) {
+    MPICP_RAISE_ERROR("cannot open " + path.string() + " for writing");
+  }
+  os << "mpicp-compiled-bank 1\n";
+  os << (features_.include_total_processes ? 1 : 0) << '\n';
+  ml::io::write_vector(os, uids_);
+  bank_.save(os);
+  if (!os) {
+    MPICP_RAISE_ERROR("failed writing compiled bank to " + path.string());
+  }
+}
+
+CompiledBank CompiledBank::load(const std::filesystem::path& path) {
+  std::ifstream is(path);
+  if (!is) {
+    MPICP_RAISE_PARSE("cannot open compiled bank file " + path.string());
+  }
+  ml::io::expect_tag(is, "mpicp-compiled-bank");
+  const int version = ml::io::read_value<int>(is);
+  MPICP_CHECK_PARSE(version == 1, "unsupported compiled bank version");
+  CompiledBank bank;
+  bank.features_.include_total_processes =
+      ml::io::read_value<int>(is) != 0;
+  bank.uids_ = ml::io::read_vector<int>(is);
+  bank.bank_.load(is);
+  MPICP_CHECK_PARSE(bank.uids_.size() == bank.bank_.size(),
+                    "compiled bank uid/model count mismatch");
+  MPICP_CHECK_PARSE(!bank.uids_.empty(), "empty compiled bank file");
+  return bank;
+}
+
+}  // namespace mpicp::tune

@@ -1,0 +1,110 @@
+// Compiled serving form of a fitted Selector (see DESIGN.md §11).
+//
+// `Selector::compile()` lowers the per-uid `Regressor` bank into an
+// `ml::FlatBank` (contiguous SoA pools, no virtual dispatch, no
+// std::map walk) and wraps it with the selection semantics of the
+// interpreted path: ascending-uid argmin, unusable predictions
+// (non-finite / negative) excluded, ties to the lowest uid, optional
+// library-default fallback. Serving is allocation-free per query — the
+// feature vector lives on the stack and all per-query state sits in a
+// thread-local `ml::FlatScratch` — and `select_grid` batches whole
+// instance grids with `parallel_for` over the *instances* (the
+// interpreted path parallelizes over uids inside one query instead).
+//
+// Predictions are bit-identical to the interpreted selector at every
+// MPICP_THREADS; only the metric names differ (`compiled.*` prefix) so
+// the two serving paths stay distinguishable in the registry.
+//
+// An optional memoized selection cache keyed on (m, n, N) serves
+// repeated queries — e.g. a job prolog asking for the same grid cell —
+// without re-evaluating the bank. It is off by default: the golden
+// pipeline and the equivalence tests exercise the uncached path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <tuple>
+#include <vector>
+
+#include "ml/flatten.hpp"
+#include "tune/selector.hpp"
+
+namespace mpicp::tune {
+
+class CompiledBank {
+ public:
+  CompiledBank() = default;
+
+  std::size_t num_models() const { return uids_.size(); }
+  const std::vector<int>& uids() const { return uids_; }
+  const FeatureOptions& features() const { return features_; }
+  const ml::FlatBank& flat() const { return bank_; }
+
+  /// Predict every modeled uid on one instance, ascending uid order,
+  /// into a caller-owned buffer of exactly num_models() entries.
+  void predict_all_into(const bench::Instance& inst,
+                        std::span<Selector::Prediction> out) const;
+
+  /// Allocating convenience wrapper around predict_all_into.
+  [[nodiscard]] std::vector<Selector::Prediction> predict_all(
+      const bench::Instance& inst) const;
+
+  /// Argmin over the usable predictions; throws when none is usable
+  /// (same contract as Selector::select_uid).
+  [[nodiscard]] int select_uid(const bench::Instance& inst) const;
+
+  /// Argmin with graceful degradation to the library default decision
+  /// (same contract as Selector::select_uid_or_default).
+  [[nodiscard]] int select_uid_or_default(const bench::Instance& inst,
+                                          sim::MpiLib lib,
+                                          sim::Collective coll) const;
+
+  /// Batched selection over a whole instance grid: one result per
+  /// instance, parallelized over the grid. Throws if any instance has
+  /// no usable prediction.
+  [[nodiscard]] std::vector<int> select_grid(
+      std::span<const bench::Instance> grid) const;
+
+  /// Enable/disable the (m, n, N)-keyed selection memo. Clears the
+  /// cache on any transition.
+  void set_cache_enabled(bool enabled);
+  bool cache_enabled() const { return cache_enabled_; }
+  struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  CacheStats cache_stats() const;
+
+  /// Persist / restore the compiled form (text format, exact doubles).
+  void save(const std::filesystem::path& path) const;
+  static CompiledBank load(const std::filesystem::path& path);
+
+ private:
+  friend class Selector;
+
+  /// Fused predict+argmin on one instance; -1 when no prediction is
+  /// usable. Never allocates (thread-local scratch).
+  int argmin_uid(const bench::Instance& inst) const;
+  /// argmin_uid behind the memo cache (when enabled).
+  int argmin_uid_cached(const bench::Instance& inst) const;
+
+  FeatureOptions features_;
+  std::vector<int> uids_;  ///< ascending; parallel to bank_ models
+  ml::FlatBank bank_;
+
+  struct CacheState {
+    std::mutex mu;
+    std::map<std::tuple<std::uint64_t, int, int>, int> memo;
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+  };
+  bool cache_enabled_ = false;
+  std::unique_ptr<CacheState> cache_ = std::make_unique<CacheState>();
+};
+
+}  // namespace mpicp::tune

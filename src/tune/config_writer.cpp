@@ -30,6 +30,7 @@ TuningConfig build_tuning_config(const Selector& selector, sim::MpiLib lib,
   config.coll = coll;
   config.nodes = nodes;
   config.ppn = ppn;
+  config.rules.reserve(msizes.size());
   for (std::size_t i = 0; i < msizes.size(); ++i) {
     // Degradation-aware: a message size where every model prediction is
     // unusable gets the library's own default rule instead of aborting
@@ -108,6 +109,8 @@ TuningConfig read_tuning_file(const std::filesystem::path& path) {
         }
       }
       MPICP_REQUIRE(rule.uid > 0, "tuning rule without uid");
+      // mpicp-lint: allow(no-alloc-in-loop) unbounded parse loop; the
+      // rule count is unknown until the file ends.
       config.rules.push_back(rule);
     } else {
       MPICP_RAISE_PARSE("unknown tuning-file directive '" + parts[0] + "'");

@@ -9,6 +9,7 @@
 #include "support/parallel.hpp"
 #include "support/stats.hpp"
 #include "support/trace.hpp"
+#include "tune/compiled_bank.hpp"
 
 namespace mpicp::tune {
 
@@ -16,16 +17,26 @@ Evaluation evaluate(const bench::Dataset& ds, const Selector& selector,
                     const bench::DefaultLogic& default_logic,
                     const std::vector<int>& test_nodes) {
   MPICP_SPAN("evaluate");
+  std::vector<int> sorted_nodes(test_nodes);
+  std::sort(sorted_nodes.begin(), sorted_nodes.end());
   std::vector<bench::Instance> instances;
+  instances.reserve(ds.instances().size());
   for (const bench::Instance& inst : ds.instances()) {
-    if (std::find(test_nodes.begin(), test_nodes.end(), inst.nodes) !=
-        test_nodes.end()) {
+    if (std::binary_search(sorted_nodes.begin(), sorted_nodes.end(),
+                           inst.nodes)) {
       instances.push_back(inst);
     }
   }
   MPICP_REQUIRE(!instances.empty(), "no test instances found");
   support::metrics::counter("evaluate.calls").inc();
   support::metrics::counter("evaluate.instances").inc(instances.size());
+
+  // Selection runs on the compiled bank: one lowering pays for the whole
+  // grid, and the batched argmin parallelizes over instances instead of
+  // over the uids of each query. Predictions (and thus every EvalRow)
+  // are bit-identical to the interpreted selector.
+  const CompiledBank bank = selector.compile();
+  const std::vector<int> picked = bank.select_grid(instances);
 
   // Each instance is scored independently against the three strategies;
   // rows are preallocated so the parallel fill is order-independent.
@@ -41,7 +52,7 @@ Evaluation evaluate(const bench::Dataset& ds, const Selector& selector,
     row.t_best_us = best.time_us;
     row.default_uid = default_logic.select_uid(inst);
     row.t_default_us = ds.time_us(row.default_uid, inst);
-    row.predicted_uid = selector.select_uid(inst);
+    row.predicted_uid = picked[i];
     row.t_predicted_us = ds.time_us(row.predicted_uid, inst);
     eval.rows[i] = row;
   });
@@ -49,6 +60,9 @@ Evaluation evaluate(const bench::Dataset& ds, const Selector& selector,
   std::vector<double> speedups;
   std::vector<double> norm_def;
   std::vector<double> norm_pred;
+  speedups.reserve(eval.rows.size());
+  norm_def.reserve(eval.rows.size());
+  norm_pred.reserve(eval.rows.size());
   std::size_t optimal = 0;
   for (const EvalRow& row : eval.rows) {
     speedups.push_back(row.speedup());

@@ -65,11 +65,12 @@ int DecisionRules::build(std::vector<const LabeledInstance*> points,
   int best_feature = -1;
   double best_threshold = 0.0;
   std::size_t best_miss = points.size() - major_count;
+  std::vector<double> sorted;
   for (int f = 0; f < 3; ++f) {
     std::set<double> values;
     for (const auto* p : points) values.insert(feature_of(p->inst, f));
     if (values.size() < 2) continue;
-    std::vector<double> sorted(values.begin(), values.end());
+    sorted.assign(values.begin(), values.end());
     for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
       const double thr = 0.5 * (sorted[i] + sorted[i + 1]);
       std::vector<const LabeledInstance*> left;

@@ -7,6 +7,7 @@
 #include <chrono>
 
 #include "ml/io.hpp"
+#include "tune/compiled_bank.hpp"
 #include "simmpi/coll/decision.hpp"
 #include "support/error.hpp"
 #include "support/faultinject.hpp"
@@ -19,14 +20,28 @@ namespace mpicp::tune {
 
 namespace metrics = support::metrics;
 
+std::size_t feature_dim(const FeatureOptions& opts) {
+  return opts.include_total_processes ? 4 : 3;
+}
+
+void instance_features_into(const bench::Instance& inst,
+                            const FeatureOptions& opts,
+                            std::span<double> out) {
+  MPICP_ASSERT(out.size() == feature_dim(opts),
+               "feature buffer size mismatch");
+  out[0] =
+      std::log2(static_cast<double>(std::max<std::uint64_t>(inst.msize, 1)));
+  out[1] = static_cast<double>(inst.nodes);
+  out[2] = static_cast<double>(inst.ppn);
+  if (opts.include_total_processes) {
+    out[3] = static_cast<double>(inst.nodes) * inst.ppn;
+  }
+}
+
 std::vector<double> instance_features(const bench::Instance& inst,
                                       const FeatureOptions& opts) {
-  std::vector<double> x = {
-      std::log2(static_cast<double>(std::max<std::uint64_t>(inst.msize, 1))),
-      static_cast<double>(inst.nodes), static_cast<double>(inst.ppn)};
-  if (opts.include_total_processes) {
-    x.push_back(static_cast<double>(inst.nodes) * inst.ppn);
-  }
+  std::vector<double> x(feature_dim(opts));
+  instance_features_into(inst, opts, x);
   return x;
 }
 
@@ -94,13 +109,19 @@ const FitReport& Selector::fit(const bench::Dataset& ds,
   models_.clear();
   report_ = FitReport{};
 
-  // Bucket the raw observations per uid.
+  // Bucket the raw observations per uid. Membership is tested against a
+  // sorted copy of the node set: one binary search per record instead of
+  // a linear scan (the O(records × nodes) hot spot on large campaigns).
+  std::vector<int> sorted_nodes(train_nodes);
+  std::sort(sorted_nodes.begin(), sorted_nodes.end());
   std::map<int, std::vector<const bench::Record*>> rows;
   for (const bench::Record& rec : ds.records()) {
-    if (std::find(train_nodes.begin(), train_nodes.end(), rec.nodes) ==
-        train_nodes.end()) {
+    if (!std::binary_search(sorted_nodes.begin(), sorted_nodes.end(),
+                            rec.nodes)) {
       continue;
     }
+    // mpicp-lint: allow(no-alloc-in-loop) per-uid buckets grow across the
+    // whole ingest pass; their sizes are unknown until it finishes.
     rows[rec.uid].push_back(&rec);
   }
   MPICP_REQUIRE(!rows.empty(), "no training rows for the given node set");
@@ -108,6 +129,7 @@ const FitReport& Selector::fit(const bench::Dataset& ds,
   // The degradation ladder: configured learner first, then the fallback
   // chain (skipping duplicates of the configured learner).
   std::vector<std::string> chain = {options_.learner};
+  chain.reserve(1 + options_.fallback_learners.size());
   for (const std::string& name : options_.fallback_learners) {
     if (std::find(chain.begin(), chain.end(), name) == chain.end()) {
       chain.push_back(name);
@@ -125,8 +147,7 @@ const FitReport& Selector::fit(const bench::Dataset& ds,
   tasks.reserve(rows.size());
   for (const auto& [uid, recs] : rows) tasks.emplace_back(uid, &recs);
 
-  const std::size_t dim =
-      instance_features({1, 1, 1}, options_.features).size();
+  const std::size_t dim = feature_dim(options_.features);
   std::vector<std::unique_ptr<ml::Regressor>> fitted(tasks.size());
   std::vector<FitOutcome> outcomes(tasks.size());
   support::parallel_for(tasks.size(), 1, [&](std::size_t t) {
@@ -153,12 +174,13 @@ const FitReport& Selector::fit(const bench::Dataset& ds,
     }
 
     ml::Matrix x(valid.size(), dim);
+    // mpicp-lint: allow(no-alloc-in-loop) per-uid training buffers; the
+    // allocation is amortized by the fit it feeds.
     std::vector<double> y(valid.size());
     for (std::size_t i = 0; i < valid.size(); ++i) {
-      const auto feat = instance_features(
+      instance_features_into(
           {valid[i]->nodes, valid[i]->ppn, valid[i]->msize},
-          options_.features);
-      std::copy(feat.begin(), feat.end(), x.row(i).begin());
+          options_.features, x.row(i));
       y[i] = valid[i]->time_us;
     }
     for (std::size_t level = 0; level < chain.size(); ++level) {
@@ -182,6 +204,7 @@ const FitReport& Selector::fit(const bench::Dataset& ds,
     }
     // Whole chain failed: the uid stays out of the bank, recorded above.
   });
+  report_.outcomes.reserve(tasks.size());
   for (std::size_t t = 0; t < tasks.size(); ++t) {
     report_.outcomes.push_back(std::move(outcomes[t]));
     if (fitted[t]) {
@@ -342,6 +365,21 @@ std::vector<int> Selector::uids() const {
   out.reserve(models_.size());
   for (const auto& [uid, model] : models_) out.push_back(uid);
   return out;
+}
+
+CompiledBank Selector::compile() const {
+  MPICP_SPAN("selector.compile");
+  MPICP_REQUIRE(!models_.empty(), "compiling an unfitted selector");
+  CompiledBank bank;
+  bank.features_ = options_.features;
+  bank.uids_.reserve(models_.size());
+  for (const auto& [uid, model] : models_) {
+    bank.uids_.push_back(uid);
+    bank.bank_.add(*model);
+  }
+  metrics::counter("compiled.compile.calls").inc();
+  metrics::counter("compiled.compile.models").inc(models_.size());
+  return bank;
 }
 
 }  // namespace mpicp::tune

@@ -11,10 +11,12 @@
 // model is usable at all.
 #pragma once
 
+#include <cstddef>
 #include <filesystem>
 #include <map>
 #include <memory>
 #include <ostream>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -24,6 +26,8 @@
 
 namespace mpicp::tune {
 
+class CompiledBank;
+
 /// Instance feature encoding. The paper's features are message size,
 /// number of nodes and processes per node; we use log2(m) for the
 /// message size (it spans seven decades) and optionally append the
@@ -32,8 +36,20 @@ struct FeatureOptions {
   bool include_total_processes = true;
 };
 
+/// Upper bound on feature_dim() across all FeatureOptions — lets the
+/// compiled serving path keep the feature vector on the stack.
+inline constexpr std::size_t kMaxInstanceFeatures = 4;
+
+std::size_t feature_dim(const FeatureOptions& opts);
+
 std::vector<double> instance_features(const bench::Instance& inst,
                                       const FeatureOptions& opts);
+
+/// Allocation-free variant: writes exactly feature_dim(opts) values
+/// into `out` (same values, same arithmetic as instance_features).
+void instance_features_into(const bench::Instance& inst,
+                            const FeatureOptions& opts,
+                            std::span<double> out);
 
 struct SelectorOptions {
   std::string learner = "gam";  ///< ml::make_regressor name
@@ -133,6 +149,12 @@ class Selector {
 
   std::vector<int> uids() const;
   const SelectorOptions& options() const { return options_; }
+
+  /// Lower the fitted bank into its compiled (flattened, allocation-free)
+  /// serving form — see tune/compiled_bank.hpp and DESIGN.md §11. The
+  /// compiled bank is an immutable snapshot: refit, then recompile.
+  /// Predictions are bit-identical to this selector's.
+  [[nodiscard]] CompiledBank compile() const;
 
   /// Persist the fitted model bank (train offline once, load in the job
   /// prolog — the paper's deployment split between the tuning step and

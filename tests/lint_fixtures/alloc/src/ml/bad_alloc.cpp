@@ -1,0 +1,21 @@
+// Fixture: per-iteration heap allocation on a hot path (R9).
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+void bad(std::vector<int>& out, std::size_t n) {
+  std::vector<int> scratch;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<int>(i));
+    auto boxed = std::make_unique<int>(3);
+    std::vector<double> local(n, 0.0);
+    scratch.push_back(*boxed + static_cast<int>(local.size()));
+  }
+  std::size_t i = 0;
+  while (i < n) scratch.emplace_back(static_cast<int>(++i));
+  int* leaked = nullptr;
+  do {
+    leaked = new int(5);
+  } while (leaked == nullptr);
+  delete leaked;
+}

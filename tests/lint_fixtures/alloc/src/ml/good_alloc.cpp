@@ -1,0 +1,27 @@
+// Fixture: allocation-free loop patterns that must pass R9.
+#include <cstddef>
+#include <vector>
+
+void good(std::vector<int>& out, std::size_t n) {
+  out.reserve(n);
+  std::vector<double> scratch;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<int>(i));  // reserved above
+    scratch.assign(n, 0.0);              // reuses capacity
+    std::vector<double> spare;           // default ctor: no allocation
+    spare.swap(scratch);
+    spare.swap(scratch);
+  }
+  std::vector<int> once(n, 0);  // sized, but outside any loop
+  for (std::size_t i = 0; i < n; ++i) {
+    // mpicp-lint: allow(no-alloc-in-loop) growth justified by fixture
+    once.push_back(0);
+  }
+  once.clear();
+}
+
+void unresolvable(std::vector<int>& a, std::vector<int>& b, bool c) {
+  // Receivers that do not resolve to an identifier are skipped, not
+  // guessed at.
+  for (int i = 0; i < 4; ++i) (c ? a : b).push_back(i);
+}

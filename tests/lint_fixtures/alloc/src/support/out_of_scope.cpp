@@ -1,0 +1,8 @@
+// Fixture: the same allocation patterns outside src/ml and src/tune —
+// R9 is scoped to the hot fit/predict paths only.
+#include <cstddef>
+#include <vector>
+
+void unscoped(std::vector<int>& out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out.push_back(static_cast<int>(i));
+}

@@ -1,0 +1,263 @@
+// Equivalence and serving tests for the compiled model bank
+// (tune/compiled_bank.hpp): the lowered SoA form must reproduce the
+// interpreted Selector bit for bit — for every learner, at every thread
+// count, under fault injection — while adding batched selection, a
+// memoized cache and a save/load round trip of its own.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "collbench/dataset.hpp"
+#include "support/faultinject.hpp"
+#include "support/metrics.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+#include "tune/compiled_bank.hpp"
+#include "tune/selector.hpp"
+
+namespace mpicp {
+namespace {
+
+namespace fi = support::faultinject;
+namespace metrics = support::metrics;
+
+/// Seeded synthetic dataset: 3-6 algorithms with distinct random cost
+/// models over a random grid (same recipe as the property suite; every
+/// draw is fully determined by the seed).
+bench::Dataset random_dataset(std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  bench::Dataset ds("compiled", sim::MpiLib::kOpenMPI,
+                    sim::Collective::kBcast, "Hydra");
+  const int num_uids = 3 + static_cast<int>(rng.uniform_int(4));
+  const std::vector<int> nodes = {2, 4, 8, 16};
+  const std::vector<int> ppns = {1, 1 + static_cast<int>(rng.uniform_int(8))};
+  const std::vector<std::uint64_t> msizes = {
+      std::uint64_t{1} << rng.uniform_int(8),
+      std::uint64_t{1} << (8 + rng.uniform_int(8)),
+      std::uint64_t{1} << (16 + rng.uniform_int(6))};
+  for (int uid = 1; uid <= num_uids; ++uid) {
+    const double a = rng.uniform(1.0, 50.0);
+    const double b = rng.uniform(0.0, 5.0);
+    const double c = rng.uniform(1e-4, 1e-2);
+    for (const int n : nodes) {
+      for (const int ppn : ppns) {
+        for (const std::uint64_t m : msizes) {
+          const double p = static_cast<double>(n) * ppn;
+          const double t = a * std::log2(p + 1) + b * p +
+                           c * static_cast<double>(m) + 1.0;
+          for (int rep = 0; rep < 3; ++rep) {
+            ds.add({uid, n, ppn, m, rng.lognormal_median(t, 0.08)});
+          }
+        }
+      }
+    }
+  }
+  return ds;
+}
+
+std::vector<bench::Instance> random_instances(std::uint64_t seed,
+                                              int count) {
+  support::Xoshiro256 rng(seed);
+  std::vector<bench::Instance> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    out.push_back({1 + static_cast<int>(rng.uniform_int(64)),
+                   1 + static_cast<int>(rng.uniform_int(16)),
+                   std::uint64_t{1} << rng.uniform_int(22)});
+  }
+  return out;
+}
+
+constexpr const char* kAllLearners[] = {"xgboost", "rf",     "knn",
+                                        "gam",     "linear", "median"};
+
+/// Exact (bit-level) equality of interpreted vs compiled predictions on
+/// one instance. EXPECT_EQ on doubles is deliberate: the compiled bank
+/// promises the same arithmetic, not merely close arithmetic.
+void expect_identical(const tune::Selector& selector,
+                      const tune::CompiledBank& bank,
+                      const bench::Instance& inst) {
+  const auto interpreted = selector.predict_all(inst);
+  const auto compiled = bank.predict_all(inst);
+  ASSERT_EQ(interpreted.size(), compiled.size());
+  for (std::size_t i = 0; i < interpreted.size(); ++i) {
+    EXPECT_EQ(interpreted[i].uid, compiled[i].uid);
+    EXPECT_EQ(interpreted[i].usable, compiled[i].usable);
+    EXPECT_EQ(interpreted[i].time_us, compiled[i].time_us)
+        << "uid " << interpreted[i].uid << " at m=" << inst.msize
+        << " n=" << inst.nodes << " ppn=" << inst.ppn;
+  }
+}
+
+// ---- bit-identity across learners, seeds and thread counts ---------------
+
+class CompiledEquivalence
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CompiledEquivalence, EveryLearnerBitIdenticalAtEveryThreadCount) {
+  const std::uint64_t seed = GetParam();
+  const bench::Dataset ds = random_dataset(seed);
+  const auto instances = random_instances(seed ^ 0xabcdef, 24);
+  for (const char* learner : kAllLearners) {
+    tune::Selector selector(tune::SelectorOptions{.learner = learner});
+    ASSERT_GT(selector.fit(ds, ds.node_counts()).uids_total(), 0u)
+        << learner;
+    const tune::CompiledBank bank = selector.compile();
+    ASSERT_EQ(bank.uids(), selector.uids()) << learner;
+    for (const int threads : {1, 4}) {
+      support::ScopedThreads scoped(threads);
+      for (const bench::Instance& inst : instances) {
+        expect_identical(selector, bank, inst);
+        EXPECT_EQ(selector.select_uid(inst), bank.select_uid(inst))
+            << learner << " @" << threads << " threads";
+      }
+      // The batched grid path agrees with per-instance selection.
+      const std::vector<int> picked = bank.select_grid(instances);
+      ASSERT_EQ(picked.size(), instances.size());
+      for (std::size_t i = 0; i < instances.size(); ++i) {
+        EXPECT_EQ(picked[i], selector.select_uid(instances[i]))
+            << learner << " grid[" << i << "] @" << threads;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompiledEquivalence,
+                         ::testing::Values(11u, 23u, 47u));
+
+// ---- fault-injection equivalence -----------------------------------------
+
+TEST(CompiledBank, ForcedPredictionsMatchInterpretedPath) {
+  const bench::Dataset ds = random_dataset(5);
+  tune::Selector selector(tune::SelectorOptions{.learner = "knn"});
+  ASSERT_GT(selector.fit(ds, ds.node_counts()).uids_total(), 2u);
+  const tune::CompiledBank bank = selector.compile();
+  const std::vector<int> uids = selector.uids();
+  const bench::Instance inst{8, 4, 4096};
+
+  // Poison one uid: both paths must exclude it identically.
+  {
+    fi::ScopedFaults faults(
+        {.forced_predictions = {{uids.front(), -1.0}}});
+    expect_identical(selector, bank, inst);
+    EXPECT_EQ(selector.select_uid(inst), bank.select_uid(inst));
+  }
+  // Poison every uid: both paths must degrade to the library default.
+  {
+    fi::Faults faults;
+    for (const int uid : uids) {
+      faults.forced_predictions[uid] = std::nan("");
+    }
+    fi::ScopedFaults scoped(std::move(faults));
+    const int interpreted = selector.select_uid_or_default(
+        inst, sim::MpiLib::kOpenMPI, sim::Collective::kBcast);
+    const int compiled = bank.select_uid_or_default(
+        inst, sim::MpiLib::kOpenMPI, sim::Collective::kBcast);
+    EXPECT_EQ(interpreted, compiled);
+  }
+}
+
+// ---- selection cache ------------------------------------------------------
+
+TEST(CompiledBank, SelectionCacheCountsHitsAndMisses) {
+  const bench::Dataset ds = random_dataset(7);
+  tune::Selector selector(tune::SelectorOptions{.learner = "gam"});
+  ASSERT_GT(selector.fit(ds, ds.node_counts()).uids_total(), 0u);
+  tune::CompiledBank bank = selector.compile();
+  EXPECT_FALSE(bank.cache_enabled());
+
+  bank.set_cache_enabled(true);
+  const std::uint64_t hits0 =
+      metrics::counter("compiled.cache.hits").value();
+  const std::uint64_t misses0 =
+      metrics::counter("compiled.cache.misses").value();
+
+  const bench::Instance a{8, 4, 1024};
+  const bench::Instance b{16, 2, 65536};
+  const int first = bank.select_uid(a);
+  EXPECT_EQ(bank.select_uid(a), first);   // hit
+  EXPECT_EQ(bank.select_uid(a), first);   // hit
+  (void)bank.select_uid(b);               // second distinct key: miss
+
+  const auto stats = bank.cache_stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(metrics::counter("compiled.cache.hits").value() - hits0, 2u);
+  EXPECT_EQ(metrics::counter("compiled.cache.misses").value() - misses0,
+            2u);
+
+  // Cached answers are the same answers.
+  bank.set_cache_enabled(false);
+  EXPECT_EQ(bank.cache_stats().hits, 0u);  // transition clears stats
+  EXPECT_EQ(bank.select_uid(a), first);
+}
+
+TEST(CompiledBank, CachedGridSelectionMatchesUncached) {
+  const bench::Dataset ds = random_dataset(9);
+  tune::Selector selector(tune::SelectorOptions{.learner = "rf"});
+  ASSERT_GT(selector.fit(ds, ds.node_counts()).uids_total(), 0u);
+  tune::CompiledBank bank = selector.compile();
+
+  // A grid with repeated instances: the memo must not change answers.
+  auto grid = random_instances(31, 12);
+  const auto repeats = grid;
+  grid.insert(grid.end(), repeats.begin(), repeats.end());
+  const std::vector<int> uncached = bank.select_grid(grid);
+  bank.set_cache_enabled(true);
+  const std::vector<int> cached = bank.select_grid(grid);
+  EXPECT_EQ(uncached, cached);
+  const auto stats = bank.cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses, grid.size());
+  EXPECT_LE(stats.misses, repeats.size());  // every repeat is a hit
+}
+
+// ---- save / load round trip ----------------------------------------------
+
+TEST(CompiledBank, SaveLoadRoundTripIsExact) {
+  const bench::Dataset ds = random_dataset(13);
+  const auto instances = random_instances(17, 16);
+  for (const char* learner : kAllLearners) {
+    tune::Selector selector(tune::SelectorOptions{.learner = learner});
+    ASSERT_GT(selector.fit(ds, ds.node_counts()).uids_total(), 0u)
+        << learner;
+    const tune::CompiledBank bank = selector.compile();
+
+    const std::filesystem::path path =
+        std::filesystem::temp_directory_path() /
+        (std::string("mpicp_compiled_bank_") + learner + ".txt");
+    bank.save(path);
+    const tune::CompiledBank loaded = tune::CompiledBank::load(path);
+    std::filesystem::remove(path);
+
+    EXPECT_EQ(loaded.uids(), bank.uids()) << learner;
+    for (const bench::Instance& inst : instances) {
+      const auto before = bank.predict_all(inst);
+      const auto after = loaded.predict_all(inst);
+      ASSERT_EQ(before.size(), after.size());
+      for (std::size_t i = 0; i < before.size(); ++i) {
+        EXPECT_EQ(before[i].time_us, after[i].time_us)
+            << learner << " uid " << before[i].uid;
+        EXPECT_EQ(before[i].usable, after[i].usable);
+      }
+    }
+  }
+}
+
+// ---- contracts ------------------------------------------------------------
+
+TEST(CompiledBank, CompilingAnUnfittedSelectorThrows) {
+  tune::Selector selector;
+  EXPECT_THROW((void)selector.compile(), std::exception);
+}
+
+TEST(CompiledBank, ServingFromAnEmptyBankThrows) {
+  const tune::CompiledBank bank;
+  EXPECT_THROW((void)bank.select_uid({4, 4, 1024}), std::exception);
+  EXPECT_THROW((void)bank.predict_all({4, 4, 1024}), std::exception);
+}
+
+}  // namespace
+}  // namespace mpicp

@@ -67,13 +67,13 @@ std::vector<Finding> parse_findings(const std::string& output) {
   return out;
 }
 
-TEST(Lint, ListsAllEightRules) {
+TEST(Lint, ListsAllNineRules) {
   const LintRun run = run_lint("--list-rules");
   EXPECT_EQ(run.exit_code, 0);
   for (const char* rule :
        {"no-raw-rand", "no-raw-thread", "no-wall-clock", "no-stdout",
         "no-bare-throw", "no-float-eq", "header-hygiene",
-        "nodiscard-report"}) {
+        "nodiscard-report", "no-alloc-in-loop"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
   }
 }
@@ -104,6 +104,26 @@ TEST(Lint, DirtyFixtureTreeReportsExactDiagnostics) {
       {"src/bad_thread.cpp", 5, "no-raw-thread"},
       {"src/bad_thread.cpp", 6, "no-raw-thread"},
       {"src/bad_throw.cpp", 5, "no-bare-throw"},
+  };
+  std::vector<Finding> got = parse_findings(run.output);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected) << run.output;
+}
+
+TEST(Lint, AllocFixtureTreeReportsExactDiagnostics) {
+  // R9 fires only under src/ml and src/tune; reserved receivers,
+  // capacity-reusing assign(), default construction, unresolvable
+  // receivers and inline allow() all stay silent.
+  const LintRun run = run_lint("--root " + fixture_root("alloc"));
+  EXPECT_EQ(run.exit_code, 1);
+
+  const std::vector<Finding> expected = {
+      {"src/ml/bad_alloc.cpp", 9, "no-alloc-in-loop"},
+      {"src/ml/bad_alloc.cpp", 10, "no-alloc-in-loop"},
+      {"src/ml/bad_alloc.cpp", 11, "no-alloc-in-loop"},
+      {"src/ml/bad_alloc.cpp", 12, "no-alloc-in-loop"},
+      {"src/ml/bad_alloc.cpp", 15, "no-alloc-in-loop"},
+      {"src/ml/bad_alloc.cpp", 18, "no-alloc-in-loop"},
   };
   std::vector<Finding> got = parse_findings(run.output);
   std::sort(got.begin(), got.end());

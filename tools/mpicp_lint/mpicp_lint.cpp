@@ -6,8 +6,9 @@
 // all randomness through support/rng, all threading through
 // support/parallel, no wall-clock reads outside the tracing layer, no
 // stray output in library code, structured error raising, no exact
-// floating-point comparisons, header hygiene, and [[nodiscard]] on
-// health-report APIs. See DESIGN.md §10 for the rule catalogue.
+// floating-point comparisons, header hygiene, [[nodiscard]] on
+// health-report APIs, and no per-iteration heap allocation in the hot
+// fit/predict paths. See DESIGN.md §10 for the rule catalogue.
 //
 // Diagnostics are machine readable — `file:line: [rule-id] message` —
 // and the process exits non-zero on any finding that is neither
@@ -46,11 +47,13 @@ constexpr const char* kRuleThrow = "no-bare-throw";       // R5
 constexpr const char* kRuleFloatEq = "no-float-eq";       // R6
 constexpr const char* kRuleHeader = "header-hygiene";     // R7
 constexpr const char* kRuleNodiscard = "nodiscard-report";// R8
+constexpr const char* kRuleAllocLoop = "no-alloc-in-loop";// R9
 
 const std::set<std::string>& all_rules() {
   static const std::set<std::string> rules = {
-      kRuleRand,    kRuleThread, kRuleWallClock, kRuleStdout,
-      kRuleThrow,   kRuleFloatEq, kRuleHeader,   kRuleNodiscard};
+      kRuleRand,    kRuleThread,  kRuleWallClock, kRuleStdout,
+      kRuleThrow,   kRuleFloatEq, kRuleHeader,    kRuleNodiscard,
+      kRuleAllocLoop};
   return rules;
 }
 
@@ -317,11 +320,14 @@ struct FileRole {
   bool trace_impl = false;     // src/support/trace.*
   bool error_impl = false;     // src/support/error.hpp
   bool bench = false;          // bench/** (timing mains)
+  bool alloc_hot = false;      // src/ml/**, src/tune/** (hot loops)
 };
 
 FileRole classify(const std::string& rel) {
   FileRole role;
   role.in_src = starts_with(rel, "src/");
+  role.alloc_hot =
+      starts_with(rel, "src/ml/") || starts_with(rel, "src/tune/");
   role.is_header = rel.size() > 4 &&
                    rel.compare(rel.size() - 4, 4, ".hpp") == 0;
   role.rng_impl = starts_with(rel, "src/support/rng.");
@@ -574,6 +580,185 @@ void check_nodiscard(const std::string& rel,
 }
 
 // ---------------------------------------------------------------------
+// R9 — no heap allocation inside hot loops (src/ml, src/tune).
+//
+// The serving and fitting paths are allocation-free by design
+// (DESIGN.md §11): buffers are hoisted outside loops and containers are
+// reserved up front. This pass joins the blanked code, finds loop
+// bodies — `for`/`while`/`do` (including single-statement bodies) and
+// the argument range of `parallel_for(...)` — and flags, inside them:
+//   a) `new` / `make_unique` / `make_shared`,
+//   b) `.push_back(` / `.emplace_back(` whose receiver identifier has
+//      no `<ident>.reserve` anywhere in the file, and
+//   c) sized `std::vector<...> name(args...)` constructions.
+// Receivers that cannot be resolved to an identifier (ternaries,
+// call-chain results) are skipped rather than guessed at; genuinely
+// unbounded loops justify themselves with allow(no-alloc-in-loop).
+// ---------------------------------------------------------------------
+std::size_t match_forward(const std::vector<Token>& toks, std::size_t open,
+                          const std::string& openc,
+                          const std::string& closec) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].text == openc) {
+      ++depth;
+    } else if (toks[i].text == closec) {
+      if (--depth == 0) return i;
+    }
+  }
+  return toks.size() - 1;  // unmatched; clamp to EOF
+}
+
+/// Final identifier of the receiver of `.push_back` at token `dot`
+/// (e.g. `rows[rec.uid].push_back` -> "rows", `config.rules.push_back`
+/// -> "rules"). Empty when unresolvable.
+std::string receiver_of(const std::vector<Token>& toks, std::size_t dot) {
+  if (dot == 0) return "";
+  std::size_t i = dot - 1;
+  // Skip trailing balanced `[...]` index groups (possibly several).
+  while (toks[i].text == "]") {
+    int depth = 0;
+    while (true) {
+      if (toks[i].text == "]") ++depth;
+      if (toks[i].text == "[" && --depth == 0) break;
+      if (i == 0) return "";
+      --i;
+    }
+    if (i == 0) return "";
+    --i;
+  }
+  if (toks[i].kind != Token::Kind::kIdent) return "";
+  return toks[i].text;
+}
+
+void check_alloc_in_loop(const std::string& rel,
+                         const std::vector<std::string>& code,
+                         std::vector<Diagnostic>* diags) {
+  // Join the stripped code (as check_nodiscard does) so loops spanning
+  // lines are seen as one token stream; remember each offset's line.
+  std::string joined;
+  std::vector<std::size_t> line_of;
+  for (std::size_t li = 0; li < code.size(); ++li) {
+    joined += code[li];
+    joined += '\n';
+    line_of.resize(joined.size(), li + 1);
+  }
+  const std::vector<Token> toks = tokenize(joined);
+  if (toks.empty()) return;
+
+  // Pass 1: mark the token ranges that execute per loop iteration.
+  std::vector<char> in_loop(toks.size(), 0);
+  const auto mark = [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i <= e && i < toks.size(); ++i) in_loop[i] = 1;
+  };
+  for (std::size_t t = 0; t < toks.size(); ++t) {
+    const Token& tok = toks[t];
+    if (tok.kind != Token::Kind::kIdent) continue;
+    const bool paren_next =
+        t + 1 < toks.size() && toks[t + 1].text == "(";
+    if (tok.text == "parallel_for" && paren_next) {
+      // The whole argument range: the body lambda runs per element.
+      mark(t + 2, match_forward(toks, t + 1, "(", ")"));
+    } else if ((tok.text == "for" || tok.text == "while") && paren_next) {
+      const std::size_t close = match_forward(toks, t + 1, "(", ")");
+      const std::size_t body = close + 1;
+      if (body >= toks.size()) continue;
+      if (toks[body].text == "{") {
+        mark(body, match_forward(toks, body, "{", "}"));
+      } else if (toks[body].text != ";") {
+        // Single-statement body: up to the top-level terminating `;`.
+        std::size_t e = body;
+        int pd = 0;
+        int bd = 0;
+        for (; e < toks.size(); ++e) {
+          const std::string& s = toks[e].text;
+          if (s == "(") ++pd;
+          if (s == ")") --pd;
+          if (s == "{") ++bd;
+          if (s == "}") --bd;
+          if (s == ";" && pd == 0 && bd == 0) break;
+        }
+        mark(body, e);
+      }
+    } else if (tok.text == "do" && t + 1 < toks.size() &&
+               toks[t + 1].text == "{") {
+      mark(t + 1, match_forward(toks, t + 1, "{", "}"));
+    }
+  }
+
+  // Receivers with a `<ident>.reserve` / `<ident>->reserve` anywhere in
+  // the file are considered pre-sized.
+  std::set<std::string> reserved;
+  for (std::size_t t = 0; t + 2 < toks.size(); ++t) {
+    if (toks[t].kind != Token::Kind::kIdent) continue;
+    if (toks[t + 1].text == "." && toks[t + 2].text == "reserve") {
+      reserved.insert(toks[t].text);
+    } else if (t + 3 < toks.size() && toks[t + 1].text == "-" &&
+               toks[t + 2].text == ">" && toks[t + 3].text == "reserve") {
+      reserved.insert(toks[t].text);
+    }
+  }
+
+  // Pass 2: flag allocations inside the marked ranges.
+  for (std::size_t t = 0; t < toks.size(); ++t) {
+    if (!in_loop[t]) continue;
+    const Token& tok = toks[t];
+    if (tok.kind != Token::Kind::kIdent) continue;
+    const std::size_t line = line_of[tok.col];
+
+    if (tok.text == "new" || tok.text == "make_unique" ||
+        tok.text == "make_shared") {
+      diags->push_back(
+          {rel, line, kRuleAllocLoop,
+           "'" + tok.text +
+               "' inside a loop on a hot path — hoist the allocation "
+               "out of the loop (DESIGN.md §11)"});
+      continue;
+    }
+
+    if ((tok.text == "push_back" || tok.text == "emplace_back") &&
+        t >= 1 && toks[t - 1].text == "." && t + 1 < toks.size() &&
+        toks[t + 1].text == "(") {
+      const std::string recv = receiver_of(toks, t - 1);
+      if (!recv.empty() && !reserved.count(recv)) {
+        diags->push_back(
+            {rel, line, kRuleAllocLoop,
+             "'" + recv + "." + tok.text +
+                 "' inside a loop without a prior '" + recv +
+                 ".reserve' — reserve capacity up front, or justify "
+                 "with allow(no-alloc-in-loop)"});
+      }
+      continue;
+    }
+
+    if (tok.text == "vector" && t + 1 < toks.size() &&
+        toks[t + 1].text == "<") {
+      // `std::vector<...> name(args)` / `std::vector<...>(args)` with a
+      // non-empty argument list allocates per iteration.
+      std::size_t i = t + 1;
+      int depth = 0;
+      for (; i < toks.size(); ++i) {
+        if (toks[i].text == "<") ++depth;
+        if (toks[i].text == ">" && --depth == 0) break;
+      }
+      if (i >= toks.size()) continue;
+      std::size_t after = i + 1;
+      if (after < toks.size() &&
+          toks[after].kind == Token::Kind::kIdent) {
+        ++after;  // declared name
+      }
+      if (after < toks.size() && toks[after].text == "(" &&
+          after + 1 < toks.size() && toks[after + 1].text != ")") {
+        diags->push_back(
+            {rel, line, kRuleAllocLoop,
+             "sized std::vector constructed inside a loop — hoist the "
+             "buffer and use assign()/resize() to reuse its capacity"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
 // Driver.
 // ---------------------------------------------------------------------
 struct Options {
@@ -609,6 +794,9 @@ void lint_file(const fs::path& abs, const std::string& rel,
   if (role.is_header) {
     check_header(rel, lexed.code, &diags);
     check_nodiscard(rel, lexed.code, &diags);
+  }
+  if (role.alloc_hot) {
+    check_alloc_in_loop(rel, lexed.code, &diags);
   }
   for (const Diagnostic& d : diags) {
     const auto it = allow.find(d.line);
