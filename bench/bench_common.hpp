@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdio>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -9,6 +10,7 @@
 #include "collbench/generator.hpp"
 #include "support/str.hpp"
 #include "support/table.hpp"
+#include "tune/registry.hpp"
 #include "tune/selector.hpp"
 
 namespace mpicp::bench {
@@ -69,23 +71,39 @@ inline void print_strategy_comparison(const std::string& dataset_name,
   fit_or_warn(selector, ds, split.train_full);
   const auto default_logic = bench::make_default_for(ds);
 
+  // Serve the figure grids the way production would: compile the fitted
+  // selector and publish it into a registry keyed by (machine,
+  // collective). Compiled serving is bit-identical to the interpreted
+  // selector, so the panels are unchanged.
+  tune::BankRegistry registry;
+  const tune::BankKey bank_key{ds.machine(), ds.collective()};
+  registry.publish(bank_key,
+                   std::make_shared<const tune::CompiledBank>(
+                       selector.compile()));
+
   std::printf("strategies: Exhaustive Search (Best) / Default (%s) / "
               "Prediction (%s)\n\n",
               default_logic->name().c_str(), learner.c_str());
+  const std::vector<std::uint64_t> msizes = ds.msizes();
   for (const int n : panel_nodes) {
     for (const int ppn : panel_ppns) {
       std::printf("--- nodes: %d, ppn: %d ---\n", n, ppn);
       support::TextTable table({"msize [B]", "best [us]", "norm best",
                                 "norm default", "norm prediction",
                                 "best uid", "default uid", "pred uid"});
-      for (const std::uint64_t m : ds.msizes()) {
-        const bench::Instance inst{n, ppn, m};
+      std::vector<bench::Instance> grid;
+      grid.reserve(msizes.size());
+      for (const std::uint64_t m : msizes) grid.push_back({n, ppn, m});
+      const std::vector<int> pred_uids =
+          registry.select_grid(bank_key, grid);
+      for (std::size_t i = 0; i < grid.size(); ++i) {
+        const bench::Instance& inst = grid[i];
         const auto best = ds.best(inst);
         const int uid_def = default_logic->select_uid(inst);
-        const int uid_pred = selector.select_uid(inst);
+        const int uid_pred = pred_uids[i];
         const double t_def = ds.time_us(uid_def, inst);
         const double t_pred = ds.time_us(uid_pred, inst);
-        table.add_row({std::to_string(m),
+        table.add_row({std::to_string(inst.msize),
                        support::format_double(best.time_us, 5), "1.000",
                        support::format_double(t_def / best.time_us, 4),
                        support::format_double(t_pred / best.time_us, 4),

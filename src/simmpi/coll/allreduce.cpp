@@ -6,6 +6,7 @@
 #include "simmpi/coll/pipeline.hpp"
 #include "simmpi/coll/trees.hpp"
 #include "support/error.hpp"
+#include "support/trace.hpp"
 
 namespace mpicp::sim {
 
@@ -218,6 +219,7 @@ void emit_segmented_ring_allreduce(ProgramSet& progs, const VrankMap& map,
 
 BuiltCollective reduce_then_bcast(const Comm& comm, std::size_t bytes,
                                   std::size_t seg_bytes, const Tree& tree) {
+  MPICP_SPAN("sim.allreduce.reduce_then_bcast");
   const Segmentation seg = make_segmentation(bytes, seg_bytes);
   BuiltCollective out;
   out.programs.resize(comm.size());

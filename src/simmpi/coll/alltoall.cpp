@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "simmpi/coll/pipeline.hpp"
+#include "support/trace.hpp"
 
 namespace mpicp::sim {
 
@@ -28,6 +29,7 @@ void emit_self_copy(RankProg& prog, int p, int self, std::size_t bytes) {
 }  // namespace
 
 BuiltCollective alltoall_linear(const Comm& comm, std::size_t bytes) {
+  MPICP_SPAN("sim.alltoall.linear");
   const int p = comm.size();
   BuiltCollective out;
   out.programs.resize(p);

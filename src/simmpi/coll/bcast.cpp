@@ -5,6 +5,7 @@
 
 #include "simmpi/coll/pipeline.hpp"
 #include "simmpi/coll/trees.hpp"
+#include "support/trace.hpp"
 
 namespace mpicp::sim {
 
@@ -19,6 +20,7 @@ constexpr std::uint16_t kTagIntra = 15;
 BuiltCollective tree_bcast(const Comm& comm, const Tree& tree,
                            std::size_t bytes, std::size_t seg_bytes,
                            int root) {
+  MPICP_SPAN("sim.bcast.tree");
   const Segmentation seg = make_segmentation(bytes, seg_bytes);
   BuiltCollective out;
   out.programs.resize(comm.size());

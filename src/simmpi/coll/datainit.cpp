@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "support/error.hpp"
+#include "support/trace.hpp"
 
 namespace mpicp::sim {
 
@@ -27,6 +28,7 @@ std::string violation(int rank, int block, const std::string& what) {
 
 DataStore make_initial_store(Collective coll, int p, int blocks_per_rank,
                              int root) {
+  MPICP_SPAN("sim.datainit.make_store");
   DataStore store(p, blocks_per_rank);
   switch (coll) {
     case Collective::kBcast:

@@ -1,6 +1,7 @@
 #include "simmpi/coll/decision.hpp"
 
 #include "support/error.hpp"
+#include "support/trace.hpp"
 
 namespace mpicp::sim {
 
@@ -94,6 +95,7 @@ int intel_static_default(Collective coll, int p, std::size_t m) {
 
 int library_default_uid(MpiLib lib, Collective coll, int p,
                         std::size_t m_bytes) {
+  MPICP_SPAN("sim.default_uid");
   switch (lib) {
     case MpiLib::kOpenMPI: return openmpi_default_uid(coll, p, m_bytes);
     case MpiLib::kIntelMPI: return intel_static_default(coll, p, m_bytes);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/error.hpp"
+#include "support/trace.hpp"
 
 namespace mpicp::sim {
 
@@ -52,6 +53,7 @@ constexpr std::uint32_t kPipelineWindow = 2;
 void emit_tree_bcast(ProgramSet& progs, const VrankMap& map,
                      const Tree& tree, const Segmentation& seg,
                      std::uint16_t tag, std::uint32_t block_base) {
+  MPICP_SPAN("sim.pipeline.tree_bcast");
   const int p = static_cast<int>(tree.size());
   const std::uint32_t w = std::min(kPipelineWindow, seg.nseg);
   for (int v = 0; v < p; ++v) {

@@ -7,6 +7,7 @@
 #include "simmpi/coll/bcast.hpp"
 #include "support/error.hpp"
 #include "support/str.hpp"
+#include "support/trace.hpp"
 
 namespace mpicp::sim {
 
@@ -335,6 +336,7 @@ int num_library_algorithms(MpiLib lib, Collective coll) {
 BuiltCollective build_algorithm(MpiLib lib, Collective coll,
                                 const AlgoConfig& cfg, const Comm& comm,
                                 std::size_t bytes, int root, bool tracking) {
+  MPICP_SPAN("sim.build_algorithm");
   switch (coll) {
     case Collective::kBcast:
       return lib == MpiLib::kOpenMPI

@@ -4,6 +4,7 @@
 
 #include "simmpi/coll/pipeline.hpp"
 #include "simmpi/coll/trees.hpp"
+#include "support/trace.hpp"
 
 namespace mpicp::sim {
 
@@ -20,6 +21,7 @@ constexpr std::uint16_t kTagScan = 47;
 BuiltCollective tree_reduce(const Comm& comm, const Tree& tree,
                             std::size_t bytes, std::size_t seg_bytes,
                             int root) {
+  MPICP_SPAN("sim.smallcoll.tree_reduce");
   const Segmentation seg = make_segmentation(bytes, seg_bytes);
   BuiltCollective out;
   out.programs.resize(comm.size());

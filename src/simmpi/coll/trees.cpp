@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/error.hpp"
+#include "support/trace.hpp"
 
 namespace mpicp::sim {
 
@@ -21,6 +22,7 @@ void fill_subtree_sizes(Tree& tree) {
 }  // namespace
 
 Tree binomial_tree(int p) {
+  MPICP_SPAN("sim.trees.binomial");
   MPICP_REQUIRE(p >= 1, "tree needs at least one vrank");
   Tree tree(p);
   for (int v = 0; v < p; ++v) {

@@ -4,6 +4,8 @@
 
 namespace mpicp::sim {
 
+// Pure name formatting, no timed work worth a span.
+// mpicp-lint: allow(span-coverage)
 std::string to_string(Collective c) {
   switch (c) {
     case Collective::kBcast: return "bcast";

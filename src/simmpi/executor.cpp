@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "support/error.hpp"
+#include "support/trace.hpp"
 
 namespace mpicp::sim {
 
@@ -530,6 +531,7 @@ class Engine {
 }  // namespace
 
 ExecResult Executor::run(const ProgramSet& programs, DataStore* store) {
+  MPICP_SPAN("sim.exec.run");
   MPICP_REQUIRE(static_cast<int>(programs.size()) == net_.num_ranks(),
                 "program set size must equal the network's rank count");
   net_.reset();

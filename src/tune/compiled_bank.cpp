@@ -144,6 +144,12 @@ int CompiledBank::select_uid_or_default(const bench::Instance& inst,
                                   inst.msize);
 }
 
+int CompiledBank::select_uid_or_invalid(const bench::Instance& inst) const {
+  if (uids_.empty()) return -1;
+  metrics::counter("compiled.select.requests").inc();
+  return argmin_uid_cached(inst);
+}
+
 std::vector<int> CompiledBank::select_grid(
     std::span<const bench::Instance> grid) const {
   MPICP_SPAN("compiled.select_grid");

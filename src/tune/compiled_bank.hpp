@@ -64,6 +64,11 @@ class CompiledBank {
                                           sim::MpiLib lib,
                                           sim::Collective coll) const;
 
+  /// Non-throwing argmin primitive: the selected uid, or -1 when the
+  /// bank is empty or no prediction is usable. The serving registry
+  /// (tune/registry.hpp) builds its fallback policy on this.
+  [[nodiscard]] int select_uid_or_invalid(const bench::Instance& inst) const;
+
   /// Batched selection over a whole instance grid: one result per
   /// instance, parallelized over the grid. Throws if any instance has
   /// no usable prediction.

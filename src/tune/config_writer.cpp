@@ -4,6 +4,7 @@
 
 #include "support/error.hpp"
 #include "support/str.hpp"
+#include "support/trace.hpp"
 
 namespace mpicp::tune {
 
@@ -24,6 +25,7 @@ int TuningConfig::uid_for(std::uint64_t msize) const {
 TuningConfig build_tuning_config(const Selector& selector, sim::MpiLib lib,
                                  sim::Collective coll, int nodes, int ppn,
                                  const std::vector<std::uint64_t>& msizes) {
+  MPICP_SPAN("tune.config.build");
   MPICP_REQUIRE(!msizes.empty(), "need at least one message size");
   TuningConfig config;
   config.lib = lib;

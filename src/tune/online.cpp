@@ -1,7 +1,10 @@
 #include "tune/online.hpp"
 
+#include <utility>
+
 #include "support/error.hpp"
 #include "support/stats.hpp"
+#include "support/trace.hpp"
 
 namespace mpicp::tune {
 
@@ -20,7 +23,11 @@ std::uint64_t OnlineSelector::key(const bench::Instance& inst) {
 }
 
 OnlineSelector::Cell& OnlineSelector::cell(const bench::Instance& inst) {
-  return cells_[key(inst)];
+  Cell& c = cells_[key(inst)];
+  // The hash key is not invertible; keep the instance so the cells can
+  // be re-exported as measurement rows (observations_dataset).
+  c.inst = inst;
+  return c;
 }
 
 int OnlineSelector::next_uid(const bench::Instance& inst) {
@@ -89,6 +96,31 @@ int OnlineSelector::current_best(const bench::Instance& inst) const {
     }
   }
   return best_uid;
+}
+
+bench::Dataset OnlineSelector::observations_dataset(
+    std::string name, sim::MpiLib lib, sim::Collective coll,
+    std::string machine) const {
+  MPICP_SPAN("online.export_dataset");
+  bench::Dataset ds(std::move(name), lib, coll, std::move(machine));
+  for (const auto& [cell_key, cell] : cells_) {
+    for (const auto& [uid, times] : cell.observations) {
+      for (const double time_us : times) {
+        ds.add({uid, cell.inst.nodes, cell.inst.ppn, cell.inst.msize,
+                time_us});
+      }
+    }
+  }
+  return ds;
+}
+
+BankRegistry::RefitOutcome OnlineSelector::refit_into(
+    BankRegistry& registry, const BankKey& key, sim::MpiLib lib,
+    const SelectorOptions& options) const {
+  MPICP_SPAN("online.refit_into");
+  const bench::Dataset ds = observations_dataset(
+      "online-" + to_string(key), lib, key.collective, key.machine);
+  return registry.refit_and_publish(key, ds, ds.node_counts(), options);
 }
 
 }  // namespace mpicp::tune

@@ -11,9 +11,11 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "collbench/dataset.hpp"
+#include "tune/registry.hpp"
 
 namespace mpicp::tune {
 
@@ -39,8 +41,26 @@ class OnlineSelector {
   /// The committed (or currently best) uid for an instance.
   int current_best(const bench::Instance& inst) const;
 
+  /// Everything recorded so far as a Dataset — the bridge from online
+  /// exploration to the paper's offline regression pipeline: probe
+  /// timings become ordinary measurement rows that Selector::fit can
+  /// train on.
+  [[nodiscard]] bench::Dataset observations_dataset(
+      std::string name, sim::MpiLib lib, sim::Collective coll,
+      std::string machine) const;
+
+  /// Refit a selector on the accumulated observations and hot-publish
+  /// the compiled bank into `registry` under `key`. Serving is never
+  /// taken down: on a failed refit (too few observations, every uid
+  /// unusable, injected fit faults) the registry keeps its last good
+  /// bank and the outcome carries the error.
+  [[nodiscard]] BankRegistry::RefitOutcome refit_into(
+      BankRegistry& registry, const BankKey& key, sim::MpiLib lib,
+      const SelectorOptions& options = {}) const;
+
  private:
   struct Cell {
+    bench::Instance inst;  ///< the (m, n, N) this cell aggregates
     std::map<int, std::vector<double>> observations;  // uid -> times
     int committed_uid = -1;
   };

@@ -1,0 +1,203 @@
+// Tuning-as-a-service: a sharded, hot-reloadable bank registry
+// (DESIGN.md §12).
+//
+// The compiled bank (tune/compiled_bank.hpp) answers single-bank
+// queries allocation-free; `BankRegistry` is the long-running serving
+// layer above it — a concurrent map from (machine preset, collective)
+// to an immutable `CompiledBank`, sharded by key hash so unrelated
+// banks never contend. Reads are RCU-style: each shard publishes an
+// immutable snapshot map behind one atomic shared_ptr, so a lookup is
+// an atomic load plus a map find — no reader ever takes a lock, and a
+// `publish()` (the hot-swap of a freshly refit bank) never blocks an
+// in-flight selection: writers clone the shard map, install the new
+// bank under a fresh process-unique version, and swap the snapshot
+// pointer; readers finish on whichever snapshot they loaded.
+//
+// A per-shard memo cache short-circuits repeated selections. Entries
+// are keyed by (bank version, m, n, N), so a hot swap naturally
+// invalidates them — a memoized answer always equals the selection of
+// the exact bank version it was computed from, which is what the
+// swap-under-load linearizability property in tests/test_registry.cpp
+// and tests/test_properties.cpp pins.
+//
+// Every path is observable: MPICP_SPAN("registry.lookup"/"registry.swap"/
+// "registry.serve"/"registry.refit") spans plus process metrics
+// ("registry.*", and per-shard "registry.shard<i>.*" hit counters).
+// The shard count comes from Options::shards, else the MPICP_SHARDS
+// environment variable, else a default of 8.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "collbench/dataset.hpp"
+#include "support/metrics.hpp"
+#include "tune/compiled_bank.hpp"
+#include "tune/selector.hpp"
+
+namespace mpicp::tune {
+
+/// Identity of one serving bank: which machine preset's measurements it
+/// was fitted on, and which collective it selects algorithms for.
+struct BankKey {
+  std::string machine;  ///< simnet machine preset name ("Hydra", ...)
+  sim::Collective collective = sim::Collective::kBcast;
+
+  friend bool operator==(const BankKey&, const BankKey&) = default;
+  bool operator<(const BankKey& o) const {
+    return std::tie(machine, collective) < std::tie(o.machine, o.collective);
+  }
+};
+
+/// "Hydra/bcast" — for diagnostics and error messages.
+std::string to_string(const BankKey& key);
+
+class BankRegistry {
+ public:
+  struct Options {
+    /// Shard count; <= 0 resolves $MPICP_SHARDS, else 8. Clamped to
+    /// [1, 64].
+    int shards = 0;
+    /// Per-shard (bank version, m, n, N) selection memo.
+    bool memo_cache = true;
+  };
+
+  BankRegistry() : BankRegistry(Options{}) {}
+  explicit BankRegistry(Options options);
+
+  int shards() const;
+  std::size_t num_banks() const;
+
+  /// Hot-swap (or first install) of the bank serving `key`. Clones the
+  /// shard's snapshot map, installs `bank` under a fresh process-unique
+  /// version and atomically publishes the new snapshot; in-flight
+  /// selections finish on the snapshot they already loaded. Returns the
+  /// new version (monotonic; never 0).
+  std::uint64_t publish(const BankKey& key,
+                        std::shared_ptr<const CompiledBank> bank);
+
+  /// The bank currently serving `key` (nullptr when absent). Lock-free:
+  /// one atomic snapshot load plus a map find.
+  [[nodiscard]] std::shared_ptr<const CompiledBank> lookup(
+      const BankKey& key) const;
+
+  /// Version of the bank currently serving `key`; 0 when absent.
+  [[nodiscard]] std::uint64_t version(const BankKey& key) const;
+
+  /// Argmin selection against the bank serving `key`; throws when no
+  /// bank is registered or no prediction is usable (same contract as
+  /// CompiledBank::select_uid).
+  [[nodiscard]] int select_uid(const BankKey& key,
+                               const bench::Instance& inst) const;
+
+  /// Graceful selection: the bank's argmin when available and usable,
+  /// else the library's own default decision — the behaviour an untuned
+  /// job launch would get. Never throws.
+  [[nodiscard]] int select_uid_or_default(const BankKey& key,
+                                          const bench::Instance& inst,
+                                          sim::MpiLib lib) const;
+
+  /// Batched selection over a whole instance grid against one bank
+  /// (parallel over instances, like CompiledBank::select_grid, but each
+  /// instance goes through the registry's memo and counters).
+  [[nodiscard]] std::vector<int> select_grid(
+      const BankKey& key, std::span<const bench::Instance> grid) const;
+
+  /// One request of a mixed serving stream.
+  struct Query {
+    BankKey key;
+    bench::Instance inst;
+  };
+
+  /// Concurrent request loop: drain a mixed (machine, collective, m, n,
+  /// N) query stream on the support/parallel pool, one selection per
+  /// query, results slotted by index (bit-identical at any
+  /// MPICP_THREADS). Publishes may run concurrently — each query is
+  /// answered by some published bank version.
+  [[nodiscard]] std::vector<int> serve(std::span<const Query> queries) const;
+
+  /// Account of one refit_and_publish call.
+  struct RefitOutcome {
+    bool published = false;    ///< a new bank version is now serving
+    std::uint64_t version = 0; ///< version serving after the call (0: none)
+    std::string error;         ///< why the refit was rejected ("" if clean)
+    FitReport fit_report;      ///< per-uid fit health (empty on throw)
+  };
+
+  /// Fit a fresh selector on `ds`, compile it and hot-publish it under
+  /// `key`. When the refit fails (every uid unusable, fault-injected
+  /// fit failures, compile errors), the last good bank keeps serving
+  /// untouched and the outcome carries the error instead — training
+  /// never takes serving down.
+  [[nodiscard]] RefitOutcome refit_and_publish(
+      const BankKey& key, const bench::Dataset& ds,
+      const std::vector<int>& train_nodes,
+      const SelectorOptions& options = {});
+
+  /// Point-in-time per-shard accounting (mirrored into the process
+  /// metrics registry as "registry.shard<i>.*").
+  struct ShardStats {
+    std::uint64_t lookups = 0;     ///< snapshot loads on the select path
+    std::uint64_t hits = 0;        ///< lookups that found a bank
+    std::uint64_t memo_hits = 0;
+    std::uint64_t memo_misses = 0;
+    std::uint64_t swaps = 0;       ///< publishes routed to this shard
+    std::size_t banks = 0;         ///< keys currently served
+  };
+  [[nodiscard]] std::vector<ShardStats> shard_stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const CompiledBank> bank;
+    std::uint64_t version = 0;
+  };
+  using BankMap = std::map<BankKey, Entry>;
+
+  /// (bank version, msize, nodes, ppn) -> selected uid. Versions are
+  /// process-unique, so memoized answers can never alias across swaps.
+  using MemoKey = std::tuple<std::uint64_t, std::uint64_t, int, int>;
+
+  struct Shard {
+    /// RCU snapshot: readers atomically load, writers clone-and-swap
+    /// under write_mu.
+    std::atomic<std::shared_ptr<const BankMap>> snapshot;
+    std::mutex write_mu;
+
+    std::mutex memo_mu;
+    std::map<MemoKey, int> memo;
+
+    std::atomic<std::uint64_t> lookups{0};
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> memo_hits{0};
+    std::atomic<std::uint64_t> memo_misses{0};
+    std::atomic<std::uint64_t> swaps{0};
+
+    /// Cached "registry.shard<i>.*" instruments (stable for the process
+    /// lifetime; resolved once at construction, off the hot path).
+    support::metrics::Counter* c_lookups = nullptr;
+    support::metrics::Counter* c_hits = nullptr;
+    support::metrics::Counter* c_memo_hits = nullptr;
+    support::metrics::Counter* c_memo_misses = nullptr;
+    support::metrics::Counter* c_swaps = nullptr;
+  };
+
+  Shard& shard_of(const BankKey& key) const;
+  /// Lock-free entry fetch with per-shard accounting; empty Entry when
+  /// the key has no bank.
+  Entry find_entry(const BankKey& key) const;
+  /// Selection through the shard memo; -1 when no prediction is usable.
+  int select_in_entry(Shard& shard, const Entry& entry,
+                      const bench::Instance& inst) const;
+
+  bool memo_enabled_ = true;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace mpicp::tune

@@ -7,6 +7,7 @@
 
 #include "support/error.hpp"
 #include "support/str.hpp"
+#include "support/trace.hpp"
 
 namespace mpicp::tune {
 
@@ -39,6 +40,7 @@ double DecisionRules::feature_of(const bench::Instance& inst, int f) {
 
 DecisionRules DecisionRules::fit(
     const std::vector<LabeledInstance>& points, RuleParams params) {
+  MPICP_SPAN("tune.rulegen.fit");
   MPICP_REQUIRE(!points.empty(), "cannot fit rules on an empty grid");
   DecisionRules rules;
   std::vector<const LabeledInstance*> ptrs;

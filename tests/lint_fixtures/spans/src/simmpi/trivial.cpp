@@ -1,0 +1,13 @@
+// Short functions carry no span obligation — the rule only asks for
+// tracing once a definition grows past the body-line threshold.
+namespace mpicp::sim {
+
+int doubler(int v) { return 2 * v; }
+
+int clamp_small(int v) {
+  if (v < 0) return 0;
+  if (v > 8) return 8;
+  return v;
+}
+
+}  // namespace mpicp::sim

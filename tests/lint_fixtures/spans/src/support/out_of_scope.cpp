@@ -1,0 +1,23 @@
+// src/support is outside span scope: a long untraced function here
+// must stay silent (the trace layer itself cannot be asked to trace).
+namespace mpicp::support {
+
+int long_untraceable(int a) {
+  int r = a;
+  r += 1;
+  r += 2;
+  r += 3;
+  r += 4;
+  r += 5;
+  r += 6;
+  r += 7;
+  r += 8;
+  r += 9;
+  r += 10;
+  r += 11;
+  r += 12;
+  r += 13;
+  return r;
+}
+
+}  // namespace mpicp::support

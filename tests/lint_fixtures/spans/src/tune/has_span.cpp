@@ -1,0 +1,22 @@
+// A long function is fine when the file traces an entry point: a
+// single MPICP_SPAN token anywhere clears span-coverage for the file.
+namespace mpicp::tune {
+
+int traced_accumulate(int nodes, int ppn) {
+  MPICP_SPAN("tune.fixture.accumulate");
+  int total = 0;
+  total += nodes;
+  total += ppn;
+  total += nodes * ppn;
+  total -= nodes / 2;
+  total += ppn / 2;
+  total *= 2;
+  total -= nodes;
+  total += 3;
+  total -= 4;
+  total += 5;
+  total -= 6;
+  return total;
+}
+
+}  // namespace mpicp::tune

@@ -1,0 +1,42 @@
+// A >=15-line function in span scope (.cpp under src/tune, src/simmpi)
+// with no MPICP_SPAN anywhere in the file: exactly one finding,
+// anchored at the first long function, even when more follow.
+namespace mpicp::tune {
+
+int short_helper(int v) { return v + 1; }
+
+int accumulate_grid(int nodes, int ppn) {
+  int total = 0;
+  total += nodes;
+  total += ppn;
+  total += nodes * ppn;
+  total -= nodes / 2;
+  total += ppn / 2;
+  total *= 2;
+  total -= nodes;
+  total += 3;
+  total -= 4;
+  total += 5;
+  total -= 6;
+  total += 7;
+  return total;
+}
+
+int second_long_function(int a) {
+  int r = a;
+  r += 1;
+  r += 2;
+  r += 3;
+  r += 4;
+  r += 5;
+  r += 6;
+  r += 7;
+  r += 8;
+  r += 9;
+  r += 10;
+  r += 11;
+  r += 12;
+  return r;
+}
+
+}  // namespace mpicp::tune

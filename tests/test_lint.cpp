@@ -67,13 +67,13 @@ std::vector<Finding> parse_findings(const std::string& output) {
   return out;
 }
 
-TEST(Lint, ListsAllNineRules) {
+TEST(Lint, ListsAllTenRules) {
   const LintRun run = run_lint("--list-rules");
   EXPECT_EQ(run.exit_code, 0);
   for (const char* rule :
        {"no-raw-rand", "no-raw-thread", "no-wall-clock", "no-stdout",
         "no-bare-throw", "no-float-eq", "header-hygiene",
-        "nodiscard-report", "no-alloc-in-loop"}) {
+        "nodiscard-report", "no-alloc-in-loop", "span-coverage"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
   }
 }
@@ -124,6 +124,21 @@ TEST(Lint, AllocFixtureTreeReportsExactDiagnostics) {
       {"src/ml/bad_alloc.cpp", 12, "no-alloc-in-loop"},
       {"src/ml/bad_alloc.cpp", 15, "no-alloc-in-loop"},
       {"src/ml/bad_alloc.cpp", 18, "no-alloc-in-loop"},
+  };
+  std::vector<Finding> got = parse_findings(run.output);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected) << run.output;
+}
+
+TEST(Lint, SpanFixtureTreeReportsExactDiagnostics) {
+  // R10 fires once per uncovered file, anchored at the first >=15-line
+  // function; a file-level MPICP_SPAN, short-only files, and files
+  // outside src/tune + src/simmpi all stay silent.
+  const LintRun run = run_lint("--root " + fixture_root("spans"));
+  EXPECT_EQ(run.exit_code, 1);
+
+  const std::vector<Finding> expected = {
+      {"src/tune/needs_span.cpp", 8, "span-coverage"},
   };
   std::vector<Finding> got = parse_findings(run.output);
   std::sort(got.begin(), got.end());

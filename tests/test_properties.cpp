@@ -14,7 +14,9 @@
 #include "collbench/dataset.hpp"
 #include "ml/learner.hpp"
 #include "support/faultinject.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
+#include "tune/registry.hpp"
 #include "tune/selector.hpp"
 
 namespace mpicp {
@@ -241,6 +243,71 @@ TEST_P(BankRoundTrip, SelectorBankSelectsIdenticallyAfterSaveLoad) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BankRoundTrip,
                          ::testing::Values(21, 22, 23, 24));
+
+// ---- registry linearizability ---------------------------------------------
+
+class RegistryLinearizability
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RegistryLinearizability,
+       EveryAnswerEqualsTheSelectionOfSomePublishedVersion) {
+  const std::uint64_t seed = GetParam();
+  // A chain of bank versions compiled from different random datasets,
+  // published at seed-chosen points of a concurrent lookup drain. The
+  // invariant: no matter how lookups and publishes interleave, every
+  // returned selection equals the selection of *some* published version
+  // — an answer outside that set would mean a torn read.
+  constexpr int kVersions = 3;
+  std::vector<std::shared_ptr<const tune::CompiledBank>> versions;
+  for (int v = 0; v < kVersions; ++v) {
+    const bench::Dataset ds = random_dataset(seed * 17 + v);
+    tune::Selector selector(
+        tune::SelectorOptions{.learner = learner_for_seed(seed + v)});
+    ASSERT_GT(selector.fit(ds, ds.node_counts()).uids_total(), 0u);
+    versions.push_back(
+        std::make_shared<const tune::CompiledBank>(selector.compile()));
+  }
+
+  support::Xoshiro256 rng(seed ^ 0x12e6157a);
+  std::vector<bench::Instance> instances;
+  instances.reserve(300);
+  for (int i = 0; i < 300; ++i) {
+    instances.push_back({1 + static_cast<int>(rng.uniform_int(64)),
+                         1 + static_cast<int>(rng.uniform_int(16)),
+                         std::uint64_t{1} << rng.uniform_int(22)});
+  }
+  std::vector<std::vector<int>> allowed(instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    for (const auto& bank : versions) {
+      allowed[i].push_back(bank->select_uid(instances[i]));
+    }
+  }
+
+  const tune::BankKey key{"Hydra", sim::Collective::kBcast};
+  const std::size_t swap_at_1 = 1 + rng.uniform_int(instances.size() - 2);
+  const std::size_t swap_at_2 = 1 + rng.uniform_int(instances.size() - 2);
+  tune::BankRegistry registry(
+      tune::BankRegistry::Options{.shards = 1 + static_cast<int>(seed % 4)});
+  registry.publish(key, versions[0]);
+
+  support::ScopedThreads scoped(4);
+  std::vector<int> picked(instances.size(), -1);
+  support::parallel_for(instances.size(), 8, [&](std::size_t i) {
+    if (i == swap_at_1) registry.publish(key, versions[1]);
+    if (i == swap_at_2) registry.publish(key, versions[2]);
+    picked[i] = registry.select_uid(key, instances[i]);
+  });
+
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    EXPECT_NE(std::find(allowed[i].begin(), allowed[i].end(), picked[i]),
+              allowed[i].end())
+        << "seed " << seed << " instance " << i << ": uid " << picked[i]
+        << " matches no published version's selection";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegistryLinearizability,
+                         ::testing::Values(31, 32, 33, 34, 35));
 
 }  // namespace
 }  // namespace mpicp

@@ -1,0 +1,303 @@
+// Serving-registry tests (tune/registry.hpp): the sharded hot-swap
+// layer must be a transparent wrapper — bit-identical to direct
+// CompiledBank serving at every thread count — while adding what a
+// bank alone cannot: concurrent multi-bank streams, RCU publishes
+// under load, and refits that can fail without taking serving down.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "collbench/dataset.hpp"
+#include "simmpi/coll/decision.hpp"
+#include "support/faultinject.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+#include "tune/online.hpp"
+#include "tune/registry.hpp"
+#include "tune/selector.hpp"
+
+namespace mpicp {
+namespace {
+
+namespace fi = support::faultinject;
+
+/// Seeded synthetic dataset (same recipe as test_compiled_bank): 3-6
+/// algorithms with distinct random cost models over a random grid.
+bench::Dataset random_dataset(std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  bench::Dataset ds("registry", sim::MpiLib::kOpenMPI,
+                    sim::Collective::kBcast, "Hydra");
+  const int num_uids = 3 + static_cast<int>(rng.uniform_int(4));
+  const std::vector<int> nodes = {2, 4, 8, 16};
+  const std::vector<int> ppns = {1, 1 + static_cast<int>(rng.uniform_int(8))};
+  const std::vector<std::uint64_t> msizes = {
+      std::uint64_t{1} << rng.uniform_int(8),
+      std::uint64_t{1} << (8 + rng.uniform_int(8)),
+      std::uint64_t{1} << (16 + rng.uniform_int(6))};
+  for (int uid = 1; uid <= num_uids; ++uid) {
+    const double a = rng.uniform(1.0, 50.0);
+    const double b = rng.uniform(0.0, 5.0);
+    const double c = rng.uniform(1e-4, 1e-2);
+    for (const int n : nodes) {
+      for (const int ppn : ppns) {
+        for (const std::uint64_t m : msizes) {
+          const double p = static_cast<double>(n) * ppn;
+          const double t = a * std::log2(p + 1) + b * p +
+                           c * static_cast<double>(m) + 1.0;
+          for (int rep = 0; rep < 3; ++rep) {
+            ds.add({uid, n, ppn, m, rng.lognormal_median(t, 0.08)});
+          }
+        }
+      }
+    }
+  }
+  return ds;
+}
+
+std::vector<bench::Instance> random_instances(std::uint64_t seed,
+                                              int count) {
+  support::Xoshiro256 rng(seed);
+  std::vector<bench::Instance> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    out.push_back({1 + static_cast<int>(rng.uniform_int(64)),
+                   1 + static_cast<int>(rng.uniform_int(16)),
+                   std::uint64_t{1} << rng.uniform_int(22)});
+  }
+  return out;
+}
+
+std::shared_ptr<const tune::CompiledBank> compile_bank(
+    const bench::Dataset& ds, const char* learner) {
+  tune::Selector selector(tune::SelectorOptions{.learner = learner});
+  EXPECT_GT(selector.fit(ds, ds.node_counts()).uids_total(), 0u);
+  return std::make_shared<const tune::CompiledBank>(selector.compile());
+}
+
+// ---- bit-identity with direct CompiledBank serving -----------------------
+
+TEST(BankRegistry, SelectionsBitIdenticalToDirectServingAt1And4Threads) {
+  const bench::Dataset ds = random_dataset(11);
+  const auto bank = compile_bank(ds, "gam");
+  const auto instances = random_instances(101, 48);
+
+  for (const bool memo : {true, false}) {
+    tune::BankRegistry registry(
+        tune::BankRegistry::Options{.shards = 4, .memo_cache = memo});
+    const tune::BankKey key{ds.machine(), ds.collective()};
+    registry.publish(key, bank);
+
+    for (const int threads : {1, 4}) {
+      support::ScopedThreads scoped(threads);
+      for (const bench::Instance& inst : instances) {
+        EXPECT_EQ(registry.select_uid(key, inst), bank->select_uid(inst))
+            << "memo=" << memo << " @" << threads << " threads";
+      }
+      EXPECT_EQ(registry.select_grid(key, instances),
+                bank->select_grid(instances))
+          << "memo=" << memo << " @" << threads << " threads";
+    }
+  }
+}
+
+TEST(BankRegistry, MixedStreamServeMatchesPerQuerySelection) {
+  const bench::Dataset ds_a = random_dataset(13);
+  const bench::Dataset ds_b = random_dataset(29);
+  const auto bank_a = compile_bank(ds_a, "gam");
+  const auto bank_b = compile_bank(ds_b, "knn");
+  const tune::BankKey key_a{"Hydra", sim::Collective::kBcast};
+  const tune::BankKey key_b{"Jupiter", sim::Collective::kAllreduce};
+
+  tune::BankRegistry registry;
+  registry.publish(key_a, bank_a);
+  registry.publish(key_b, bank_b);
+  EXPECT_EQ(registry.num_banks(), 2u);
+
+  support::Xoshiro256 rng(7);
+  std::vector<tune::BankRegistry::Query> stream;
+  for (const bench::Instance& inst : random_instances(103, 200)) {
+    stream.push_back({rng.uniform_int(2) == 0 ? key_a : key_b, inst});
+  }
+  std::vector<int> expected;
+  expected.reserve(stream.size());
+  for (const auto& q : stream) {
+    expected.push_back((q.key == key_a ? bank_a : bank_b)->select_uid(q.inst));
+  }
+  for (const int threads : {1, 4}) {
+    support::ScopedThreads scoped(threads);
+    EXPECT_EQ(registry.serve(stream), expected) << threads << " threads";
+  }
+}
+
+// ---- hot swap semantics ---------------------------------------------------
+
+TEST(BankRegistry, PublishReplacesBankAndBumpsVersion) {
+  const auto bank1 = compile_bank(random_dataset(17), "gam");
+  const auto bank2 = compile_bank(random_dataset(19), "gam");
+  const tune::BankKey key{"Hydra", sim::Collective::kBcast};
+
+  tune::BankRegistry registry;
+  EXPECT_EQ(registry.lookup(key), nullptr);
+  EXPECT_EQ(registry.version(key), 0u);
+
+  const std::uint64_t v1 = registry.publish(key, bank1);
+  EXPECT_EQ(registry.lookup(key), bank1);
+  EXPECT_EQ(registry.version(key), v1);
+
+  const std::uint64_t v2 = registry.publish(key, bank2);
+  EXPECT_GT(v2, v1);
+  EXPECT_EQ(registry.lookup(key), bank2);
+  EXPECT_EQ(registry.num_banks(), 1u);
+}
+
+TEST(BankRegistry, SwapUnderLoadEveryAnswerIsFromSomePublishedVersion) {
+  const bench::Dataset ds1 = random_dataset(23);
+  const bench::Dataset ds2 = random_dataset(47);
+  const auto bank1 = compile_bank(ds1, "gam");
+  const auto bank2 = compile_bank(ds2, "gam");
+  const tune::BankKey key{"Hydra", sim::Collective::kBcast};
+  const auto instances = random_instances(107, 400);
+
+  // Linearizability oracle: for every instance, the set of answers the
+  // two published versions can give.
+  std::vector<std::set<int>> allowed;
+  allowed.reserve(instances.size());
+  for (const bench::Instance& inst : instances) {
+    allowed.push_back({bank1->select_uid(inst), bank2->select_uid(inst)});
+  }
+
+  tune::BankRegistry registry;
+  registry.publish(key, bank1);
+  support::ScopedThreads scoped(4);
+  std::vector<int> picked(instances.size(), -1);
+  std::atomic<bool> swapped{false};
+  support::parallel_for(instances.size(), 16, [&](std::size_t i) {
+    // One worker swaps mid-drain; in-flight selections must finish on
+    // whichever snapshot they loaded — never a torn mix.
+    if (i == instances.size() / 2 &&
+        !swapped.exchange(true, std::memory_order_relaxed)) {
+      registry.publish(key, bank2);
+    }
+    picked[i] = registry.select_uid(key, instances[i]);
+  });
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    EXPECT_TRUE(allowed[i].count(picked[i]) == 1)
+        << "instance " << i << " returned uid " << picked[i]
+        << " which no published version selects";
+  }
+  // After the drain the new bank serves.
+  EXPECT_EQ(registry.lookup(key), bank2);
+}
+
+// ---- refit and fault fallback ---------------------------------------------
+
+TEST(BankRegistry, RefitPublishesAndFaultedRefitKeepsLastGoodBank) {
+  const bench::Dataset ds = random_dataset(31);
+  const tune::BankKey key{ds.machine(), ds.collective()};
+  tune::BankRegistry registry;
+
+  const auto outcome1 =
+      registry.refit_and_publish(key, ds, ds.node_counts());
+  ASSERT_TRUE(outcome1.published) << outcome1.error;
+  EXPECT_GT(outcome1.version, 0u);
+  const auto good_bank = registry.lookup(key);
+  ASSERT_NE(good_bank, nullptr);
+
+  // Injected fit failures deep enough to exhaust the whole per-uid
+  // fallback chain (configured -> knn -> median) for every uid: the
+  // refit must fail, and the last good bank must keep serving.
+  fi::Faults faults;
+  for (const int uid : ds.uids()) faults.fit_failures[uid] = 1000;
+  {
+    fi::ScopedFaults scoped(std::move(faults));
+    const auto outcome2 =
+        registry.refit_and_publish(key, ds, ds.node_counts());
+    EXPECT_FALSE(outcome2.published);
+    EXPECT_FALSE(outcome2.error.empty());
+    EXPECT_EQ(outcome2.version, outcome1.version);
+  }
+  EXPECT_EQ(registry.lookup(key), good_bank);
+  EXPECT_EQ(registry.version(key), outcome1.version);
+  const bench::Instance inst{8, 4, 4096};
+  EXPECT_EQ(registry.select_uid(key, inst), good_bank->select_uid(inst));
+}
+
+TEST(BankRegistry, OnlineObservationsRefitIntoRegistry) {
+  const bench::Dataset ds = random_dataset(37);
+  tune::OnlineSelector online(
+      {.candidate_uids = ds.uids(), .probes_per_algorithm = 3});
+  // Replay the dataset's own measurements as online probes.
+  for (const auto& rec : ds.records()) {
+    online.record({rec.nodes, rec.ppn, rec.msize}, rec.uid, rec.time_us);
+  }
+  tune::BankRegistry registry;
+  const tune::BankKey key{ds.machine(), ds.collective()};
+  const auto outcome =
+      online.refit_into(registry, key, sim::MpiLib::kOpenMPI);
+  ASSERT_TRUE(outcome.published) << outcome.error;
+  const auto bank = registry.lookup(key);
+  ASSERT_NE(bank, nullptr);
+  for (const bench::Instance& inst : ds.instances()) {
+    EXPECT_GT(registry.select_uid(key, inst), 0);
+  }
+}
+
+// ---- contracts and accounting ---------------------------------------------
+
+TEST(BankRegistry, MissingKeyThrowsAndOrDefaultFallsBack) {
+  tune::BankRegistry registry;
+  const tune::BankKey key{"Hydra", sim::Collective::kBcast};
+  const bench::Instance inst{8, 4, 1024};
+  EXPECT_THROW((void)registry.select_uid(key, inst), std::exception);
+  // No bank at all: the registry answers what an untuned launch would.
+  EXPECT_EQ(registry.select_uid_or_default(key, inst,
+                                           sim::MpiLib::kOpenMPI),
+            sim::library_default_uid(sim::MpiLib::kOpenMPI,
+                                     key.collective,
+                                     inst.nodes * inst.ppn, inst.msize));
+  EXPECT_THROW(registry.publish(key, nullptr), std::exception);
+  EXPECT_THROW(
+      registry.publish(key, std::make_shared<const tune::CompiledBank>()),
+      std::exception);
+}
+
+TEST(BankRegistry, ShardStatsAccountLookupsMemoAndSwaps) {
+  const auto bank = compile_bank(random_dataset(41), "gam");
+  const tune::BankKey key{"Hydra", sim::Collective::kBcast};
+  tune::BankRegistry registry(tune::BankRegistry::Options{.shards = 2});
+  EXPECT_EQ(registry.shards(), 2);
+  registry.publish(key, bank);
+
+  const bench::Instance inst{8, 4, 1024};
+  (void)registry.select_uid(key, inst);  // memo miss
+  (void)registry.select_uid(key, inst);  // memo hit
+  (void)registry.select_uid(key, inst);  // memo hit
+
+  std::uint64_t lookups = 0, hits = 0, memo_hits = 0, memo_misses = 0,
+                swaps = 0;
+  for (const auto& shard : registry.shard_stats()) {
+    lookups += shard.lookups;
+    hits += shard.hits;
+    memo_hits += shard.memo_hits;
+    memo_misses += shard.memo_misses;
+    swaps += shard.swaps;
+  }
+  EXPECT_EQ(lookups, 3u);
+  EXPECT_EQ(hits, 3u);
+  EXPECT_EQ(memo_hits, 2u);
+  EXPECT_EQ(memo_misses, 1u);
+  EXPECT_EQ(swaps, 1u);
+
+  // A publish drops the memo; the same query recomputes, same answer.
+  const int before = registry.select_uid(key, inst);
+  registry.publish(key, bank);
+  EXPECT_EQ(registry.select_uid(key, inst), before);
+}
+
+}  // namespace
+}  // namespace mpicp

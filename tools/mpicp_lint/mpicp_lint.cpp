@@ -48,12 +48,13 @@ constexpr const char* kRuleFloatEq = "no-float-eq";       // R6
 constexpr const char* kRuleHeader = "header-hygiene";     // R7
 constexpr const char* kRuleNodiscard = "nodiscard-report";// R8
 constexpr const char* kRuleAllocLoop = "no-alloc-in-loop";// R9
+constexpr const char* kRuleSpan = "span-coverage";        // R10
 
 const std::set<std::string>& all_rules() {
   static const std::set<std::string> rules = {
       kRuleRand,    kRuleThread,  kRuleWallClock, kRuleStdout,
       kRuleThrow,   kRuleFloatEq, kRuleHeader,    kRuleNodiscard,
-      kRuleAllocLoop};
+      kRuleAllocLoop, kRuleSpan};
   return rules;
 }
 
@@ -321,6 +322,7 @@ struct FileRole {
   bool error_impl = false;     // src/support/error.hpp
   bool bench = false;          // bench/** (timing mains)
   bool alloc_hot = false;      // src/ml/**, src/tune/** (hot loops)
+  bool span_scope = false;     // src/tune/**, src/simmpi/** .cpp files
 };
 
 FileRole classify(const std::string& rel) {
@@ -330,6 +332,9 @@ FileRole classify(const std::string& rel) {
       starts_with(rel, "src/ml/") || starts_with(rel, "src/tune/");
   role.is_header = rel.size() > 4 &&
                    rel.compare(rel.size() - 4, 4, ".hpp") == 0;
+  role.span_scope =
+      !role.is_header && (starts_with(rel, "src/tune/") ||
+                          starts_with(rel, "src/simmpi/"));
   role.rng_impl = starts_with(rel, "src/support/rng.");
   role.parallel_impl = starts_with(rel, "src/support/parallel.");
   role.trace_impl = starts_with(rel, "src/support/trace.");
@@ -759,6 +764,69 @@ void check_alloc_in_loop(const std::string& rel,
 }
 
 // ---------------------------------------------------------------------
+// R10 — span coverage in the serving and simulation layers.
+//
+// Every .cpp under src/tune/ and src/simmpi/ that defines a non-trivial
+// function (body spanning >= kSpanBodyLines source lines) must contain
+// at least one MPICP_SPAN, so the observability layer sees where those
+// subsystems spend their time. One finding per uncovered file, anchored
+// at its first non-trivial definition. Files of short helpers are
+// exempt; a file that is deliberately span-free justifies itself with
+// allow(span-coverage) on that definition.
+// ---------------------------------------------------------------------
+constexpr std::size_t kSpanBodyLines = 15;
+
+void check_span_coverage(const std::string& rel,
+                         const std::vector<std::string>& code,
+                         std::vector<Diagnostic>* diags) {
+  std::string joined;
+  std::vector<std::size_t> line_of;
+  for (std::size_t li = 0; li < code.size(); ++li) {
+    joined += code[li];
+    joined += '\n';
+    line_of.resize(joined.size(), li + 1);
+  }
+  const std::vector<Token> toks = tokenize(joined);
+
+  static const std::set<std::string> kNotAFunction = {
+      "if",     "for",    "while",  "switch", "catch",
+      "return", "sizeof", "do",     "else",   "new"};
+  static const std::set<std::string> kTrailer = {"const", "noexcept",
+                                                 "override", "final"};
+  for (std::size_t t = 0; t < toks.size(); ++t) {
+    if (toks[t].kind == Token::Kind::kIdent &&
+        toks[t].text == "MPICP_SPAN") {
+      return;  // covered
+    }
+  }
+  for (std::size_t t = 0; t < toks.size(); ++t) {
+    const Token& tok = toks[t];
+    if (tok.kind != Token::Kind::kIdent || kNotAFunction.count(tok.text)) {
+      continue;
+    }
+    if (t + 1 >= toks.size() || toks[t + 1].text != "(") continue;
+    const std::size_t close = match_forward(toks, t + 1, "(", ")");
+    // `name(args) [const|noexcept|override|final]* {` — the shape of a
+    // function definition. Constructors with init lists and trailing
+    // return types are not matched; under-detection only exempts, never
+    // flags.
+    std::size_t j = close + 1;
+    while (j < toks.size() && kTrailer.count(toks[j].text)) ++j;
+    if (j >= toks.size() || toks[j].text != "{") continue;
+    const std::size_t end = match_forward(toks, j, "{", "}");
+    const std::size_t body_lines =
+        line_of[toks[end].col] - line_of[toks[j].col] + 1;
+    if (body_lines < kSpanBodyLines) continue;
+    diags->push_back(
+        {rel, line_of[tok.col], kRuleSpan,
+         "'" + tok.text + "' spans " + std::to_string(body_lines) +
+             " lines but the file has no MPICP_SPAN — trace the entry "
+             "points of this subsystem (support/trace.hpp)"});
+    return;  // one finding per uncovered file
+  }
+}
+
+// ---------------------------------------------------------------------
 // Driver.
 // ---------------------------------------------------------------------
 struct Options {
@@ -797,6 +865,9 @@ void lint_file(const fs::path& abs, const std::string& rel,
   }
   if (role.alloc_hot) {
     check_alloc_in_loop(rel, lexed.code, &diags);
+  }
+  if (role.span_scope) {
+    check_span_coverage(rel, lexed.code, &diags);
   }
   for (const Diagnostic& d : diags) {
     const auto it = allow.find(d.line);
