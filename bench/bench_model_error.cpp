@@ -8,7 +8,6 @@
 #include "bench_common.hpp"
 #include "ml/gbt.hpp"
 #include "ml/metrics.hpp"
-#include "tune/evaluator.hpp"
 
 int main(int argc, char** argv) {
   using namespace mpicp;

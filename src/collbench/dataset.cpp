@@ -159,6 +159,17 @@ void quarantine(IngestReport& report, std::size_t lineno,
 
 }  // namespace
 
+std::string validate_record(const Record& rec,
+                            const IngestOptions& options) {
+  if (!std::isfinite(rec.time_us)) return "non-finite time";
+  if (rec.time_us <= 0.0) return "non-positive time";
+  if (rec.time_us > options.max_time_us) return "implausible time";
+  if (rec.uid < 1 || rec.nodes < 1 || rec.ppn < 1) {
+    return "bad configuration key";
+  }
+  return "";
+}
+
 Dataset Dataset::load_csv_tolerant(const std::filesystem::path& path,
                                    std::string name, sim::MpiLib lib,
                                    sim::Collective coll,
@@ -195,14 +206,9 @@ Dataset Dataset::load_csv_tolerant(const std::filesystem::path& path,
       quarantine(local, lineno, "unparseable field");
       continue;
     }
-    if (!std::isfinite(rec.time_us)) {
-      quarantine(local, lineno, "non-finite time");
-    } else if (rec.time_us <= 0.0) {
-      quarantine(local, lineno, "non-positive time");
-    } else if (rec.time_us > options.max_time_us) {
-      quarantine(local, lineno, "implausible time");
-    } else if (rec.uid < 1 || rec.nodes < 1 || rec.ppn < 1) {
-      quarantine(local, lineno, "bad configuration key");
+    const std::string reason = validate_record(rec, options);
+    if (!reason.empty()) {
+      quarantine(local, lineno, reason);
     } else {
       ds.add(rec);
       ++local.rows_ingested;

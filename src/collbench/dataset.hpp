@@ -68,6 +68,15 @@ struct IngestReport {
   bool clean() const { return rows_quarantined == 0; }
 };
 
+/// Semantic validation of one observation against the tolerant-ingest
+/// rules. Returns the quarantine reason — exactly the strings
+/// Dataset::load_csv_tolerant accounts under ("non-finite time",
+/// "non-positive time", "implausible time", "bad configuration key") —
+/// or "" when the record is ingestible. Streaming consumers reuse this
+/// so their quarantine accounting matches file ingest byte for byte.
+[[nodiscard]] std::string validate_record(const Record& rec,
+                                          const IngestOptions& options = {});
+
 class Dataset {
  public:
   Dataset(std::string name, sim::MpiLib lib, sim::Collective coll,

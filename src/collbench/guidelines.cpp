@@ -1,7 +1,5 @@
 #include "collbench/guidelines.hpp"
 
-#include "simmpi/coll/allreduce.hpp"
-#include "simmpi/coll/bcast.hpp"
 #include "simmpi/coll/decision.hpp"
 #include "simmpi/coll/registry.hpp"
 #include "simmpi/coll/smallcoll.hpp"

@@ -1,0 +1,100 @@
+#include "collbench/streamgen.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/faultinject.hpp"
+#include "support/str.hpp"
+
+namespace mpicp::bench {
+
+namespace fi = support::faultinject;
+
+MeasurementStream::MeasurementStream(StreamSpec spec)
+    : spec_(std::move(spec)), rng_(spec_.seed) {
+  MPICP_REQUIRE(!spec_.uids.empty(), "stream needs at least one uid");
+  MPICP_REQUIRE(!spec_.nodes.empty() && !spec_.ppns.empty() &&
+                    !spec_.msizes.empty(),
+                "stream needs a non-empty instance grid");
+  MPICP_REQUIRE(spec_.fault_rate >= 0.0 && spec_.fault_rate <= 1.0,
+                "fault rate must be in [0, 1]");
+  for (std::size_t i = 1; i < spec_.shifts.size(); ++i) {
+    MPICP_REQUIRE(spec_.shifts[i - 1].at_row <= spec_.shifts[i].at_row,
+                  "regime shifts must be ascending by at_row");
+  }
+}
+
+std::uint64_t MeasurementStream::regime_seed_at(std::size_t row) const {
+  std::uint64_t seed = spec_.machine_seed;
+  for (const RegimeShift& shift : spec_.shifts) {
+    if (row < shift.at_row) break;
+    seed = shift.machine_seed;
+  }
+  return seed;
+}
+
+double MeasurementStream::base_time_us(int uid,
+                                       const Instance& inst) const {
+  // An analytic surface with genuine crossovers: each uid trades a
+  // latency (log p) term against a bandwidth (m / sqrt(p)) term with
+  // uid-dependent weights, so which algorithm wins depends on (m, p) —
+  // and the per-regime systematic factor on top moves those frontiers.
+  const double p = static_cast<double>(inst.nodes) *
+                   static_cast<double>(inst.ppn);
+  const double m = static_cast<double>(inst.msize);
+  const double u = static_cast<double>(uid);
+  const double latency_w = 2.0 + 1.5 * u;
+  const double band_w = 0.004 / (1.0 + 0.5 * u);
+  return 5.0 + latency_w * std::log2(p + 1.0) + band_w * m / std::sqrt(p) +
+         0.08 * u * p;
+}
+
+double MeasurementStream::true_time_us(std::size_t row, int uid,
+                                       const Instance& inst) const {
+  const NoiseModel model(regime_seed_at(row), spec_.noise);
+  return model.true_time_us(base_time_us(uid, inst),
+                            static_cast<std::uint64_t>(spec_.coll), uid,
+                            inst.nodes, inst.ppn, inst.msize);
+}
+
+MeasurementStream::Row MeasurementStream::next() {
+  Row row;
+  row.index = cursor_;
+
+  // Fixed draw order (instance, observation, fault) keeps the stream a
+  // pure function of the seed regardless of what the consumer does.
+  const int uid = spec_.uids[cursor_ % spec_.uids.size()];
+  Instance inst;
+  inst.nodes = spec_.nodes[rng_.uniform_int(spec_.nodes.size())];
+  inst.ppn = spec_.ppns[rng_.uniform_int(spec_.ppns.size())];
+  inst.msize = spec_.msizes[rng_.uniform_int(spec_.msizes.size())];
+
+  const NoiseModel model(regime_seed_at(cursor_), spec_.noise);
+  const double truth = model.true_time_us(
+      base_time_us(uid, inst), static_cast<std::uint64_t>(spec_.coll), uid,
+      inst.nodes, inst.ppn, inst.msize);
+  const double observed = model.observe_us(truth, rng_);
+
+  row.text = std::to_string(uid) + "," + std::to_string(inst.nodes) + "," +
+             std::to_string(inst.ppn) + "," + std::to_string(inst.msize) +
+             "," + support::format_double(observed, 17);
+
+  if (spec_.fault_rate > 0.0 && rng_.uniform() < spec_.fault_rate) {
+    row.faulted = true;
+    ++faulted_;
+    const fi::CsvFault kind = fi::csv_fault_cycle(kind_cursor_++);
+    const auto corrupted = fi::corrupt_csv_row(row.text, kind, 4);
+    if (corrupted) {
+      row.text = *corrupted;
+    } else {
+      row.text.clear();
+      row.dropped = true;
+      ++dropped_;
+    }
+  }
+
+  ++cursor_;
+  return row;
+}
+
+}  // namespace mpicp::bench

@@ -1,0 +1,102 @@
+// Simulated measurement stream for the continuous retraining pipeline
+// (DESIGN.md §13).
+//
+// A real cluster emits benchmark rows one at a time, from a machine
+// whose regime occasionally shifts (contention patterns, node swaps,
+// fabric reconfiguration), through collection tooling that sometimes
+// corrupts rows. This generator manufactures exactly that, seeded and
+// deterministic:
+//
+//  * the per-configuration "truth" is an analytic cost surface times the
+//    NoiseModel systematic field of the *currently active* machine seed
+//    — a RegimeShift swaps that seed at a known row offset, which moves
+//    every algorithm's cost landscape the way a machine-preset swap
+//    does;
+//  * observations get the NoiseModel's log-normal jitter and straggler
+//    spikes;
+//  * a seeded fraction of rows is corrupted through the same six
+//    faultinject row-fault kinds (and the same rotation) as
+//    corrupt_csv, so downstream quarantine accounting can be checked
+//    against the generator's own fault log.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "collbench/dataset.hpp"
+#include "collbench/noise.hpp"
+#include "simmpi/coll/types.hpp"
+#include "support/rng.hpp"
+
+namespace mpicp::bench {
+
+/// One scheduled machine-regime change: rows at index >= at_row are
+/// produced under the new systematic-field seed.
+struct RegimeShift {
+  std::size_t at_row = 0;
+  std::uint64_t machine_seed = 0;
+};
+
+struct StreamSpec {
+  sim::Collective coll = sim::Collective::kBcast;
+  std::vector<int> uids = {1, 2, 3, 4};
+  std::vector<int> nodes = {2, 4, 8, 16};
+  std::vector<int> ppns = {1, 4};
+  std::vector<std::uint64_t> msizes = {64, 4096, 65536, 1048576};
+  /// Systematic-field seed of the initial regime.
+  std::uint64_t machine_seed = 1;
+  /// Scheduled regime changes, ascending by at_row.
+  std::vector<RegimeShift> shifts;
+  /// A strong systematic field by default: a regime swap should move
+  /// per-algorithm costs enough for drift detection to have signal.
+  NoiseParams noise{.sigma_base = 0.03, .sigma_small = 0.08,
+                    .small_scale_us = 50.0, .sys_sigma = 0.30,
+                    .straggler_prob = 0.01, .straggler_mult = 2.0};
+  double fault_rate = 0.0;  ///< fraction of rows corrupted
+  std::uint64_t seed = 1;   ///< drives sampling, jitter and fault choice
+};
+
+class MeasurementStream {
+ public:
+  explicit MeasurementStream(StreamSpec spec);
+
+  /// One produced measurement row.
+  struct Row {
+    /// "uid,nodes,ppn,msize,time_us" — possibly corrupted; empty when
+    /// the row was dropped entirely (kDroppedRow).
+    std::string text;
+    std::size_t index = 0;  ///< 0-based production index
+    bool faulted = false;
+    bool dropped = false;
+  };
+
+  [[nodiscard]] Row next();
+
+  std::size_t rows_produced() const { return cursor_; }
+  std::size_t rows_faulted() const { return faulted_; }
+  std::size_t rows_dropped() const { return dropped_; }
+
+  /// The machine seed of the regime active at production index `row`.
+  std::uint64_t regime_seed_at(std::size_t row) const;
+
+  /// Deterministic analytic base cost of a configuration (regime-free).
+  double base_time_us(int uid, const Instance& inst) const;
+
+  /// The "true" (median) time of a configuration under the regime
+  /// active at `row` — the oracle tests and benches validate against.
+  double true_time_us(std::size_t row, int uid, const Instance& inst) const;
+
+  const StreamSpec& spec() const { return spec_; }
+
+ private:
+  StreamSpec spec_;
+  support::Xoshiro256 rng_;
+  std::size_t cursor_ = 0;
+  std::size_t faulted_ = 0;
+  std::size_t dropped_ = 0;
+  std::size_t kind_cursor_ = 0;
+};
+
+}  // namespace mpicp::bench

@@ -1,5 +1,6 @@
 #include "ml/cv.hpp"
 
+#include "ml/learner.hpp"
 #include "ml/metrics.hpp"
 #include "support/error.hpp"
 #include "support/metrics.hpp"

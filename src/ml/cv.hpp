@@ -4,9 +4,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <string>
 #include <vector>
 
-#include "ml/learner.hpp"
+#include "ml/matrix.hpp"
 
 namespace mpicp::ml {
 

@@ -32,9 +32,13 @@ constexpr CsvFault kCycle[] = {
     CsvFault::kTruncatedRow,  CsvFault::kDroppedRow,
 };
 
-/// Apply one row fault; returns the corrupted line, or nullopt when the
-/// row is dropped.
-std::optional<std::string> apply_row_fault(const std::string& line,
+}  // namespace
+
+CsvFault csv_fault_cycle(std::size_t i) {
+  return kCycle[i % std::size(kCycle)];
+}
+
+std::optional<std::string> corrupt_csv_row(const std::string& line,
                                            CsvFault kind,
                                            std::size_t value_column) {
   auto cells = split(line, ',');
@@ -70,8 +74,6 @@ std::optional<std::string> apply_row_fault(const std::string& line,
   return join(cells, ",");
 }
 
-}  // namespace
-
 std::string corrupt_csv(const std::string& text, const CsvFaultPlan& plan,
                         CsvFaultLog* log) {
   MPICP_REQUIRE(plan.fault_rate >= 0.0 && plan.fault_rate <= 1.0,
@@ -95,10 +97,10 @@ std::string corrupt_csv(const std::string& text, const CsvFaultPlan& plan,
       out << line << '\n';
       continue;
     }
-    const CsvFault kind = kCycle[kind_cursor++ % std::size(kCycle)];
+    const CsvFault kind = csv_fault_cycle(kind_cursor++);
     ++local.rows_faulted;
     ++local.by_kind[csv_fault_label(kind)];
-    const auto corrupted = apply_row_fault(line, kind, plan.value_column);
+    const auto corrupted = corrupt_csv_row(line, kind, plan.value_column);
     if (!corrupted) {
       ++local.rows_dropped;
       continue;

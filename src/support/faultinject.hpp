@@ -45,6 +45,20 @@ enum class CsvFault {
 
 const char* csv_fault_label(CsvFault kind);
 
+/// The deterministic rotation corrupt_csv walks: the i-th faulted row
+/// gets csv_fault_cycle(i), so every kind appears once per six faults.
+/// Streaming corruptors share the same rotation for identical
+/// accounting semantics.
+CsvFault csv_fault_cycle(std::size_t i);
+
+/// Corrupt one CSV data row with `kind` (the row-level primitive behind
+/// corrupt_csv, exposed for streaming producers that fault rows one at
+/// a time). Returns nullopt when the row is dropped entirely
+/// (kDroppedRow).
+std::optional<std::string> corrupt_csv_row(const std::string& row,
+                                           CsvFault kind,
+                                           std::size_t value_column);
+
 struct CsvFaultPlan {
   double fault_rate = 0.1;       ///< fraction of data rows corrupted
   std::size_t value_column = 0;  ///< column hit by the value faults

@@ -1,0 +1,86 @@
+#include "tune/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/trace.hpp"
+
+namespace mpicp::tune {
+
+const char* to_string(DriftSignal signal) {
+  switch (signal) {
+    case DriftSignal::kNone: return "none";
+    case DriftSignal::kEwma: return "ewma";
+    case DriftSignal::kPageHinkley: return "page-hinkley";
+  }
+  return "unknown";
+}
+
+DriftDetector::DriftDetector(DriftOptions options)
+    : options_(options) {
+  MPICP_REQUIRE(options_.ewma_alpha > 0.0 && options_.ewma_alpha <= 1.0,
+                "ewma_alpha must be in (0, 1]");
+  MPICP_REQUIRE(options_.ewma_threshold > 0.0,
+                "ewma_threshold must be positive");
+  MPICP_REQUIRE(options_.ph_lambda > 0.0, "ph_lambda must be positive");
+  MPICP_REQUIRE(options_.clamp > 0.0, "clamp must be positive");
+}
+
+DriftSignal DriftDetector::observe(int uid, double rel_error) {
+  MPICP_SPAN("drift.observe");
+  if (!std::isfinite(rel_error)) return DriftSignal::kNone;
+  rel_error = std::clamp(rel_error, -options_.clamp, options_.clamp);
+  ++samples_;
+
+  // Per-uid EWMA of the signed error. Zero-initialized and always
+  // blended: early observations pull the statistic toward level
+  // gradually, so one outlier among the first samples cannot start the
+  // EWMA above threshold.
+  Ewma& e = per_uid_[uid];
+  ++e.count;
+  e.value = options_.ewma_alpha * rel_error +
+            (1.0 - options_.ewma_alpha) * e.value;
+
+  // Page–Hinkley on the absolute error: track the cumulative deviation
+  // of |x_t| from its running mean (minus the drift allowance delta) and
+  // alarm when it climbs ph_lambda above its own minimum.
+  const double x = std::abs(rel_error);
+  ph_mean_ += (x - ph_mean_) / static_cast<double>(samples_);
+  ph_cum_ += x - ph_mean_ - options_.ph_delta;
+  if (ph_cum_ < ph_min_) ph_min_ = ph_cum_;
+
+  if (samples_ < options_.min_samples) return DriftSignal::kNone;
+
+  const bool was_drifted = drifted_;
+  if (e.count >= options_.min_uid_samples &&
+      std::abs(e.value) > options_.ewma_threshold) {
+    drifted_ = true;
+    return was_drifted ? DriftSignal::kNone : DriftSignal::kEwma;
+  }
+  if (ph_statistic() > options_.ph_lambda) {
+    drifted_ = true;
+    return was_drifted ? DriftSignal::kNone : DriftSignal::kPageHinkley;
+  }
+  return DriftSignal::kNone;
+}
+
+void DriftDetector::reset() {
+  per_uid_.clear();
+  samples_ = 0;
+  ph_mean_ = 0.0;
+  ph_cum_ = 0.0;
+  ph_min_ = 0.0;
+  drifted_ = false;
+}
+
+double DriftDetector::max_abs_ewma() const {
+  double best = 0.0;
+  for (const auto& [uid, e] : per_uid_) {
+    if (e.count < options_.min_uid_samples) continue;
+    best = std::max(best, std::abs(e.value));
+  }
+  return best;
+}
+
+}  // namespace mpicp::tune

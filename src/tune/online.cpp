@@ -14,6 +14,9 @@ OnlineSelector::OnlineSelector(Options options)
                 "online selector needs candidates");
   MPICP_REQUIRE(options_.probes_per_algorithm >= 1,
                 "need at least one probe per algorithm");
+  MPICP_REQUIRE(options_.max_observations_per_uid >=
+                    static_cast<std::size_t>(options_.probes_per_algorithm),
+                "max_observations_per_uid must cover the probe budget");
 }
 
 std::uint64_t OnlineSelector::key(const bench::Instance& inst) {
@@ -63,7 +66,27 @@ int OnlineSelector::next_uid(const bench::Instance& inst) {
 void OnlineSelector::record(const bench::Instance& inst, int uid,
                             double time_us) {
   MPICP_REQUIRE(time_us > 0.0, "non-positive measurement");
-  cell(inst).observations[uid].push_back(time_us);
+  std::vector<double>& times = cell(inst).observations[uid];
+  times.push_back(time_us);
+  // Bounded memory: keep only the freshest max_observations_per_uid
+  // measurements (a long-running stream would otherwise grow without
+  // bound per instance).
+  if (times.size() > options_.max_observations_per_uid) {
+    times.erase(times.begin(),
+                times.begin() +
+                    static_cast<std::ptrdiff_t>(
+                        times.size() - options_.max_observations_per_uid));
+  }
+}
+
+std::size_t OnlineSelector::observation_count() const {
+  std::size_t total = 0;
+  for (const auto& [cell_key, cell] : cells_) {
+    for (const auto& [uid, times] : cell.observations) {
+      total += times.size();
+    }
+  }
+  return total;
 }
 
 bool OnlineSelector::converged(const bench::Instance& inst) const {

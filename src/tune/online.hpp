@@ -24,6 +24,11 @@ class OnlineSelector {
   struct Options {
     std::vector<int> candidate_uids;  ///< algorithms to explore
     int probes_per_algorithm = 3;
+    /// Bounded memory: at most this many retained observations per
+    /// (instance, uid); beyond it the oldest measurement is evicted
+    /// (a long-running job keeps the freshest evidence). Must be at
+    /// least probes_per_algorithm so convergence stays reachable.
+    std::size_t max_observations_per_uid = 256;
   };
 
   explicit OnlineSelector(Options options);
@@ -37,6 +42,11 @@ class OnlineSelector {
   void record(const bench::Instance& inst, int uid, double time_us);
 
   bool converged(const bench::Instance& inst) const;
+
+  /// Total retained observations across all instances and uids — the
+  /// quantity Options::max_observations_per_uid bounds (stream callers
+  /// assert their memory cap against it).
+  std::size_t observation_count() const;
 
   /// The committed (or currently best) uid for an instance.
   int current_best(const bench::Instance& inst) const;

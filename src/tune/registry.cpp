@@ -252,7 +252,8 @@ std::uint64_t BankRegistry::publish(const BankKey& key,
 
 BankRegistry::RefitOutcome BankRegistry::refit_and_publish(
     const BankKey& key, const bench::Dataset& ds,
-    const std::vector<int>& train_nodes, const SelectorOptions& options) {
+    const std::vector<int>& train_nodes, const SelectorOptions& options,
+    const RefitValidator& validator) {
   MPICP_SPAN("registry.refit");
   RefitOutcome outcome;
   outcome.version = version(key);
@@ -260,6 +261,17 @@ BankRegistry::RefitOutcome BankRegistry::refit_and_publish(
     Selector selector(options);
     outcome.fit_report = selector.fit(ds, train_nodes);
     auto compiled = std::make_shared<const CompiledBank>(selector.compile());
+    if (validator) {
+      const std::string verdict = validator(*compiled, lookup(key));
+      if (!verdict.empty()) {
+        // A clean fit that lost to the incumbent: discard the candidate,
+        // keep serving the last good bank.
+        outcome.rejected = true;
+        outcome.error = verdict;
+        metrics::counter("registry.refit_rejected").inc();
+        return outcome;
+      }
+    }
     outcome.version = publish(key, std::move(compiled));
     outcome.published = true;
     metrics::counter("registry.refits").inc();

@@ -29,6 +29,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -126,20 +127,33 @@ class BankRegistry {
   /// Account of one refit_and_publish call.
   struct RefitOutcome {
     bool published = false;    ///< a new bank version is now serving
+    /// True when the candidate fit cleanly but the validator declined
+    /// it (worse than the incumbent); the incumbent keeps serving.
+    bool rejected = false;
     std::uint64_t version = 0; ///< version serving after the call (0: none)
     std::string error;         ///< why the refit was rejected ("" if clean)
     FitReport fit_report;      ///< per-uid fit health (empty on throw)
   };
 
+  /// Pre-publish gate for refit_and_publish: given the freshly compiled
+  /// candidate and the incumbent bank (nullptr when the key is not yet
+  /// served), return "" to accept or a rejection reason. A rejected
+  /// candidate is discarded — the incumbent keeps serving untouched.
+  using RefitValidator = std::function<std::string(
+      const CompiledBank& candidate,
+      const std::shared_ptr<const CompiledBank>& incumbent)>;
+
   /// Fit a fresh selector on `ds`, compile it and hot-publish it under
   /// `key`. When the refit fails (every uid unusable, fault-injected
-  /// fit failures, compile errors), the last good bank keeps serving
-  /// untouched and the outcome carries the error instead — training
-  /// never takes serving down.
+  /// fit failures, compile errors) or `validator` declines the
+  /// candidate, the last good bank keeps serving untouched and the
+  /// outcome carries the error instead — training never takes serving
+  /// down.
   [[nodiscard]] RefitOutcome refit_and_publish(
       const BankKey& key, const bench::Dataset& ds,
       const std::vector<int>& train_nodes,
-      const SelectorOptions& options = {});
+      const SelectorOptions& options = {},
+      const RefitValidator& validator = {});
 
   /// Point-in-time per-shard accounting (mirrored into the process
   /// metrics registry as "registry.shard<i>.*").

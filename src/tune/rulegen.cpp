@@ -6,7 +6,6 @@
 #include <set>
 
 #include "support/error.hpp"
-#include "support/str.hpp"
 #include "support/trace.hpp"
 
 namespace mpicp::tune {

@@ -1,0 +1,302 @@
+#include "tune/stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <utility>
+
+#include "support/error.hpp"
+#include "support/metrics.hpp"
+#include "support/str.hpp"
+#include "support/trace.hpp"
+
+namespace mpicp::tune {
+
+namespace metrics = support::metrics;
+
+namespace {
+
+/// Holdout rows whose uid the bank cannot predict score this relative
+/// error — large enough that a bank missing live algorithms always
+/// loses to one that serves them.
+constexpr double kUnusablePenalty = 10.0;
+
+constexpr std::size_t kStreamColumns = 5;  // uid,nodes,ppn,msize,time_us
+
+}  // namespace
+
+StreamPipeline::StreamPipeline(BankRegistry& registry,
+                               StreamOptions options)
+    : registry_(registry), options_(std::move(options)) {
+  MPICP_REQUIRE(options_.window_capacity > 0,
+                "window_capacity must be positive");
+  MPICP_REQUIRE(options_.min_refit_rows > 0,
+                "min_refit_rows must be positive");
+  MPICP_REQUIRE(options_.holdout_every >= 2,
+                "holdout_every must be >= 2 (every row in the holdout "
+                "would leave nothing to train on)");
+  MPICP_REQUIRE(options_.accept_tolerance > 0.0,
+                "accept_tolerance must be positive");
+  MPICP_REQUIRE(options_.backoff_multiplier >= 1.0,
+                "backoff_multiplier must be >= 1");
+}
+
+StreamPipeline::RowOutcome StreamPipeline::push_row(
+    const BankKey& key, const std::string& row_text) {
+  // Blank rows (e.g. a dropped-row fault) are not rows at all — the
+  // file-ingest path skips blank lines without accounting, so do we.
+  const std::string_view trimmed = support::trim(row_text);
+  if (trimmed.empty()) return {};
+
+  const std::vector<std::string> cells = support::split(trimmed, ',');
+  bench::Record rec;
+  std::string reason;
+  if (cells.size() != kStreamColumns) {
+    reason = "row width mismatch";  // read_csv_lenient's structural reason
+  } else {
+    try {
+      rec.uid = static_cast<int>(support::parse_int(cells[0]));
+      rec.nodes = static_cast<int>(support::parse_int(cells[1]));
+      rec.ppn = static_cast<int>(support::parse_int(cells[2]));
+      rec.msize = static_cast<std::uint64_t>(support::parse_int(cells[3]));
+      rec.time_us = support::parse_double(cells[4]);
+    } catch (const ParseError&) {
+      reason = "unparseable field";
+    }
+  }
+  if (!reason.empty()) {
+    static metrics::Counter& seen = metrics::counter("stream.rows_seen");
+    static metrics::Counter& quarantined =
+        metrics::counter("stream.rows_quarantined");
+    ++stats_.rows_seen;
+    seen.inc();
+    ++stats_.rows_quarantined;
+    quarantined.inc();
+    ++stats_.quarantine_reasons[reason];
+    metrics::counter("stream.quarantine." + reason).inc();
+    RowOutcome out;
+    out.quarantine_reason = reason;
+    return out;
+  }
+  return push(key, rec);
+}
+
+StreamPipeline::RowOutcome StreamPipeline::push(const BankKey& key,
+                                                const bench::Record& rec) {
+  MPICP_SPAN("stream.push");
+  static metrics::Counter& seen = metrics::counter("stream.rows_seen");
+  static metrics::Counter& quarantined =
+      metrics::counter("stream.rows_quarantined");
+
+  RowOutcome out;
+  ++stats_.rows_seen;
+  seen.inc();
+
+  // The same semantic screen as Dataset::load_csv_tolerant — a
+  // corrupted value never reaches the window, the detector or a refit.
+  const std::string reason = bench::validate_record(rec, options_.ingest);
+  if (!reason.empty()) {
+    ++stats_.rows_quarantined;
+    quarantined.inc();
+    ++stats_.quarantine_reasons[reason];
+    metrics::counter("stream.quarantine." + reason).inc();
+    out.quarantine_reason = reason;
+    return out;
+  }
+
+  KeyState& state = states_[key];
+  ingest(state, rec);
+  out.ingested = true;
+
+  observe_error(state, key, rec, &out);
+  maybe_refit(state, key, &out);
+  return out;
+}
+
+void StreamPipeline::ingest(KeyState& state, const bench::Record& rec) {
+  static metrics::Counter& ingested =
+      metrics::counter("stream.rows_ingested");
+  static metrics::Counter& evictions =
+      metrics::counter("stream.window_evictions");
+  ++stats_.rows_ingested;
+  ingested.inc();
+  ++state.accepted;
+  if (state.accepted % options_.holdout_every == 0) {
+    state.holdout.push_back(rec);
+    const std::size_t cap = std::max<std::size_t>(
+        1, options_.window_capacity / options_.holdout_every);
+    while (state.holdout.size() > cap) {
+      state.holdout.pop_front();
+      ++stats_.window_evictions;
+      evictions.inc();
+    }
+  } else {
+    state.window.push_back(rec);
+    while (state.window.size() > options_.window_capacity) {
+      state.window.pop_front();
+      ++stats_.window_evictions;
+      evictions.inc();
+    }
+  }
+}
+
+void StreamPipeline::observe_error(KeyState& state, const BankKey& key,
+                                   const bench::Record& rec,
+                                   RowOutcome* out) {
+  const std::shared_ptr<const CompiledBank> bank = registry_.lookup(key);
+  if (!bank) return;  // nothing served yet — nothing to drift from
+
+  pred_scratch_.resize(bank->num_models());
+  bank->predict_all_into({rec.nodes, rec.ppn, rec.msize}, pred_scratch_);
+  const std::vector<int>& uids = bank->uids();
+  double predicted = 0.0;
+  bool usable = false;
+  for (std::size_t i = 0; i < uids.size(); ++i) {
+    if (uids[i] != rec.uid) continue;
+    usable = pred_scratch_[i].usable && pred_scratch_[i].time_us > 0.0;
+    predicted = pred_scratch_[i].time_us;
+    break;
+  }
+  if (!usable) return;  // no reliable error signal for this row
+
+  const double rel = (rec.time_us - predicted) / predicted;
+  const DriftSignal signal = state.detector.observe(rec.uid, rel);
+  if (signal == DriftSignal::kNone) return;
+
+  // First alarm since the last swap: the windowed rows straddle the old
+  // and new regime, so training on them would smear the refit. Discard
+  // the stale window and re-accumulate from post-drift rows only.
+  static metrics::Counter& detected = metrics::counter("drift.detected");
+  ++stats_.drift_detections;
+  detected.inc();
+  stats_.detection_rows.push_back(stats_.rows_seen);
+  stats_.rows_discarded_on_drift +=
+      state.window.size() + state.holdout.size();
+  metrics::counter("stream.rows_discarded_on_drift")
+      .inc(state.window.size() + state.holdout.size());
+  state.window.clear();
+  state.holdout.clear();
+  state.pending_refit = true;
+  out->drift = signal;
+}
+
+void StreamPipeline::maybe_refit(KeyState& state, const BankKey& key,
+                                 RowOutcome* out) {
+  const bool bootstrap = registry_.version(key) == 0;
+  if (!bootstrap && !state.pending_refit) return;
+  if (state.window.size() + state.holdout.size() < options_.min_refit_rows) {
+    return;  // keep accumulating
+  }
+  if (state.accepted < state.backoff_until) {
+    // A refit is owed but a recent failure put this key in backoff.
+    static metrics::Counter& skips = metrics::counter("stream.backoff_skips");
+    ++stats_.backoff_skips;
+    skips.inc();
+    return;
+  }
+  if (state.attempted_before &&
+      state.accepted - state.last_attempt_at < options_.refit_cooldown) {
+    return;  // base rate limit between attempts
+  }
+
+  MPICP_SPAN("stream.refit");
+  static metrics::Counter& attempts =
+      metrics::counter("stream.refits_attempted");
+  ++stats_.refits_attempted;
+  attempts.inc();
+  state.attempted_before = true;
+  state.last_attempt_at = state.accepted;
+  out->refit_attempted = true;
+
+  bench::Dataset ds("stream:" + to_string(key), options_.lib,
+                    key.collective, key.machine);
+  for (const bench::Record& r : state.window) ds.add(r);
+
+  const BankRegistry::RefitOutcome outcome = registry_.refit_and_publish(
+      key, ds, ds.node_counts(), options_.selector,
+      [this, &state](const CompiledBank& candidate,
+                     const std::shared_ptr<const CompiledBank>& incumbent) {
+        if (state.holdout.empty()) return std::string();
+        // Bootstrap: serving something beats serving nothing; the drift
+        // loop replaces a weak first bank as soon as errors show it.
+        if (!incumbent) return std::string();
+        const double cand_err = holdout_error(state, candidate);
+        const double inc_err = holdout_error(state, *incumbent);
+        if (cand_err > inc_err * options_.accept_tolerance) {
+          return "candidate holdout error " +
+                 support::format_double(cand_err, 6) +
+                 " worse than incumbent " +
+                 support::format_double(inc_err, 6);
+        }
+        return std::string();
+      });
+
+  if (outcome.published) {
+    static metrics::Counter& published =
+        metrics::counter("stream.refits_published");
+    ++stats_.refits_published;
+    published.inc();
+    state.pending_refit = false;
+    state.detector.reset();  // fresh baseline against the new bank
+    state.backoff = 0;
+    state.backoff_until = 0;
+    out->published = true;
+    return;
+  }
+
+  // Faulted fit or validator rejection: the incumbent keeps serving and
+  // the key backs off exponentially before the next attempt.
+  static metrics::Counter& rejected =
+      metrics::counter("drift.refit_rejected");
+  rejected.inc();
+  if (outcome.rejected) {
+    ++stats_.refits_rejected;
+  } else {
+    ++stats_.refits_failed;
+  }
+  out->rejected = true;
+  state.backoff =
+      state.backoff == 0
+          ? options_.backoff_initial
+          : std::min<std::uint64_t>(
+                static_cast<std::uint64_t>(
+                    static_cast<double>(state.backoff) *
+                    options_.backoff_multiplier),
+                options_.backoff_max);
+  state.backoff_until = state.accepted + state.backoff;
+}
+
+double StreamPipeline::holdout_error(const KeyState& state,
+                                     const CompiledBank& bank) const {
+  pred_scratch_.resize(bank.num_models());
+  const std::vector<int>& uids = bank.uids();
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const bench::Record& r : state.holdout) {
+    bank.predict_all_into({r.nodes, r.ppn, r.msize}, pred_scratch_);
+    double err = kUnusablePenalty;
+    for (std::size_t i = 0; i < uids.size(); ++i) {
+      if (uids[i] != r.uid) continue;
+      const Selector::Prediction& p = pred_scratch_[i];
+      if (p.usable && p.time_us > 0.0) {
+        err = std::abs(p.time_us - r.time_us) / r.time_us;
+      }
+      break;
+    }
+    sum += err;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+std::size_t StreamPipeline::window_size(const BankKey& key) const {
+  const auto it = states_.find(key);
+  return it == states_.end() ? 0 : it->second.window.size();
+}
+
+std::size_t StreamPipeline::holdout_size(const BankKey& key) const {
+  const auto it = states_.find(key);
+  return it == states_.end() ? 0 : it->second.holdout.size();
+}
+
+}  // namespace mpicp::tune

@@ -1,0 +1,144 @@
+// Continuous retraining: the producer/consumer loop that closes the
+// production lifecycle (DESIGN.md §13).
+//
+// A StreamPipeline consumes measurement rows one at a time — textual
+// CSV rows from a live campaign, or already-parsed Records — and keeps
+// the BankRegistry's served banks matched to the machine the rows come
+// from:
+//
+//   row -> tolerant validation (quarantine, never poison the window)
+//       -> bounded sliding window + holdout slice per BankKey
+//       -> drift detection against the currently served bank
+//       -> [drift] discard the stale window, re-accumulate,
+//          refit -> validate on the holdout -> hot swap or reject
+//
+// Serving never stops: selections go through the registry's RCU
+// snapshots, a refit publishes (or is rejected) while readers keep
+// answering from the incumbent, and refit storms are rate-limited with
+// exponential backoff. The pump itself is single-threaded (one producer
+// thread owns the pipeline; fits inside refits still use the
+// support/parallel pool and stay bit-identical at any MPICP_THREADS).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "collbench/dataset.hpp"
+#include "tune/drift.hpp"
+#include "tune/registry.hpp"
+
+namespace mpicp::tune {
+
+struct StreamOptions {
+  sim::MpiLib lib = sim::MpiLib::kOpenMPI;
+  SelectorOptions selector;
+  DriftOptions drift;
+  bench::IngestOptions ingest;
+
+  /// Per-key training window: oldest accepted rows are evicted beyond
+  /// this (the holdout slice is bounded at window_capacity /
+  /// holdout_every alongside).
+  std::size_t window_capacity = 2048;
+  /// A refit needs at least this many windowed rows (training slice +
+  /// holdout) — both for the bootstrap fit and after a drift discard.
+  std::size_t min_refit_rows = 192;
+  /// Every holdout_every-th accepted row goes to the holdout slice
+  /// (never trained on) — the validation set refits must win on.
+  std::size_t holdout_every = 5;
+  /// A candidate is published only when its holdout error does not
+  /// exceed the incumbent's times this factor.
+  double accept_tolerance = 1.02;
+  /// Minimum accepted rows between consecutive refit attempts on one
+  /// key — the base rate limit against refit storms.
+  std::uint64_t refit_cooldown = 64;
+  /// Exponential backoff after a failed or rejected refit: wait
+  /// backoff_initial accepted rows, then x backoff_multiplier per
+  /// consecutive failure, capped at backoff_max.
+  std::uint64_t backoff_initial = 128;
+  double backoff_multiplier = 2.0;
+  std::uint64_t backoff_max = 8192;
+};
+
+class StreamPipeline {
+ public:
+  StreamPipeline(BankRegistry& registry, StreamOptions options = {});
+
+  /// What one pushed row did to the pipeline.
+  struct RowOutcome {
+    bool ingested = false;          ///< accepted into the window
+    std::string quarantine_reason;  ///< non-empty when quarantined
+    DriftSignal drift = DriftSignal::kNone;  ///< first alarm this row
+    bool refit_attempted = false;
+    bool published = false;  ///< a refit hot-swapped a new bank version
+    bool rejected = false;   ///< a refit was declined or failed
+  };
+
+  /// Feed one textual measurement row ("uid,nodes,ppn,msize,time_us").
+  /// Structurally bad rows are quarantined with read_csv-style reasons;
+  /// parsed rows continue through push().
+  [[nodiscard]] RowOutcome push_row(const BankKey& key,
+                                    const std::string& row_text);
+
+  /// Feed one parsed observation. Validation, windowing, drift
+  /// detection and (when due) refit-and-swap all happen on the calling
+  /// thread.
+  [[nodiscard]] RowOutcome push(const BankKey& key, const bench::Record& rec);
+
+  /// Deterministic pipeline accounting (no timings — byte-pinnable).
+  struct Stats {
+    std::uint64_t rows_seen = 0;
+    std::uint64_t rows_ingested = 0;
+    std::uint64_t rows_quarantined = 0;
+    std::map<std::string, std::uint64_t> quarantine_reasons;
+    std::uint64_t drift_detections = 0;
+    /// rows_seen at each drift detection, in order.
+    std::vector<std::uint64_t> detection_rows;
+    /// Stale windowed rows discarded when drift was detected.
+    std::uint64_t rows_discarded_on_drift = 0;
+    std::uint64_t refits_attempted = 0;
+    std::uint64_t refits_published = 0;
+    std::uint64_t refits_rejected = 0;  ///< holdout validation declined
+    std::uint64_t refits_failed = 0;    ///< the fit itself failed
+    std::uint64_t backoff_skips = 0;    ///< refit due but backoff gated it
+    std::uint64_t window_evictions = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  std::size_t window_size(const BankKey& key) const;
+  std::size_t holdout_size(const BankKey& key) const;
+  const StreamOptions& options() const { return options_; }
+
+ private:
+  struct KeyState {
+    std::deque<bench::Record> window;   ///< training slice
+    std::deque<bench::Record> holdout;  ///< validation slice
+    DriftDetector detector;
+    std::uint64_t accepted = 0;         ///< rows windowed for this key
+    bool pending_refit = false;         ///< drift raised, refit owed
+    bool attempted_before = false;
+    std::uint64_t last_attempt_at = 0;  ///< accepted count at last attempt
+    std::uint64_t backoff = 0;          ///< current backoff span (rows)
+    std::uint64_t backoff_until = 0;    ///< accepted count gate
+  };
+
+  void ingest(KeyState& state, const bench::Record& rec);
+  void observe_error(KeyState& state, const BankKey& key,
+                     const bench::Record& rec, RowOutcome* out);
+  void maybe_refit(KeyState& state, const BankKey& key, RowOutcome* out);
+  /// Mean relative holdout error of `bank`; unusable predictions carry
+  /// a fixed penalty so a bank that cannot serve the holdout loses.
+  double holdout_error(const KeyState& state, const CompiledBank& bank) const;
+
+  BankRegistry& registry_;
+  StreamOptions options_;
+  std::map<BankKey, KeyState> states_;
+  Stats stats_;
+  /// Scratch for per-row predictions (the pump is single-threaded).
+  mutable std::vector<Selector::Prediction> pred_scratch_;
+};
+
+}  // namespace mpicp::tune

@@ -1,0 +1,11 @@
+// Fixture: an unused header whose include carries an inline allow()
+// suppression — stays silent.
+#pragma once
+
+namespace fix {
+
+struct QuarantinedWidget {
+  int idle = 0;
+};
+
+}  // namespace fix

@@ -1,0 +1,12 @@
+// Fixture: a header nothing in the consumer names — the R11 finding.
+#pragma once
+
+namespace fix {
+
+struct UnusedGadget {
+  int spare = 0;
+};
+
+double unused_helper(double y);
+
+}  // namespace fix

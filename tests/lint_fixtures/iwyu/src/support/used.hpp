@@ -1,0 +1,12 @@
+// Fixture: a header whose symbols the consumer genuinely names.
+#pragma once
+
+namespace fix {
+
+struct UsedThing {
+  int payload = 0;
+};
+
+int used_helper(int x);
+
+}  // namespace fix

@@ -1,0 +1,20 @@
+// Fixture: exercises every R11 include disposition — own header
+// (exempt), resolvable-and-used (silent), resolvable-and-unused (the
+// finding), suppressed, and unresolvable (skipped).
+#include "tune/consumer.hpp"
+
+#include "simnet/missing.hpp"
+#include "support/unused.hpp"
+#include "support/used.hpp"
+// mpicp-lint: allow(include-what-you-use-lite)
+#include "support/quarantined.hpp"
+
+namespace fix {
+
+int consume(int x) {
+  UsedThing thing;
+  thing.payload = used_helper(x) + kConsumerVersion;
+  return thing.payload;
+}
+
+}  // namespace fix

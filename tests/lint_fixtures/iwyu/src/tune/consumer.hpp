@@ -1,0 +1,9 @@
+// Fixture: the consumer's own header (its include in consumer.cpp is
+// exempt regardless of symbol use).
+#pragma once
+
+namespace fix {
+
+inline constexpr int kConsumerVersion = 3;
+
+}  // namespace fix

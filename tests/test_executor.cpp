@@ -2,7 +2,6 @@
 // eager/rendezvous protocols, waitall, deadlock detection, data tracking.
 #include <gtest/gtest.h>
 
-#include "simmpi/coll/datainit.hpp"
 #include "simmpi/executor.hpp"
 #include "simnet/machine.hpp"
 

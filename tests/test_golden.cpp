@@ -25,11 +25,14 @@
 #include <string>
 
 #include "collbench/dataset.hpp"
+#include "collbench/streamgen.hpp"
 #include "support/faultinject.hpp"
 #include "support/metrics.hpp"
 #include "support/rng.hpp"
 #include "support/trace.hpp"
+#include "tune/registry.hpp"
 #include "tune/selector.hpp"
+#include "tune/stream.hpp"
 
 #ifndef MPICP_GOLDEN_DIR
 #error "build must define MPICP_GOLDEN_DIR (see tests/CMakeLists.txt)"
@@ -277,6 +280,281 @@ TEST(Golden, MatchesCommittedSnapshot) {
       << "pipeline outcome drifted from the committed snapshot; if the "
          "change is intentional, refresh with MPICP_UPDATE_GOLDEN=1 and "
          "commit the diff";
+}
+
+// ---- continuous retraining campaign -------------------------------------
+//
+// The second golden: a fixed-seed *drifting* campaign through the
+// StreamPipeline (DESIGN.md §13). 1200 rows, 8% injected corruption, a
+// machine regime swap at row 600. The byte-pinned snapshot fixes the
+// whole lifecycle: quarantine accounting, the bootstrap publish, the
+// detection offset after the shift, exactly one accepted drift refit,
+// and the post-swap selections of the refit bank. Swap/refit COUNTS are
+// pinned — never absolute registry versions, which are process-unique.
+
+/// The campaign constants (mirrors tests/test_stream.cpp).
+bench::StreamSpec golden_stream_spec() {
+  bench::StreamSpec spec;
+  spec.uids = {1, 2, 3, 4};
+  spec.nodes = {2, 8, 16};
+  spec.ppns = {4};
+  spec.msizes = {64, 1048576};
+  spec.machine_seed = 101;
+  spec.shifts = {{600, 202}};
+  spec.fault_rate = 0.08;
+  spec.seed = 7;
+  return spec;
+}
+
+tune::StreamOptions golden_stream_options() {
+  tune::StreamOptions opts;
+  opts.selector.learner = "knn";  // memorizes per-config regime factors
+  opts.window_capacity = 512;
+  opts.min_refit_rows = 160;
+  opts.holdout_every = 4;
+  opts.refit_cooldown = 32;
+  opts.backoff_initial = 64;
+  opts.accept_tolerance = 1.05;
+  return opts;
+}
+
+struct StreamRun {
+  tune::StreamPipeline::Stats stats;
+  metrics::Snapshot snapshot;
+  std::string json;
+  std::uint64_t bootstrap_version = 0;
+  std::uint64_t final_version = 0;
+  bool post_swap_selections_match_bank = false;
+};
+
+StreamRun run_stream_campaign() {
+  metrics::Registry::instance().reset();
+  support::trace::reset();
+  StreamRun run;
+
+  bench::MeasurementStream stream(golden_stream_spec());
+  tune::BankRegistry registry;
+  tune::StreamPipeline pipeline(registry, golden_stream_options());
+  const tune::BankKey key{"Hydra", sim::Collective::kBcast};
+
+  for (int i = 0; i < 1200; ++i) {
+    const auto out = pipeline.push_row(key, stream.next().text);
+    if (out.published && run.bootstrap_version == 0) {
+      run.bootstrap_version = registry.version(key);
+    }
+  }
+  run.stats = pipeline.stats();
+  run.final_version = registry.version(key);
+
+  // Post-swap selections: the registry must answer bit-identically to
+  // the refit bank it serves.
+  std::vector<bench::Instance> grid;
+  for (const int n : {2, 3, 8, 12, 16}) {
+    for (const std::uint64_t m : {std::uint64_t{64}, std::uint64_t{65536},
+                                  std::uint64_t{1048576}}) {
+      grid.push_back({n, 4, m});
+    }
+  }
+  const std::vector<int> selections = registry.select_grid(key, grid);
+  const auto bank = registry.lookup(key);
+  run.post_swap_selections_match_bank =
+      bank != nullptr && selections == bank->select_grid(grid);
+
+  run.snapshot = metrics::Registry::instance().snapshot();
+
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"stream\": {\n";
+  os << "    \"rows_seen\": " << run.stats.rows_seen << ",\n";
+  os << "    \"rows_ingested\": " << run.stats.rows_ingested << ",\n";
+  os << "    \"rows_quarantined\": " << run.stats.rows_quarantined
+     << ",\n";
+  os << "    \"reasons\": {";
+  bool first = true;
+  for (const auto& [reason, count] : run.stats.quarantine_reasons) {
+    os << (first ? "" : ",") << "\n      \"" << json_escape(reason)
+       << "\": " << count;
+    first = false;
+  }
+  os << "\n    },\n";
+  os << "    \"drift_detections\": " << run.stats.drift_detections
+     << ",\n";
+  os << "    \"detection_rows\": [";
+  first = true;
+  for (const std::uint64_t row : run.stats.detection_rows) {
+    os << (first ? "" : ", ") << row;
+    first = false;
+  }
+  os << "],\n";
+  os << "    \"rows_discarded_on_drift\": "
+     << run.stats.rows_discarded_on_drift << ",\n";
+  os << "    \"refits_attempted\": " << run.stats.refits_attempted
+     << ",\n";
+  os << "    \"refits_published\": " << run.stats.refits_published
+     << ",\n";
+  os << "    \"refits_rejected\": " << run.stats.refits_rejected << ",\n";
+  os << "    \"refits_failed\": " << run.stats.refits_failed << ",\n";
+  os << "    \"backoff_skips\": " << run.stats.backoff_skips << ",\n";
+  os << "    \"window_evictions\": " << run.stats.window_evictions
+     << "\n  },\n";
+  os << "  \"post_swap_selections\": [";
+  first = true;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    os << (first ? "" : ",") << "\n    {\"nodes\": " << grid[i].nodes
+       << ", \"ppn\": " << grid[i].ppn << ", \"msize\": " << grid[i].msize
+       << ", \"uid\": " << selections[i] << "}";
+    first = false;
+  }
+  os << "\n  ],\n";
+  os << "  \"counters\": {";
+  first = true;
+  for (const auto& [name, value] : run.snapshot.counters) {
+    const bool stream_counter =
+        name.starts_with("stream.") || name.starts_with("drift.") ||
+        name == "registry.swaps" || name == "registry.refits" ||
+        name == "registry.refit_rejected" ||
+        name == "registry.refit_failures";
+    if (!stream_counter || value == 0) continue;
+    os << (first ? "" : ",") << "\n    \"" << json_escape(name)
+       << "\": " << value;
+    first = false;
+  }
+  os << "\n  }\n}\n";
+  run.json = os.str();
+  return run;
+}
+
+std::filesystem::path stream_golden_path() {
+  return std::filesystem::path(MPICP_GOLDEN_DIR) / "stream_pipeline.json";
+}
+
+// The acceptance reconciliation for the retraining loop: detection
+// within a bounded latency of the known shift, exactly one accepted
+// drift refit after the bootstrap, serving version moved exactly once,
+// and the counters mirroring the pipeline stats exactly.
+TEST(Golden, StreamCountersReconcile) {
+  const StreamRun run = run_stream_campaign();
+  const metrics::Snapshot& snap = run.snapshot;
+
+  // Lifecycle: bootstrap publish + exactly one accepted drift refit.
+  ASSERT_GT(run.bootstrap_version, 0u);
+  EXPECT_EQ(run.stats.drift_detections, 1u);
+  ASSERT_EQ(run.stats.detection_rows.size(), 1u);
+  EXPECT_GT(run.stats.detection_rows[0], 600u) << "alarm before the shift";
+  EXPECT_LT(run.stats.detection_rows[0], 800u) << "detection latency bound";
+  EXPECT_EQ(run.stats.refits_published, 2u);
+  EXPECT_EQ(run.stats.refits_attempted, 2u);
+  EXPECT_EQ(run.stats.refits_rejected, 0u);
+  EXPECT_EQ(run.stats.refits_failed, 0u);
+  EXPECT_NE(run.final_version, run.bootstrap_version)
+      << "the drift refit must move the serving version exactly once";
+  EXPECT_TRUE(run.post_swap_selections_match_bank);
+
+  // Counters mirror the stats exactly.
+  EXPECT_EQ(counter_or_zero(snap, "stream.rows_seen"),
+            run.stats.rows_seen);
+  EXPECT_EQ(counter_or_zero(snap, "stream.rows_ingested"),
+            run.stats.rows_ingested);
+  EXPECT_EQ(counter_or_zero(snap, "stream.rows_quarantined"),
+            run.stats.rows_quarantined);
+  for (const auto& [reason, count] : run.stats.quarantine_reasons) {
+    EXPECT_EQ(counter_or_zero(snap, "stream.quarantine." + reason), count)
+        << reason;
+  }
+  EXPECT_EQ(counter_or_zero(snap, "drift.detected"),
+            run.stats.drift_detections);
+  EXPECT_EQ(counter_or_zero(snap, "stream.rows_discarded_on_drift"),
+            run.stats.rows_discarded_on_drift);
+  EXPECT_EQ(counter_or_zero(snap, "stream.refits_attempted"),
+            run.stats.refits_attempted);
+  EXPECT_EQ(counter_or_zero(snap, "stream.refits_published"),
+            run.stats.refits_published);
+  EXPECT_EQ(counter_or_zero(snap, "drift.refit_rejected"),
+            run.stats.refits_rejected + run.stats.refits_failed);
+  EXPECT_EQ(counter_or_zero(snap, "registry.swaps"),
+            run.stats.refits_published);
+  EXPECT_EQ(counter_or_zero(snap, "registry.refits"),
+            run.stats.refits_published);
+}
+
+TEST(Golden, StreamRenderingIsDeterministic) {
+  const std::string a = run_stream_campaign().json;
+  const std::string b = run_stream_campaign().json;
+  EXPECT_EQ(a, b);
+}
+
+TEST(Golden, StreamMatchesCommittedSnapshot) {
+  const StreamRun run = run_stream_campaign();
+  const auto path = stream_golden_path();
+
+  const char* update = std::getenv("MPICP_UPDATE_GOLDEN");
+  if (update != nullptr && std::string(update) == "1") {
+    std::ofstream os(path);
+    ASSERT_TRUE(os.good()) << "cannot write " << path;
+    os << run.json;
+    GTEST_SKIP() << "golden snapshot rewritten at " << path
+                 << " — review and commit the diff";
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing golden snapshot " << path
+      << " — generate it with MPICP_UPDATE_GOLDEN=1 and commit it";
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(run.json, want.str())
+      << "stream campaign outcome drifted from the committed snapshot; "
+         "if the change is intentional, refresh with MPICP_UPDATE_GOLDEN=1 "
+         "and commit the diff";
+}
+
+// Rejected-refit variant: the same campaign, but every fit during the
+// post-shift stretch is forced to fail. The incumbent bank must keep
+// serving (version pinned), the failure/backoff ledger must reconcile
+// exactly, and clearing the faults must let the pipeline self-heal.
+TEST(Golden, StreamRejectedRefitKeepsIncumbent) {
+  metrics::Registry::instance().reset();
+  support::trace::reset();
+
+  bench::MeasurementStream stream(golden_stream_spec());
+  tune::BankRegistry registry;
+  tune::StreamPipeline pipeline(registry, golden_stream_options());
+  const tune::BankKey key{"Hydra", sim::Collective::kBcast};
+
+  for (int i = 0; i < 600; ++i) {
+    (void)pipeline.push_row(key, stream.next().text);
+  }
+  const std::uint64_t incumbent = registry.version(key);
+  ASSERT_GT(incumbent, 0u);
+
+  {
+    fi::ScopedFaults faults({.fit_failures = {
+        {1, 1000}, {2, 1000}, {3, 1000}, {4, 1000}}});
+    for (int i = 0; i < 1200; ++i) {
+      (void)pipeline.push_row(key, stream.next().text);
+    }
+  }
+  const auto mid = pipeline.stats();
+  EXPECT_EQ(mid.refits_published, 1u);
+  EXPECT_GE(mid.refits_failed, 1u);
+  EXPECT_EQ(registry.version(key), incumbent)
+      << "a failed refit must never unseat the incumbent";
+
+  // Counters reconcile exactly with the attempt ledger.
+  const metrics::Snapshot snap = metrics::Registry::instance().snapshot();
+  EXPECT_EQ(counter_or_zero(snap, "stream.refits_attempted"),
+            mid.refits_attempted);
+  EXPECT_EQ(counter_or_zero(snap, "drift.refit_rejected"),
+            mid.refits_rejected + mid.refits_failed);
+  EXPECT_EQ(mid.refits_attempted,
+            mid.refits_published + mid.refits_rejected + mid.refits_failed);
+
+  // Self-healing: faults gone, the next due refit swaps a fresh bank in.
+  for (int i = 0; i < 1200; ++i) {
+    (void)pipeline.push_row(key, stream.next().text);
+  }
+  EXPECT_EQ(pipeline.stats().refits_published, 2u);
+  EXPECT_NE(registry.version(key), incumbent);
 }
 
 }  // namespace

@@ -67,13 +67,14 @@ std::vector<Finding> parse_findings(const std::string& output) {
   return out;
 }
 
-TEST(Lint, ListsAllTenRules) {
+TEST(Lint, ListsAllElevenRules) {
   const LintRun run = run_lint("--list-rules");
   EXPECT_EQ(run.exit_code, 0);
   for (const char* rule :
        {"no-raw-rand", "no-raw-thread", "no-wall-clock", "no-stdout",
         "no-bare-throw", "no-float-eq", "header-hygiene",
-        "nodiscard-report", "no-alloc-in-loop", "span-coverage"}) {
+        "nodiscard-report", "no-alloc-in-loop", "span-coverage",
+        "include-what-you-use-lite"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
   }
 }
@@ -139,6 +140,21 @@ TEST(Lint, SpanFixtureTreeReportsExactDiagnostics) {
 
   const std::vector<Finding> expected = {
       {"src/tune/needs_span.cpp", 8, "span-coverage"},
+  };
+  std::vector<Finding> got = parse_findings(run.output);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected) << run.output;
+}
+
+TEST(Lint, IwyuFixtureTreeReportsExactDiagnostics) {
+  // R11 flags exactly the resolvable-but-unused project include; the
+  // own header, a used header, an unresolvable path, and an allow()ed
+  // include all stay silent.
+  const LintRun run = run_lint("--root " + fixture_root("iwyu"));
+  EXPECT_EQ(run.exit_code, 1);
+
+  const std::vector<Finding> expected = {
+      {"src/tune/consumer.cpp", 7, "include-what-you-use-lite"},
   };
   std::vector<Finding> got = parse_findings(run.output);
   std::sort(got.begin(), got.end());

@@ -49,13 +49,24 @@ constexpr const char* kRuleHeader = "header-hygiene";     // R7
 constexpr const char* kRuleNodiscard = "nodiscard-report";// R8
 constexpr const char* kRuleAllocLoop = "no-alloc-in-loop";// R9
 constexpr const char* kRuleSpan = "span-coverage";        // R10
+constexpr const char* kRuleIwyu =
+    "include-what-you-use-lite";                          // R11
 
 const std::set<std::string>& all_rules() {
   static const std::set<std::string> rules = {
       kRuleRand,    kRuleThread,  kRuleWallClock, kRuleStdout,
       kRuleThrow,   kRuleFloatEq, kRuleHeader,    kRuleNodiscard,
-      kRuleAllocLoop, kRuleSpan};
+      kRuleAllocLoop, kRuleSpan,  kRuleIwyu};
   return rules;
+}
+
+/// The project's include namespaces — quoted includes under these
+/// prefixes resolve to headers at <root>/src/<path> (shared by R7c and
+/// R11).
+const std::vector<std::string>& project_include_prefixes() {
+  static const std::vector<std::string> prefixes = {
+      "support/", "simmpi/", "simnet/", "collbench/", "ml/", "tune/"};
+  return prefixes;
 }
 
 struct Diagnostic {
@@ -509,8 +520,8 @@ void check_header(const std::string& rel,
 
   // R7b/R7c — duplicate includes; project headers via quotes.
   static const std::regex inc(R"(^\s*#\s*include\s*([<"])([^>"]+)[>"])");
-  static const std::vector<std::string> project_prefixes = {
-      "support/", "simmpi/", "simnet/", "collbench/", "ml/", "tune/"};
+  const std::vector<std::string>& project_prefixes =
+      project_include_prefixes();
   std::map<std::string, std::size_t> seen;
   for (std::size_t li = 0; li < code.size(); ++li) {
     std::smatch m;
@@ -827,6 +838,186 @@ void check_span_coverage(const std::string& rel,
 }
 
 // ---------------------------------------------------------------------
+// R11 — include-what-you-use-lite for project headers.
+//
+// Every quoted project include (`#include "tune/x.hpp"` under the
+// prefixes of project_include_prefixes()) must provide at least one
+// symbol the including file actually names. "Symbols provided" is a
+// deliberately lenient harvest of the header's declarations — type
+// names after class/struct/enum, #define names, `using X =` aliases,
+// and identifiers that look like functions or constants — so
+// over-collection can only exempt an include, never flag a used one.
+// Includes whose header cannot be resolved under <root>/src are
+// skipped, as is a .cpp file's own header (included for its definition,
+// not its symbols).
+//
+// The include PATH is parsed from the raw source line: the lexer blanks
+// string-literal bodies, so the lexed line only confirms the directive
+// is real code (not inside a comment).
+// ---------------------------------------------------------------------
+
+/// Identifiers too generic to witness a header's use: C++ keywords,
+/// fixed-width typedef names and ubiquitous std vocabulary. Harvested
+/// symbols and usage witnesses are both filtered through this.
+bool iwyu_generic_ident(const std::string& s) {
+  static const std::set<std::string> kGeneric = {
+      // keywords
+      "alignas", "alignof", "auto", "bool", "break", "case", "catch",
+      "char", "class", "const", "constexpr", "const_cast", "continue",
+      "decltype", "default", "delete", "do", "double", "dynamic_cast",
+      "else", "enum", "explicit", "extern", "false", "final", "float",
+      "for", "friend", "goto", "if", "inline", "int", "long", "mutable",
+      "namespace", "new", "noexcept", "nullptr", "operator", "override",
+      "private", "protected", "public", "reinterpret_cast", "requires",
+      "return", "short", "signed", "sizeof", "static", "static_assert",
+      "static_cast", "struct", "switch", "template", "this",
+      "thread_local", "throw", "true", "try", "typedef", "typeid",
+      "typename", "union", "unsigned", "using", "virtual", "void",
+      "volatile", "while",
+      // ubiquitous std vocabulary and fixed-width names
+      "std", "size_t", "ptrdiff_t", "int8_t", "int16_t", "int32_t",
+      "int64_t", "uint8_t", "uint16_t", "uint32_t", "uint64_t", "string",
+      "string_view", "vector", "map", "set", "pair", "tuple", "span",
+      "optional", "shared_ptr", "unique_ptr", "function", "size", "begin",
+      "end", "empty", "clear", "data", "first", "second", "push_back",
+      "emplace_back", "reserve", "resize", "find", "count", "insert",
+      "erase", "min", "max", "abs", "get", "value", "front", "back"};
+  return s.size() <= 2 || kGeneric.count(s) > 0;
+}
+
+/// Harvest the symbols a header provides (see the R11 comment above).
+std::set<std::string> iwyu_header_symbols(const fs::path& abs) {
+  std::set<std::string> symbols;
+  std::ifstream in(abs);
+  if (!in) return symbols;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  const LexedFile lexed = lex(lines);
+  std::string joined;
+  for (const std::string& code : lexed.code) {
+    joined += code;
+    joined += '\n';
+  }
+  const std::vector<Token> toks = tokenize(joined);
+  const auto harvest = [&](const std::string& s) {
+    if (!iwyu_generic_ident(s)) symbols.insert(s);
+  };
+  for (std::size_t t = 0; t < toks.size(); ++t) {
+    const Token& tok = toks[t];
+    if (tok.kind != Token::Kind::kIdent) continue;
+    // Type names: `class X` / `struct X` / `enum X` / `enum class X`.
+    if (tok.text == "class" || tok.text == "struct" ||
+        tok.text == "enum") {
+      std::size_t j = t + 1;
+      if (j < toks.size() &&
+          (toks[j].text == "class" || toks[j].text == "struct")) {
+        ++j;  // enum class
+      }
+      if (j < toks.size() && toks[j].kind == Token::Kind::kIdent) {
+        harvest(toks[j].text);
+      }
+      continue;
+    }
+    // Macro names: `#define X`.
+    if (tok.text == "define" && t >= 1 && toks[t - 1].text == "#" &&
+        t + 1 < toks.size() &&
+        toks[t + 1].kind == Token::Kind::kIdent) {
+      harvest(toks[t + 1].text);
+      continue;
+    }
+    // Aliases: `using X = ...`.
+    if (tok.text == "using" && t + 2 < toks.size() &&
+        toks[t + 1].kind == Token::Kind::kIdent &&
+        toks[t + 2].text == "=") {
+      harvest(toks[t + 1].text);
+      continue;
+    }
+    // Function-ish (`name(`), constant-ish (`name =`) and array-ish
+    // (`name[`) declarations — lenient on purpose; includes local names
+    // in inline bodies, which only widens the "used" net.
+    if (t + 1 < toks.size() &&
+        (toks[t + 1].text == "(" || toks[t + 1].text == "=" ||
+         toks[t + 1].text == "[")) {
+      harvest(tok.text);
+    }
+  }
+  return symbols;
+}
+
+/// Cache of iwyu_header_symbols keyed by resolved header path (one
+/// parse per header per run, shared across every including file).
+using IwyuCache = std::map<std::string, std::set<std::string>>;
+
+void check_iwyu(const std::string& rel,
+                const std::vector<std::string>& raw,
+                const LexedFile& lexed, const fs::path& root,
+                IwyuCache* cache, std::vector<Diagnostic>* diags) {
+  static const std::regex inc_raw(R"(^\s*#\s*include\s*"([^"]+)\")");
+  // The lexer blanks string literals *including* their quotes, so the
+  // live-code check can only look for the directive itself.
+  static const std::regex inc_code(R"(^\s*#\s*include\b)");
+
+  // A .cpp's own header is included for its definitions, not symbols.
+  std::string own;
+  if (starts_with(rel, "src/") && rel.size() > 8 &&
+      rel.compare(rel.size() - 4, 4, ".cpp") == 0) {
+    own = rel.substr(4, rel.size() - 8) + ".hpp";
+  }
+
+  // The identifiers this file names (filtered like the harvest side).
+  std::set<std::string> used;
+  for (const std::string& code : lexed.code) {
+    for (const Token& tok : tokenize(code)) {
+      if (tok.kind == Token::Kind::kIdent &&
+          !iwyu_generic_ident(tok.text)) {
+        used.insert(tok.text);
+      }
+    }
+  }
+
+  for (std::size_t li = 0; li < raw.size(); ++li) {
+    // The lexed line proves the directive is live code; the raw line
+    // carries the path the lexer blanked.
+    if (!std::regex_search(lexed.code[li], inc_code)) continue;
+    std::smatch m;
+    if (!std::regex_search(raw[li], m, inc_raw)) continue;
+    const std::string path = m[1].str();
+    bool project = false;
+    for (const std::string& p : project_include_prefixes()) {
+      if (starts_with(path, p)) {
+        project = true;
+        break;
+      }
+    }
+    if (!project || path == own) continue;
+    const fs::path header = root / "src" / path;
+    auto it = cache->find(header.string());
+    if (it == cache->end()) {
+      it = cache->emplace(header.string(), iwyu_header_symbols(header))
+               .first;
+    }
+    const std::set<std::string>& provided = it->second;
+    if (provided.empty()) continue;  // unresolvable or declaration-free
+    bool witnessed = false;
+    for (const std::string& sym : provided) {
+      if (used.count(sym)) {
+        witnessed = true;
+        break;
+      }
+    }
+    if (!witnessed) {
+      diags->push_back(
+          {rel, li + 1, kRuleIwyu,
+           "include of '" + path +
+               "' provides no symbol this file names — drop the "
+               "include (or justify with allow(" +
+               std::string(kRuleIwyu) + "))"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
 // Driver.
 // ---------------------------------------------------------------------
 struct Options {
@@ -837,6 +1028,7 @@ struct Options {
 };
 
 void lint_file(const fs::path& abs, const std::string& rel,
+               const fs::path& root, IwyuCache* iwyu_cache,
                std::vector<Diagnostic>* out) {
   std::ifstream in(abs);
   if (!in) {
@@ -869,6 +1061,7 @@ void lint_file(const fs::path& abs, const std::string& rel,
   if (role.span_scope) {
     check_span_coverage(rel, lexed.code, &diags);
   }
+  check_iwyu(rel, lines, lexed, root, iwyu_cache, &diags);
   for (const Diagnostic& d : diags) {
     const auto it = allow.find(d.line);
     if (it != allow.end() &&
@@ -927,7 +1120,10 @@ int run(const Options& opt) {
             [](const auto& a, const auto& b) { return a.second < b.second; });
 
   std::vector<Diagnostic> diags;
-  for (const auto& [abs, rel] : files) lint_file(abs, rel, &diags);
+  IwyuCache iwyu_cache;
+  for (const auto& [abs, rel] : files) {
+    lint_file(abs, rel, opt.root, &iwyu_cache, &diags);
+  }
   std::sort(diags.begin(), diags.end());
 
   // Baseline: `path: [rule-id]` lines grandfather existing findings.
