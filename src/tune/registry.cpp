@@ -64,8 +64,18 @@ std::string to_string(const BankKey& key) {
   return key.machine + "/" + sim::to_string(key.collective);
 }
 
+const char* to_string(ServingTier tier) {
+  switch (tier) {
+    case ServingTier::kNone: return "none";
+    case ServingTier::kCompiled: return "compiled";
+    case ServingTier::kRules: return "rules";
+  }
+  MPICP_RAISE_INTERNAL("unhandled ServingTier value");
+}
+
 BankRegistry::BankRegistry(Options options)
-    : memo_enabled_(options.memo_cache) {
+    : memo_enabled_(options.memo_cache),
+      rule_agreement_floor_(options.rule_agreement_floor) {
   const int n = resolve_shards(options.shards);
   shards_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -77,6 +87,7 @@ BankRegistry::BankRegistry(Options options)
     shard->c_hits = &metrics::counter(prefix + "hits");
     shard->c_memo_hits = &metrics::counter(prefix + "memo_hits");
     shard->c_memo_misses = &metrics::counter(prefix + "memo_misses");
+    shard->c_rule_selections = &metrics::counter(prefix + "rule_selections");
     shard->c_swaps = &metrics::counter(prefix + "swaps");
     // mpicp-lint: allow(no-alloc-in-loop)
     shard->snapshot.store(std::make_shared<const BankMap>(),
@@ -120,6 +131,13 @@ BankRegistry::Entry BankRegistry::find_entry(const BankKey& key) const {
 
 int BankRegistry::select_in_entry(Shard& shard, const Entry& entry,
                                   const bench::Instance& inst) const {
+  if (entry.rules != nullptr) {
+    // Rule-table fast path: the flat threshold walk is cheaper than the
+    // memo lookup it would replace, so it bypasses the memo entirely.
+    shard.rule_selections.fetch_add(1, std::memory_order_relaxed);
+    shard.c_rule_selections->inc();
+    return entry.rules->uid_for(inst);
+  }
   if (!memo_enabled_) return entry.bank->select_uid_or_invalid(inst);
   const MemoKey key{entry.version, inst.msize, inst.nodes, inst.ppn};
   {
@@ -234,7 +252,9 @@ std::uint64_t BankRegistry::publish(const BankKey& key,
     const std::shared_ptr<const BankMap> old =
         shard.snapshot.load(std::memory_order_acquire);
     auto next = std::make_shared<BankMap>(*old);
-    (*next)[key] = Entry{std::move(bank), version};
+    // A fresh Entry has no rules: the incoming bank invalidates any
+    // table distilled from the outgoing one.
+    (*next)[key] = Entry{std::move(bank), nullptr, version};
     shard.snapshot.store(std::move(next), std::memory_order_release);
   }
   {
@@ -284,6 +304,91 @@ BankRegistry::RefitOutcome BankRegistry::refit_and_publish(
   return outcome;
 }
 
+std::uint64_t BankRegistry::publish_rules(
+    const BankKey& key, std::shared_ptr<const RuleTable> rules,
+    std::uint64_t expected_version) {
+  MPICP_SPAN("registry.swap");
+  MPICP_REQUIRE(rules != nullptr && !rules->empty(),
+                "publishing an empty rule table for " + to_string(key));
+  Shard& shard = shard_of(key);
+  const std::lock_guard<std::mutex> lock(shard.write_mu);
+  const std::shared_ptr<const BankMap> old =
+      shard.snapshot.load(std::memory_order_acquire);
+  const auto it = old->find(key);
+  if (it == old->end()) return 0;
+  if (expected_version != 0 && it->second.version != expected_version) {
+    // The bank was hot-swapped after the caller distilled: the table
+    // describes a bank that is no longer serving. Refuse the attach.
+    return 0;
+  }
+  auto next = std::make_shared<BankMap>(*old);
+  Entry& entry = (*next)[key];
+  entry.rules = std::move(rules);
+  const std::uint64_t version = entry.version;
+  shard.snapshot.store(std::move(next), std::memory_order_release);
+  static metrics::Counter& attaches =
+      metrics::counter("registry.rule_attaches");
+  attaches.inc();
+  return version;
+}
+
+std::shared_ptr<const RuleTable> BankRegistry::lookup_rules(
+    const BankKey& key) const {
+  MPICP_SPAN("registry.lookup");
+  return find_entry(key).rules;
+}
+
+ServingTier BankRegistry::tier(const BankKey& key) const {
+  const Entry entry = find_entry(key);
+  if (entry.bank == nullptr) return ServingTier::kNone;
+  return entry.rules != nullptr ? ServingTier::kRules
+                                : ServingTier::kCompiled;
+}
+
+BankRegistry::DistillOutcome BankRegistry::distill_and_publish(
+    const BankKey& key, std::span<const bench::Instance> grid,
+    RuleParams params) {
+  MPICP_SPAN("registry.distill");
+  DistillOutcome outcome;
+  try {
+    const Entry entry = find_entry(key);
+    if (entry.bank == nullptr) {
+      outcome.error = "no bank registered for " + to_string(key);
+      metrics::counter("registry.distill_failures").inc();
+      return outcome;
+    }
+    RuleDistillation dist = distill(*entry.bank, grid, params);
+    outcome.agreement = dist.agreement;
+    outcome.leaves = dist.table.num_leaves();
+    if (dist.agreement < rule_agreement_floor_) {
+      // Below the fidelity floor: the table would visibly change picks,
+      // so the bank keeps serving alone.
+      outcome.rejected = true;
+      outcome.error = "distillation agreement below floor";
+      metrics::counter("registry.distill_rejected").inc();
+      return outcome;
+    }
+    auto table = std::make_shared<const RuleTable>(std::move(dist.table));
+    const std::uint64_t version =
+        publish_rules(key, std::move(table), entry.version);
+    if (version == 0) {
+      outcome.error =
+          "bank hot-swapped during distillation; table discarded";
+      metrics::counter("registry.distill_failures").inc();
+      return outcome;
+    }
+    outcome.published = true;
+    outcome.version = version;
+    metrics::counter("registry.distills").inc();
+  } catch (const std::exception& e) {
+    // The bank keeps serving; a failed distillation only costs the fast
+    // path.
+    outcome.error = e.what();
+    metrics::counter("registry.distill_failures").inc();
+  }
+  return outcome;
+}
+
 std::vector<BankRegistry::ShardStats> BankRegistry::shard_stats() const {
   std::vector<ShardStats> out;
   out.reserve(shards_.size());
@@ -293,6 +398,8 @@ std::vector<BankRegistry::ShardStats> BankRegistry::shard_stats() const {
     s.hits = shard->hits.load(std::memory_order_relaxed);
     s.memo_hits = shard->memo_hits.load(std::memory_order_relaxed);
     s.memo_misses = shard->memo_misses.load(std::memory_order_relaxed);
+    s.rule_selections =
+        shard->rule_selections.load(std::memory_order_relaxed);
     s.swaps = shard->swaps.load(std::memory_order_relaxed);
     s.banks = shard->snapshot.load(std::memory_order_acquire)->size();
     out.push_back(s);

@@ -20,6 +20,14 @@
 // swap-under-load linearizability property in tests/test_registry.cpp
 // and tests/test_properties.cpp pins.
 //
+// On top of the bank sits an optional third serving tier (DESIGN.md
+// §14): a distilled `RuleTable` attached per key via
+// distill_and_publish(). When a table is attached, selections walk it
+// in a few ns and skip both the bank argmin and the memo; a publish of
+// a fresh bank version drops the table automatically (the rules
+// described the old bank), and a distillation whose agreement is below
+// Options::rule_agreement_floor is rejected — the bank keeps serving.
+//
 // Every path is observable: MPICP_SPAN("registry.lookup"/"registry.swap"/
 // "registry.serve"/"registry.refit") spans plus process metrics
 // ("registry.*", and per-shard "registry.shard<i>.*" hit counters).
@@ -41,6 +49,7 @@
 #include "collbench/dataset.hpp"
 #include "support/metrics.hpp"
 #include "tune/compiled_bank.hpp"
+#include "tune/ruletable.hpp"
 #include "tune/selector.hpp"
 
 namespace mpicp::tune {
@@ -60,6 +69,15 @@ struct BankKey {
 /// "Hydra/bcast" — for diagnostics and error messages.
 std::string to_string(const BankKey& key);
 
+/// Which serving artifact answers selections for a key right now.
+enum class ServingTier {
+  kNone = 0,  ///< no bank published for the key
+  kCompiled,  ///< compiled-bank argmin (µs-scale)
+  kRules,     ///< distilled rule-table fast path (ns-scale)
+};
+
+const char* to_string(ServingTier tier);
+
 class BankRegistry {
  public:
   struct Options {
@@ -68,6 +86,10 @@ class BankRegistry {
     int shards = 0;
     /// Per-shard (bank version, m, n, N) selection memo.
     bool memo_cache = true;
+    /// Minimum distillation agreement (table picks == bank picks on the
+    /// distillation grid) for distill_and_publish to attach the rule
+    /// table; below it the compiled bank keeps serving alone.
+    double rule_agreement_floor = 0.98;
   };
 
   BankRegistry() : BankRegistry(Options{}) {}
@@ -155,6 +177,49 @@ class BankRegistry {
       const SelectorOptions& options = {},
       const RefitValidator& validator = {});
 
+  /// Attach a distilled rule table as the fast serving path of the bank
+  /// currently serving `key`. The table keeps the bank's version — it
+  /// is a view of that bank, and any later publish() of a fresh bank
+  /// drops it automatically. When `expected_version` is non-zero the
+  /// attach is refused if the bank's version no longer matches (the
+  /// bank was swapped while the table was being distilled). Returns the
+  /// version the table now serves, or 0 when refused (no bank, or
+  /// version mismatch). This is the unconditional primitive; the
+  /// agreement floor lives in distill_and_publish.
+  std::uint64_t publish_rules(const BankKey& key,
+                              std::shared_ptr<const RuleTable> rules,
+                              std::uint64_t expected_version = 0);
+
+  /// The rule table currently fast-pathing `key` (nullptr when the key
+  /// serves from the bank alone or is absent).
+  [[nodiscard]] std::shared_ptr<const RuleTable> lookup_rules(
+      const BankKey& key) const;
+
+  /// The tier that answers a selection for `key` right now.
+  [[nodiscard]] ServingTier tier(const BankKey& key) const;
+
+  /// Account of one distill_and_publish call.
+  struct DistillOutcome {
+    bool published = false;  ///< rule table now serving as the fast path
+    /// True when the distillation succeeded but its agreement was below
+    /// Options::rule_agreement_floor; the bank keeps serving alone.
+    bool rejected = false;
+    double agreement = 0.0;    ///< table picks == bank picks, fraction
+    int leaves = 0;            ///< fitted tree leaf count
+    std::uint64_t version = 0; ///< bank version the table serves (0: none)
+    std::string error;         ///< why nothing was attached ("" if clean)
+  };
+
+  /// Distill the bank serving `key` into a rule table over `grid` and
+  /// attach it as the fast path when the agreement clears
+  /// Options::rule_agreement_floor. A concurrent publish between the
+  /// labeling and the attach is detected by version and reported as an
+  /// error — a rule table never serves for a bank it does not describe.
+  /// Never throws; failures land in the outcome.
+  [[nodiscard]] DistillOutcome distill_and_publish(
+      const BankKey& key, std::span<const bench::Instance> grid,
+      RuleParams params = {});
+
   /// Point-in-time per-shard accounting (mirrored into the process
   /// metrics registry as "registry.shard<i>.*").
   struct ShardStats {
@@ -162,6 +227,7 @@ class BankRegistry {
     std::uint64_t hits = 0;        ///< lookups that found a bank
     std::uint64_t memo_hits = 0;
     std::uint64_t memo_misses = 0;
+    std::uint64_t rule_selections = 0;  ///< answered by a rule table
     std::uint64_t swaps = 0;       ///< publishes routed to this shard
     std::size_t banks = 0;         ///< keys currently served
   };
@@ -170,6 +236,10 @@ class BankRegistry {
  private:
   struct Entry {
     std::shared_ptr<const CompiledBank> bank;
+    /// Distilled fast path for this exact bank; nullptr serves from the
+    /// bank. publish() installs a fresh Entry, so a hot swap drops the
+    /// rules of the outgoing bank automatically.
+    std::shared_ptr<const RuleTable> rules;
     std::uint64_t version = 0;
   };
   using BankMap = std::map<BankKey, Entry>;
@@ -191,6 +261,7 @@ class BankRegistry {
     std::atomic<std::uint64_t> hits{0};
     std::atomic<std::uint64_t> memo_hits{0};
     std::atomic<std::uint64_t> memo_misses{0};
+    std::atomic<std::uint64_t> rule_selections{0};
     std::atomic<std::uint64_t> swaps{0};
 
     /// Cached "registry.shard<i>.*" instruments (stable for the process
@@ -199,6 +270,7 @@ class BankRegistry {
     support::metrics::Counter* c_hits = nullptr;
     support::metrics::Counter* c_memo_hits = nullptr;
     support::metrics::Counter* c_memo_misses = nullptr;
+    support::metrics::Counter* c_rule_selections = nullptr;
     support::metrics::Counter* c_swaps = nullptr;
   };
 
@@ -211,6 +283,7 @@ class BankRegistry {
                       const bench::Instance& inst) const;
 
   bool memo_enabled_ = true;
+  double rule_agreement_floor_ = 0.98;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <set>
 
@@ -62,10 +63,15 @@ int DecisionRules::build(std::vector<const LabeledInstance*> points,
   }
 
   // Best split = the one minimizing total misclassification against the
-  // children's majorities.
+  // children's majorities. A child's misclassification never exceeds its
+  // share of the parent's, so initializing past the no-split miss means
+  // ties with it are still taken (first feature / lowest threshold
+  // wins): a split that does not pay off immediately can separate
+  // XOR-shaped label regions deeper down, and an impure node only
+  // terminates when no candidate split separates anything at all.
   int best_feature = -1;
   double best_threshold = 0.0;
-  std::size_t best_miss = points.size() - major_count;
+  std::size_t best_miss = std::numeric_limits<std::size_t>::max();
   std::vector<double> sorted;
   for (int f = 0; f < 3; ++f) {
     std::set<double> values;
@@ -78,6 +84,14 @@ int DecisionRules::build(std::vector<const LabeledInstance*> points,
       std::vector<const LabeledInstance*> right;
       for (const auto* p : points) {
         (feature_of(p->inst, f) < thr ? left : right).push_back(p);
+      }
+      if (left.empty() || right.empty()) {
+        // Degenerate split: the midpoint of two adjacent representable
+        // feature values can round onto one of them, leaving a child
+        // with zero points. Recursing on it would never terminate —
+        // skip the candidate (and fall through to a leaf if every
+        // candidate degenerates).
+        continue;
       }
       if (left.size() <
               static_cast<std::size_t>(params.min_points_per_leaf) ||
@@ -148,9 +162,22 @@ void DecisionRules::render(int node, int indent, std::string& out) const {
   std::string cond;
   switch (n.feature) {
     case 0: {
-      // Translate the log2 threshold back into a byte count.
-      const auto bytes = static_cast<std::uint64_t>(
+      // Translate the log2 threshold back into the smallest byte count
+      // classified right of it, so the emitted integer comparison is
+      // exactly equivalent to the tree's double comparison
+      // log2(max(msize, 1)) < threshold for every integer msize —
+      // including the grid values straddling the threshold, where a
+      // nearest-integer rounding of exp2 can land on the wrong side.
+      auto bytes = static_cast<std::uint64_t>(
           std::llround(std::exp2(n.threshold)));
+      if (bytes < 1) bytes = 1;
+      while (bytes > 1 &&
+             std::log2(static_cast<double>(bytes - 1)) >= n.threshold) {
+        --bytes;
+      }
+      while (std::log2(static_cast<double>(bytes)) < n.threshold) {
+        ++bytes;
+      }
       cond = "msize < " + std::to_string(bytes) + "ULL";
       break;
     }

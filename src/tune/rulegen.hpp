@@ -31,8 +31,25 @@ struct RuleParams {
 /// A compact decision tree over (log2 msize, nodes, ppn).
 class DecisionRules {
  public:
+  /// One tree node, exposed so the flat serving lowering
+  /// (tune/ruletable.hpp) and the differential tests can reproduce the
+  /// tree exactly — same thresholds, same comparisons, same traversal.
+  struct Node {
+    int feature = -1;  ///< 0: log2 msize, 1: nodes, 2: ppn; -1: leaf
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    int uid = 0;  ///< leaf label
+  };
+
   /// Fit by recursive misclassification-minimizing splits; leaves carry
-  /// the majority uid.
+  /// the majority uid. An impure node splits even when no candidate
+  /// improves the immediate misclassification (ties go to the first
+  /// feature / lowest threshold): XOR-shaped winner regions only
+  /// separate deeper down, and on label-distinct points an uncapped
+  /// tree therefore always reaches agreement 1.0. A node whose points
+  /// cannot be separated at all (identical feature vectors) terminates
+  /// as a majority leaf.
   static DecisionRules fit(const std::vector<LabeledInstance>& points,
                            RuleParams params = {});
 
@@ -46,19 +63,21 @@ class DecisionRules {
 
   /// Render as a C function `int <name>(size_t msize, int nodes, int
   /// ppn)` returning the uid — the artifact a library maintainer would
-  /// paste into a coll component.
+  /// paste into a coll component. The integer comparisons it emits are
+  /// exactly equivalent to the tree's double comparisons for every
+  /// integer input (tests/test_ruletable.cpp compiles and executes the
+  /// output to prove it).
   std::string to_c_code(const std::string& function_name) const;
 
- private:
-  struct Node {
-    int feature = -1;  ///< 0: log2 msize, 1: nodes, 2: ppn; -1: leaf
-    double threshold = 0.0;
-    int left = -1;
-    int right = -1;
-    int uid = 0;  ///< leaf label
-  };
+  /// The node pool (node 0 is the root; children index into it).
+  const std::vector<Node>& nodes() const { return nodes_; }
 
+  /// The feature encoding the tree splits on: 0 is log2(max(msize, 1)),
+  /// 1 is nodes, 2 is ppn. Shared with RuleTable so both walk the same
+  /// arithmetic.
   static double feature_of(const bench::Instance& inst, int f);
+
+ private:
   int build(std::vector<const LabeledInstance*> points, int depth,
             const RuleParams& params);
   void render(int node, int indent, std::string& out) const;

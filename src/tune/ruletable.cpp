@@ -1,0 +1,222 @@
+#include "tune/ruletable.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "ml/io.hpp"
+#include "support/error.hpp"
+#include "support/metrics.hpp"
+#include "support/parallel.hpp"
+#include "support/trace.hpp"
+#include "tune/compiled_bank.hpp"
+
+namespace mpicp::tune {
+
+namespace metrics = support::metrics;
+
+RuleTable RuleTable::lower(const DecisionRules& rules) {
+  MPICP_SPAN("tune.ruletable.lower");
+  const std::vector<DecisionRules::Node>& nodes = rules.nodes();
+  MPICP_REQUIRE(!nodes.empty(), "lowering an unfitted rule tree");
+  RuleTable table;
+  const std::size_t n = nodes.size();
+  table.feature_.resize(n);
+  table.threshold_.resize(n);
+  table.left_.resize(n);
+  table.right_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const DecisionRules::Node& node = nodes[i];
+    if (node.feature < 0) {
+      table.feature_[i] = -1;
+      table.threshold_[i] = 0.0;
+      table.left_[i] = node.uid;
+      table.right_[i] = -1;
+    } else {
+      MPICP_REQUIRE(node.feature < 3, "bad rule feature index");
+      MPICP_REQUIRE(node.left >= 0 && node.left < static_cast<int>(n) &&
+                        node.right >= 0 && node.right < static_cast<int>(n),
+                    "rule tree child index out of range");
+      table.feature_[i] = static_cast<std::int8_t>(node.feature);
+      table.threshold_[i] = node.threshold;
+      table.left_[i] = node.left;
+      table.right_[i] = node.right;
+    }
+  }
+  metrics::counter("ruletable.lowered").inc();
+  return table;
+}
+
+int RuleTable::num_leaves() const {
+  int leaves = 0;
+  for (const std::int8_t f : feature_) leaves += f < 0 ? 1 : 0;
+  return leaves;
+}
+
+int RuleTable::uid_for(const bench::Instance& inst) const {
+  MPICP_ASSERT(!feature_.empty(), "dispatch on an empty rule table");
+  // Same arithmetic as DecisionRules::feature_of, evaluated once: the
+  // table promises a bit-identical walk, and log2 is the only feature
+  // that costs anything.
+  double feat[3];
+  feat[0] = std::log2(
+      static_cast<double>(std::max<std::uint64_t>(inst.msize, 1)));
+  feat[1] = static_cast<double>(inst.nodes);
+  feat[2] = static_cast<double>(inst.ppn);
+  std::int32_t cur = 0;
+  std::int8_t f = feature_[0];
+  while (f >= 0) {
+    cur = feat[f] < threshold_[cur] ? left_[cur] : right_[cur];
+    f = feature_[cur];
+  }
+  return left_[cur];
+}
+
+void RuleTable::select_grid_into(std::span<const bench::Instance> grid,
+                                 std::span<int> out) const {
+  MPICP_SPAN("tune.ruletable.select_grid");
+  MPICP_REQUIRE(!feature_.empty(), "dispatch on an empty rule table");
+  MPICP_REQUIRE(out.size() == grid.size(),
+                "rule table output buffer size mismatch");
+  metrics::counter("ruletable.grid_requests").inc();
+  metrics::counter("ruletable.grid_instances").inc(grid.size());
+  // A single dispatch is a few ns; large chunks keep the pool dispatch
+  // amortized and small grids serial.
+  support::parallel_for(grid.size(), 1024, [&](std::size_t i) {
+    out[i] = uid_for(grid[i]);
+  });
+}
+
+std::vector<int> RuleTable::select_grid(
+    std::span<const bench::Instance> grid) const {
+  std::vector<int> out(grid.size(), -1);
+  select_grid_into(grid, out);
+  return out;
+}
+
+void RuleTable::save(const std::filesystem::path& path) const {
+  MPICP_SPAN("tune.ruletable.save");
+  MPICP_REQUIRE(!feature_.empty(), "saving an empty rule table");
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  // Envelope discipline of the model files: serialize the payload to a
+  // buffer first so the header carries its exact byte count and FNV-1a
+  // checksum.
+  std::ostringstream payload;
+  ml::io::write_value(payload, agreement_);
+  std::vector<int> features(feature_.begin(), feature_.end());
+  ml::io::write_vector(payload, features);
+  ml::io::write_vector(payload, threshold_);
+  std::vector<int> left(left_.begin(), left_.end());
+  std::vector<int> right(right_.begin(), right_.end());
+  ml::io::write_vector(payload, left);
+  ml::io::write_vector(payload, right);
+  const std::string body = payload.str();
+
+  std::ofstream os(path);
+  if (!os) {
+    MPICP_RAISE_ERROR("cannot open " + path.string() + " for writing");
+  }
+  os << "mpicp-ruletable 1 " << body.size() << ' ' << std::hex
+     << ml::io::fnv1a64(body) << std::dec << '\n'
+     << body;
+  if (!os) {
+    MPICP_RAISE_ERROR("failed writing rule table to " + path.string());
+  }
+}
+
+RuleTable RuleTable::load(const std::filesystem::path& path) {
+  MPICP_SPAN("tune.ruletable.load");
+  std::ifstream is(path);
+  if (!is) {
+    MPICP_RAISE_PARSE("cannot open rule table file " + path.string());
+  }
+  ml::io::expect_tag(is, "mpicp-ruletable");
+  const int version = ml::io::read_value<int>(is);
+  MPICP_CHECK_PARSE(version == 1, "unsupported rule table version");
+  const auto bytes = ml::io::read_value<std::size_t>(is);
+  MPICP_CHECK_PARSE(bytes < (1u << 28), "implausible rule table size");
+  std::string checksum_hex;
+  if (!(is >> checksum_hex)) {
+    MPICP_RAISE_PARSE("rule table: truncated header");
+  }
+  is.ignore(1);  // the newline terminating the header
+  std::string body(bytes, '\0');
+  is.read(body.data(), static_cast<std::streamsize>(bytes));
+  MPICP_CHECK_PARSE(static_cast<std::size_t>(is.gcount()) == bytes,
+                    "rule table: truncated payload");
+  std::uint64_t expected = 0;
+  try {
+    expected = std::stoull(checksum_hex, nullptr, 16);
+  } catch (const std::exception&) {
+    MPICP_RAISE_PARSE("rule table: malformed checksum '" + checksum_hex +
+                      "'");
+  }
+  MPICP_CHECK_PARSE(ml::io::fnv1a64(body) == expected,
+                    "rule table: checksum mismatch (corrupt file)");
+
+  std::istringstream ps(body);
+  RuleTable table;
+  table.agreement_ = ml::io::read_value<double>(ps);
+  const std::vector<int> features = ml::io::read_vector<int>(ps);
+  table.threshold_ = ml::io::read_vector<double>(ps);
+  const std::vector<int> left = ml::io::read_vector<int>(ps);
+  const std::vector<int> right = ml::io::read_vector<int>(ps);
+  const std::size_t n = features.size();
+  MPICP_CHECK_PARSE(n >= 1, "empty rule table file");
+  MPICP_CHECK_PARSE(table.threshold_.size() == n && left.size() == n &&
+                        right.size() == n,
+                    "rule table array length mismatch");
+  table.feature_.resize(n);
+  table.left_.resize(n);
+  table.right_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    MPICP_CHECK_PARSE(features[i] >= -1 && features[i] < 3,
+                      "rule table: bad feature index");
+    table.feature_[i] = static_cast<std::int8_t>(features[i]);
+    table.left_[i] = left[i];
+    table.right_[i] = right[i];
+    if (features[i] >= 0) {
+      const bool in_range =
+          left[i] >= 0 && left[i] < static_cast<int>(n) && right[i] >= 0 &&
+          right[i] < static_cast<int>(n);
+      MPICP_CHECK_PARSE(in_range, "rule table: child index out of range");
+    }
+  }
+  return table;
+}
+
+RuleDistillation distill(const CompiledBank& bank,
+                         std::span<const bench::Instance> grid,
+                         RuleParams params) {
+  MPICP_SPAN("tune.distill");
+  MPICP_REQUIRE(!grid.empty(), "cannot distill over an empty grid");
+  // Label the grid with the bank's own batched argmin — the picks the
+  // rules must reproduce.
+  const std::vector<int> labels = bank.select_grid(grid);
+  std::vector<LabeledInstance> points;
+  points.reserve(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    points.push_back({grid[i], labels[i]});
+  }
+  RuleDistillation out;
+  out.grid_points = grid.size();
+  out.rules = DecisionRules::fit(points, params);
+  out.table = RuleTable::lower(out.rules);
+  // Recount the agreement empirically through the *table* (not the
+  // tree): the number the serving gate trusts is measured on the
+  // artifact that will serve.
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    hits += out.table.uid_for(grid[i]) == labels[i] ? 1 : 0;
+  }
+  out.agreement =
+      static_cast<double>(hits) / static_cast<double>(grid.size());
+  out.table.set_agreement(out.agreement);
+  metrics::counter("ruletable.distilled").inc();
+  return out;
+}
+
+}  // namespace mpicp::tune

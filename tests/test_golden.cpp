@@ -26,11 +26,13 @@
 
 #include "collbench/dataset.hpp"
 #include "collbench/streamgen.hpp"
+#include "ml/io.hpp"
 #include "support/faultinject.hpp"
 #include "support/metrics.hpp"
 #include "support/rng.hpp"
 #include "support/trace.hpp"
 #include "tune/registry.hpp"
+#include "tune/ruletable.hpp"
 #include "tune/selector.hpp"
 #include "tune/stream.hpp"
 
@@ -555,6 +557,114 @@ TEST(Golden, StreamRejectedRefitKeepsIncumbent) {
   }
   EXPECT_EQ(pipeline.stats().refits_published, 2u);
   EXPECT_NE(registry.version(key), incumbent);
+}
+
+// ---- rule distillation ----------------------------------------------------
+//
+// The third golden: a fixed-seed Bcast distillation (DESIGN.md §14).
+// The same synthetic campaign as the pipeline golden is fitted, compiled
+// and distilled into a rule table; the snapshot byte-pins the tree shape
+// (node/leaf counts), the empirical agreement, the table's selection
+// surface over the 36-point unseen grid, and an FNV-1a hash of the
+// emitted C source — so any drift in the split search, the lowering or
+// the code generator lands as a reviewable diff.
+
+struct DistillRun {
+  tune::RuleDistillation dist;
+  std::string c_source;
+  std::string json;
+};
+
+DistillRun run_distill() {
+  DistillRun run;
+  const bench::Dataset ds = make_synthetic(1);
+  tune::Selector selector(tune::SelectorOptions{.learner = "gam"});
+  (void)selector.fit(ds, {2, 4, 8, 16, 32});
+  const std::vector<bench::Instance> grid = ds.instances();
+  run.dist = selector.distill(grid, {.max_depth = 12});
+  run.c_source = run.dist.rules.to_c_code("mpicp_select_bcast_hydra");
+
+  std::ostringstream os;
+  os.precision(17);  // doubles round-trip exactly
+  os << "{\n";
+  os << "  \"distill\": {\n";
+  os << "    \"grid_points\": " << run.dist.grid_points << ",\n";
+  os << "    \"tree_nodes\": " << run.dist.rules.num_nodes() << ",\n";
+  os << "    \"tree_leaves\": " << run.dist.rules.num_leaves() << ",\n";
+  os << "    \"agreement\": " << run.dist.agreement << "\n  },\n";
+  os << "  \"surface\": [";
+  bool first = true;
+  for (const int n : {3, 6, 12, 24}) {
+    for (const int ppn : {1, 4, 8}) {
+      for (const std::uint64_t m :
+           {std::uint64_t{64}, std::uint64_t{65536},
+            std::uint64_t{1048576}}) {
+        os << (first ? "" : ",") << "\n    {\"nodes\": " << n
+           << ", \"ppn\": " << ppn << ", \"msize\": " << m
+           << ", \"uid\": " << run.dist.table.uid_for({n, ppn, m}) << "}";
+        first = false;
+      }
+    }
+  }
+  os << "\n  ],\n";
+  os << "  \"c_source_fnv1a64\": \"" << std::hex
+     << ml::io::fnv1a64(run.c_source) << std::dec << "\"\n}\n";
+  run.json = os.str();
+  return run;
+}
+
+std::filesystem::path distill_golden_path() {
+  return std::filesystem::path(MPICP_GOLDEN_DIR) / "rule_distill.json";
+}
+
+// The acceptance reconciliation: tree and table are the same classifier
+// on the surface, and an uncapped-enough tree reproduces the bank.
+TEST(Golden, DistillTreeAndTableAgreeOnSurface) {
+  const DistillRun run = run_distill();
+  EXPECT_EQ(run.dist.agreement, 1.0);
+  EXPECT_EQ(run.dist.table.agreement(), run.dist.agreement);
+  for (const int n : {3, 6, 12, 24}) {
+    for (const int ppn : {1, 4, 8}) {
+      for (const std::uint64_t m :
+           {std::uint64_t{64}, std::uint64_t{65536},
+            std::uint64_t{1048576}}) {
+        EXPECT_EQ(run.dist.table.uid_for({n, ppn, m}),
+                  run.dist.rules.uid_for({n, ppn, m}))
+            << "n=" << n << " ppn=" << ppn << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(Golden, DistillRenderingIsDeterministic) {
+  const std::string a = run_distill().json;
+  const std::string b = run_distill().json;
+  EXPECT_EQ(a, b);
+}
+
+TEST(Golden, DistillMatchesCommittedSnapshot) {
+  const DistillRun run = run_distill();
+  const auto path = distill_golden_path();
+
+  const char* update = std::getenv("MPICP_UPDATE_GOLDEN");
+  if (update != nullptr && std::string(update) == "1") {
+    std::ofstream os(path);
+    ASSERT_TRUE(os.good()) << "cannot write " << path;
+    os << run.json;
+    GTEST_SKIP() << "golden snapshot rewritten at " << path
+                 << " — review and commit the diff";
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing golden snapshot " << path
+      << " — generate it with MPICP_UPDATE_GOLDEN=1 and commit it";
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(run.json, want.str())
+      << "distillation outcome drifted from the committed snapshot; if "
+         "the change is intentional, refresh with MPICP_UPDATE_GOLDEN=1 "
+         "and commit the diff";
 }
 
 }  // namespace

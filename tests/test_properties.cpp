@@ -9,6 +9,7 @@
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "collbench/dataset.hpp"
@@ -17,6 +18,8 @@
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
 #include "tune/registry.hpp"
+#include "tune/rulegen.hpp"
+#include "tune/ruletable.hpp"
 #include "tune/selector.hpp"
 
 namespace mpicp {
@@ -308,6 +311,78 @@ TEST_P(RegistryLinearizability,
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RegistryLinearizability,
                          ::testing::Values(31, 32, 33, 34, 35));
+
+// ---- decision-rule distillation invariants --------------------------------
+
+/// Random labeled set over a lattice; duplicate instances (with
+/// possibly conflicting labels) allowed when `distinct` is false.
+std::vector<tune::LabeledInstance> random_labeled(std::uint64_t seed,
+                                                  bool distinct) {
+  support::Xoshiro256 rng(seed);
+  std::vector<tune::LabeledInstance> points;
+  for (int n = 2; n <= 32; n *= 2) {
+    for (const int ppn : {1, 4, 8}) {
+      for (int shift = 4; shift <= 20; shift += 4) {
+        if (rng.uniform_int(3) == 0) continue;  // random subset
+        const bench::Instance inst{n, ppn, std::uint64_t{1} << shift};
+        const int uid = 1 + static_cast<int>(rng.uniform_int(5));
+        points.push_back({inst, uid});
+        if (!distinct && rng.uniform_int(4) == 0) {
+          // A duplicate instance with an independently drawn label —
+          // the conflicting-label case agreement must account exactly.
+          points.push_back(
+              {inst, 1 + static_cast<int>(rng.uniform_int(5))});
+        }
+      }
+    }
+  }
+  if (points.empty()) points.push_back({{2, 1, 16}, 1});
+  return points;
+}
+
+class RuleInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RuleInvariants, AgreementEqualsRecountAndLeavesBounded) {
+  const std::uint64_t seed = GetParam();
+  const auto points = random_labeled(seed, /*distinct=*/false);
+  for (const int depth : {1, 3, 8, 32}) {
+    const tune::DecisionRules rules =
+        tune::DecisionRules::fit(points, {.max_depth = depth});
+    // agreement() is exactly the empirical recount, no more, no less.
+    std::size_t hits = 0;
+    for (const auto& p : points) {
+      hits += rules.uid_for(p.inst) == p.uid ? 1 : 0;
+    }
+    EXPECT_DOUBLE_EQ(rules.agreement(points),
+                     static_cast<double>(hits) /
+                         static_cast<double>(points.size()))
+        << "seed " << seed << " depth " << depth;
+    // A leaf never represents zero points.
+    EXPECT_LE(static_cast<std::size_t>(rules.num_leaves()), points.size())
+        << "seed " << seed << " depth " << depth;
+    // The flat lowering is the same classifier.
+    const tune::RuleTable table = tune::RuleTable::lower(rules);
+    EXPECT_EQ(table.num_leaves(), rules.num_leaves());
+    for (const auto& p : points) {
+      ASSERT_EQ(table.uid_for(p.inst), rules.uid_for(p.inst))
+          << "seed " << seed << " depth " << depth;
+    }
+  }
+}
+
+TEST_P(RuleInvariants, UncappedTreeOnDistinctPointsIsExact) {
+  const std::uint64_t seed = GetParam();
+  const auto points = random_labeled(seed, /*distinct=*/true);
+  const tune::DecisionRules rules = tune::DecisionRules::fit(
+      points, {.max_depth = std::numeric_limits<int>::max(),
+               .min_points_per_leaf = 1});
+  // Distinct points are always separable, and tie-splits guarantee the
+  // greedy fit keeps separating until every leaf is pure.
+  EXPECT_DOUBLE_EQ(rules.agreement(points), 1.0) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuleInvariants,
+                         ::testing::Values(41, 42, 43, 44, 45, 46));
 
 }  // namespace
 }  // namespace mpicp

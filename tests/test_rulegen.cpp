@@ -69,6 +69,54 @@ TEST(Rulegen, RejectsEmptyGrid) {
   EXPECT_THROW(DecisionRules::fit({}), Error);
 }
 
+TEST(Rulegen, XorLabelPatternReachesFullAgreement) {
+  // No single split improves misclassification on an XOR layout — the
+  // fit must still take a tie-split and separate the quadrants one
+  // level down instead of terminating impure.
+  const std::vector<LabeledInstance> points = {
+      {{2, 1, 64}, 1},
+      {{2, 8, 64}, 2},
+      {{16, 1, 64}, 2},
+      {{16, 8, 64}, 1},
+  };
+  const DecisionRules rules = DecisionRules::fit(points, {.max_depth = 8});
+  EXPECT_DOUBLE_EQ(rules.agreement(points), 1.0);
+  EXPECT_EQ(rules.num_leaves(), 4);
+}
+
+TEST(Rulegen, DuplicateInstancesWithConflictingLabelsTerminate) {
+  // Identical feature vectors with different labels admit no separating
+  // split; a candidate whose child would hold zero points must be
+  // skipped, not recursed on (this used to loop forever with
+  // min_points_per_leaf = 0). The node terminates as a majority leaf.
+  std::vector<LabeledInstance> points;
+  for (int rep = 0; rep < 3; ++rep) points.push_back({{4, 2, 1024}, 1});
+  points.push_back({{4, 2, 1024}, 2});
+  const DecisionRules rules = DecisionRules::fit(
+      points, {.max_depth = 64, .min_points_per_leaf = 0});
+  EXPECT_EQ(rules.num_leaves(), 1);
+  EXPECT_EQ(rules.uid_for({4, 2, 1024}), 1);
+  EXPECT_DOUBLE_EQ(rules.agreement(points), 0.75);
+}
+
+TEST(Rulegen, AdjacentDoubleThresholdsCannotRecurseForever) {
+  // These two message sizes have *adjacent doubles* as their log2
+  // features, and the candidate midpoint rounds onto the lower one —
+  // so the "left" child of the only available split holds zero points.
+  // The degenerate-split guard must skip that candidate; accepting it
+  // used to recurse on an unchanged point set forever.
+  constexpr std::uint64_t kLower = 4503599627370507ull;  // 2^52 + 11
+  std::vector<LabeledInstance> points;
+  points.push_back({{2, 1, kLower}, 1});
+  points.push_back({{2, 1, kLower + 1}, 2});
+  points.push_back({{2, 1, kLower + 1}, 1});
+  const DecisionRules rules = DecisionRules::fit(
+      points, {.max_depth = 1024, .min_points_per_leaf = 0});
+  // The impure node terminates as a majority leaf.
+  EXPECT_EQ(rules.num_leaves(), 1);
+  EXPECT_DOUBLE_EQ(rules.agreement(points), 2.0 / 3.0);
+}
+
 TEST(Guidelines, ChecksRunAndReportFiniteRatios) {
   const auto results = bench::check_guidelines(
       sim::hydra_machine(), 4, 4, {64, 16384, 1048576});

@@ -1,0 +1,323 @@
+// Differential fidelity harness for the distilled rule-table serving
+// tier (tune/ruletable.hpp): the fitted DecisionRules tree, its flat
+// RuleTable lowering and the *compiled and executed* output of
+// DecisionRules::to_c_code must agree on every distillation grid point
+// and on randomized off-grid instances — for every learner, at thread
+// counts 1 and 4, and through the table's save/load round trip. The
+// registry's serving-tier plumbing (attach, fallback, auto-drop on hot
+// swap) is pinned here too.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "collbench/dataset.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+#include "tune/compiled_bank.hpp"
+#include "tune/registry.hpp"
+#include "tune/ruletable.hpp"
+#include "tune/selector.hpp"
+
+namespace mpicp {
+namespace {
+
+/// Seeded synthetic dataset: 3-6 algorithms with distinct random cost
+/// models over a random grid (same recipe as the compiled-bank suite).
+bench::Dataset random_dataset(std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  bench::Dataset ds("ruletable", sim::MpiLib::kOpenMPI,
+                    sim::Collective::kBcast, "Hydra");
+  const int num_uids = 3 + static_cast<int>(rng.uniform_int(4));
+  const std::vector<int> nodes = {2, 4, 8, 16};
+  const std::vector<int> ppns = {1, 1 + static_cast<int>(rng.uniform_int(8))};
+  const std::vector<std::uint64_t> msizes = {
+      std::uint64_t{1} << rng.uniform_int(8),
+      std::uint64_t{1} << (8 + rng.uniform_int(8)),
+      std::uint64_t{1} << (16 + rng.uniform_int(6))};
+  for (int uid = 1; uid <= num_uids; ++uid) {
+    const double a = rng.uniform(1.0, 50.0);
+    const double b = rng.uniform(0.0, 5.0);
+    const double c = rng.uniform(1e-4, 1e-2);
+    for (const int n : nodes) {
+      for (const int ppn : ppns) {
+        for (const std::uint64_t m : msizes) {
+          const double p = static_cast<double>(n) * ppn;
+          const double t = a * std::log2(p + 1) + b * p +
+                           c * static_cast<double>(m) + 1.0;
+          for (int rep = 0; rep < 3; ++rep) {
+            ds.add({uid, n, ppn, m, rng.lognormal_median(t, 0.08)});
+          }
+        }
+      }
+    }
+  }
+  return ds;
+}
+
+/// Randomized off-grid probes, including non-power-of-two message sizes
+/// (the boundary-exactness cases for the emitted integer comparisons).
+std::vector<bench::Instance> random_instances(std::uint64_t seed,
+                                              int count) {
+  support::Xoshiro256 rng(seed);
+  std::vector<bench::Instance> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const std::uint64_t base = std::uint64_t{1} << rng.uniform_int(22);
+    out.push_back({1 + static_cast<int>(rng.uniform_int(64)),
+                   1 + static_cast<int>(rng.uniform_int(16)),
+                   base + rng.uniform_int(base)});
+  }
+  return out;
+}
+
+constexpr const char* kAllLearners[] = {"xgboost", "rf",     "knn",
+                                        "gam",     "linear", "median"};
+
+/// Compile `to_c_code` output with the system C compiler and execute it
+/// on `instances` via a scanf/printf harness; nullopt when no working
+/// compiler is on PATH (the caller skips, never passes vacuously).
+std::optional<std::vector<int>> run_generated_c(
+    const std::string& c_source, const std::string& function_name,
+    const std::vector<bench::Instance>& instances, const std::string& tag) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / ("mpicp_rulec_" + tag);
+  fs::create_directories(dir);
+  const fs::path src = dir / "rules.c";
+  const fs::path bin = dir / "rules_bin";
+  const fs::path input = dir / "input.txt";
+  const fs::path output = dir / "output.txt";
+  {
+    std::ofstream os(src);
+    os << "#include <stdio.h>\n\n"
+       << c_source << "\n"
+       << "int main(void) {\n"
+       << "  unsigned long long msize; int nodes, ppn;\n"
+       << "  while (scanf(\"%llu %d %d\", &msize, &nodes, &ppn) == 3) {\n"
+       << "    printf(\"%d\\n\", " << function_name
+       << "(msize, nodes, ppn));\n"
+       << "  }\n"
+       << "  return 0;\n"
+       << "}\n";
+  }
+  {
+    std::ofstream os(input);
+    for (const bench::Instance& inst : instances) {
+      os << inst.msize << ' ' << inst.nodes << ' ' << inst.ppn << '\n';
+    }
+  }
+  const std::string compile = "cc -O1 -o '" + bin.string() + "' '" +
+                              src.string() + "' 2>/dev/null";
+  if (std::system(compile.c_str()) != 0) return std::nullopt;
+  const std::string run = "'" + bin.string() + "' < '" + input.string() +
+                          "' > '" + output.string() + "'";
+  if (std::system(run.c_str()) != 0) return std::nullopt;
+  std::ifstream is(output);
+  std::vector<int> uids;
+  uids.reserve(instances.size());
+  int uid = 0;
+  while (is >> uid) uids.push_back(uid);
+  fs::remove_all(dir);
+  if (uids.size() != instances.size()) return std::nullopt;
+  return uids;
+}
+
+// ---- tree == table == executed C, all learners, both thread counts -------
+
+TEST(RuleTableDifferential, TreeTableAndGeneratedCAgreeEverywhere) {
+  const bench::Dataset ds = random_dataset(21);
+  const std::vector<bench::Instance> grid = ds.instances();
+  const std::vector<bench::Instance> off_grid = random_instances(77, 64);
+  std::vector<bench::Instance> probes = grid;
+  probes.insert(probes.end(), off_grid.begin(), off_grid.end());
+
+  for (const char* learner : kAllLearners) {
+    tune::Selector selector(tune::SelectorOptions{.learner = learner});
+    ASSERT_GT(selector.fit(ds, ds.node_counts()).uids_total(), 0u)
+        << learner;
+    const tune::RuleDistillation dist =
+        selector.distill(grid, {.max_depth = 32});
+
+    // An uncapped tree on a label-distinct grid reproduces the bank.
+    EXPECT_EQ(dist.agreement, 1.0) << learner;
+    EXPECT_EQ(dist.table.agreement(), dist.agreement) << learner;
+    EXPECT_EQ(dist.table.num_nodes(), dist.rules.num_nodes()) << learner;
+    EXPECT_EQ(dist.table.num_leaves(), dist.rules.num_leaves()) << learner;
+
+    // Save/load round trip: the served table is the loaded one.
+    const std::filesystem::path path =
+        std::filesystem::temp_directory_path() /
+        (std::string("mpicp_ruletable_") + learner + ".txt");
+    dist.table.save(path);
+    const tune::RuleTable loaded = tune::RuleTable::load(path);
+    std::filesystem::remove(path);
+    EXPECT_EQ(loaded.agreement(), dist.table.agreement()) << learner;
+    ASSERT_EQ(loaded.num_nodes(), dist.table.num_nodes()) << learner;
+
+    for (const int threads : {1, 4}) {
+      support::ScopedThreads scoped(threads);
+      for (const bench::Instance& inst : probes) {
+        const int tree_uid = dist.rules.uid_for(inst);
+        ASSERT_EQ(dist.table.uid_for(inst), tree_uid)
+            << learner << " @" << threads << " threads, m=" << inst.msize
+            << " n=" << inst.nodes << " ppn=" << inst.ppn;
+        ASSERT_EQ(loaded.uid_for(inst), tree_uid)
+            << learner << " (loaded) @" << threads << " threads";
+      }
+      // The batched path agrees with per-instance dispatch.
+      const std::vector<int> batched = dist.table.select_grid(probes);
+      ASSERT_EQ(batched.size(), probes.size());
+      for (std::size_t i = 0; i < probes.size(); ++i) {
+        ASSERT_EQ(batched[i], dist.rules.uid_for(probes[i]))
+            << learner << " grid[" << i << "] @" << threads;
+      }
+    }
+
+    // The emitted C, compiled and executed, is the third equal voice.
+    const std::string fn = std::string("mpicp_rules_") + learner;
+    const auto executed =
+        run_generated_c(dist.rules.to_c_code(fn), fn, probes, learner);
+    if (!executed.has_value()) {
+      GTEST_SKIP() << "no working C compiler on PATH";
+    }
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      ASSERT_EQ((*executed)[i], dist.rules.uid_for(probes[i]))
+          << learner << " generated C diverges at m=" << probes[i].msize
+          << " n=" << probes[i].nodes << " ppn=" << probes[i].ppn;
+    }
+  }
+}
+
+// ---- persistence contracts -----------------------------------------------
+
+TEST(RuleTable, LoadRejectsCorruptAndTruncatedFiles) {
+  const bench::Dataset ds = random_dataset(5);
+  tune::Selector selector(tune::SelectorOptions{.learner = "knn"});
+  ASSERT_GT(selector.fit(ds, ds.node_counts()).uids_total(), 0u);
+  const tune::RuleDistillation dist = selector.distill(ds.instances());
+
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "mpicp_ruletable_corrupt.txt";
+  dist.table.save(path);
+  std::string contents;
+  {
+    std::ifstream is(path);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    contents = ss.str();
+  }
+  {
+    // Flip one payload byte: the checksum must catch it.
+    std::string corrupt = contents;
+    corrupt[corrupt.size() - 2] ^= 0x01;
+    std::ofstream os(path);
+    os << corrupt;
+  }
+  EXPECT_THROW((void)tune::RuleTable::load(path), ParseError);
+  {
+    // Drop the tail: the byte count must catch it.
+    std::ofstream os(path);
+    os << contents.substr(0, contents.size() / 2);
+  }
+  EXPECT_THROW((void)tune::RuleTable::load(path), ParseError);
+  std::filesystem::remove(path);
+}
+
+TEST(RuleTable, EmptyTableContracts) {
+  const tune::RuleTable table;
+  EXPECT_TRUE(table.empty());
+  EXPECT_THROW(
+      table.save(std::filesystem::temp_directory_path() / "mpicp_rt.txt"),
+      std::exception);
+  const std::vector<bench::Instance> grid = {{4, 4, 1024}};
+  EXPECT_THROW((void)table.select_grid(grid), std::exception);
+}
+
+// ---- registry serving-tier plumbing --------------------------------------
+
+TEST(RegistryRules, DistillAttachServeAndDropOnSwap) {
+  const bench::Dataset ds = random_dataset(13);
+  const std::vector<bench::Instance> grid = ds.instances();
+  tune::Selector selector(tune::SelectorOptions{.learner = "gam"});
+  ASSERT_GT(selector.fit(ds, ds.node_counts()).uids_total(), 0u);
+  auto bank = std::make_shared<const tune::CompiledBank>(selector.compile());
+
+  tune::BankRegistry registry;
+  const tune::BankKey key{"Hydra", sim::Collective::kBcast};
+  EXPECT_EQ(registry.tier(key), tune::ServingTier::kNone);
+  (void)registry.publish(key, bank);
+  EXPECT_EQ(registry.tier(key), tune::ServingTier::kCompiled);
+
+  // Uncapped depth on a distinct grid: agreement 1.0 clears any floor.
+  const auto outcome =
+      registry.distill_and_publish(key, grid, {.max_depth = 32});
+  ASSERT_TRUE(outcome.published) << outcome.error;
+  EXPECT_EQ(outcome.agreement, 1.0);
+  EXPECT_EQ(outcome.version, registry.version(key));
+  EXPECT_EQ(registry.tier(key), tune::ServingTier::kRules);
+  ASSERT_NE(registry.lookup_rules(key), nullptr);
+
+  // Selections now come from the table — and equal the bank's picks.
+  const auto stats0 = registry.shard_stats();
+  for (const bench::Instance& inst : grid) {
+    EXPECT_EQ(registry.select_uid(key, inst), bank->select_uid(inst));
+  }
+  std::uint64_t rule_selections = 0;
+  for (const auto& s : registry.shard_stats()) {
+    rule_selections += s.rule_selections;
+  }
+  for (const auto& s : stats0) rule_selections -= s.rule_selections;
+  EXPECT_EQ(rule_selections, grid.size());
+
+  // A hot swap of a fresh bank drops the table: the rules described the
+  // outgoing bank.
+  (void)registry.publish(key, bank);
+  EXPECT_EQ(registry.tier(key), tune::ServingTier::kCompiled);
+  EXPECT_EQ(registry.lookup_rules(key), nullptr);
+}
+
+TEST(RegistryRules, AgreementFloorRejectsLowFidelityTables) {
+  const bench::Dataset ds = random_dataset(13);
+  tune::Selector selector(tune::SelectorOptions{.learner = "gam"});
+  ASSERT_GT(selector.fit(ds, ds.node_counts()).uids_total(), 0u);
+  auto bank = std::make_shared<const tune::CompiledBank>(selector.compile());
+
+  tune::BankRegistry registry({.rule_agreement_floor = 1.01});
+  const tune::BankKey key{"Hydra", sim::Collective::kBcast};
+  (void)registry.publish(key, bank);
+  const auto outcome = registry.distill_and_publish(key, ds.instances());
+  EXPECT_FALSE(outcome.published);
+  EXPECT_TRUE(outcome.rejected);
+  EXPECT_FALSE(outcome.error.empty());
+  EXPECT_EQ(registry.tier(key), tune::ServingTier::kCompiled);
+}
+
+TEST(RegistryRules, PublishRulesRefusesStaleVersionAndMissingKey) {
+  const bench::Dataset ds = random_dataset(13);
+  tune::Selector selector(tune::SelectorOptions{.learner = "gam"});
+  ASSERT_GT(selector.fit(ds, ds.node_counts()).uids_total(), 0u);
+  auto bank = std::make_shared<const tune::CompiledBank>(selector.compile());
+  const tune::RuleDistillation dist = selector.distill(ds.instances());
+  auto table = std::make_shared<const tune::RuleTable>(dist.table);
+
+  tune::BankRegistry registry;
+  const tune::BankKey key{"Hydra", sim::Collective::kBcast};
+  EXPECT_EQ(registry.publish_rules(key, table), 0u);  // no bank yet
+
+  const std::uint64_t v1 = registry.publish(key, bank);
+  const std::uint64_t v2 = registry.publish(key, bank);  // hot swap
+  EXPECT_EQ(registry.publish_rules(key, table, v1), 0u);  // stale
+  EXPECT_EQ(registry.tier(key), tune::ServingTier::kCompiled);
+  EXPECT_EQ(registry.publish_rules(key, table, v2), v2);
+  EXPECT_EQ(registry.tier(key), tune::ServingTier::kRules);
+}
+
+}  // namespace
+}  // namespace mpicp
