@@ -40,8 +40,9 @@ void Dataset::add_unchecked(const Record& rec) {
   records_.push_back(rec);
   samples_[key(rec.uid, {rec.nodes, rec.ppn, rec.msize})].push_back(
       rec.time_us);
-  const std::lock_guard lock(*median_mu_);
-  median_cache_.clear();
+  MedianCache& cache = *median_cache_;
+  const support::MutexLock lock(cache.mu);
+  cache.values.clear();
 }
 
 std::vector<int> Dataset::uids() const {
@@ -74,10 +75,11 @@ bool Dataset::has(int uid, const Instance& inst) const {
 
 double Dataset::time_us(int uid, const Instance& inst) const {
   const std::uint64_t k = key(uid, inst);
+  MedianCache& cache = *median_cache_;
   {
-    const std::lock_guard lock(*median_mu_);
-    const auto cached = median_cache_.find(k);
-    if (cached != median_cache_.end()) return cached->second;
+    const support::MutexLock lock(cache.mu);
+    const auto cached = cache.values.find(k);
+    if (cached != cache.values.end()) return cached->second;
   }
   const auto it = samples_.find(k);
   if (it == samples_.end()) {
@@ -88,8 +90,8 @@ double Dataset::time_us(int uid, const Instance& inst) const {
                           std::to_string(inst.msize));
   }
   const double med = support::median(it->second);
-  const std::lock_guard lock(*median_mu_);
-  median_cache_.emplace(k, med);
+  const support::MutexLock lock(cache.mu);
+  cache.values.emplace(k, med);
   return med;
 }
 

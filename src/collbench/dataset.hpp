@@ -11,7 +11,6 @@
 #include <filesystem>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <unordered_map>
@@ -19,6 +18,7 @@
 
 #include "simmpi/coll/registry.hpp"
 #include "simmpi/coll/types.hpp"
+#include "support/thread_safety.hpp"
 
 namespace mpicp::bench {
 
@@ -147,14 +147,19 @@ class Dataset {
   sim::Collective coll_;
   std::string machine_;
   std::vector<Record> records_;
-  // key -> observations; medians are cached lazily. The cache is the
-  // only mutable state behind the const query API, so it carries its own
-  // lock: time_us()/best() are called concurrently from the parallel
-  // evaluator and selector paths. Heap-allocated so Dataset stays
-  // movable (copies share the lock, which is harmless).
   std::unordered_map<std::uint64_t, std::vector<double>> samples_;
-  mutable std::unordered_map<std::uint64_t, double> median_cache_;
-  std::shared_ptr<std::mutex> median_mu_ = std::make_shared<std::mutex>();
+  // Lazily cached medians — the only mutable state behind the const
+  // query API, so it carries its own lock: time_us()/best() are called
+  // concurrently from the parallel evaluator and selector paths.
+  // Heap-allocated so Dataset stays movable; copies share the cache,
+  // which is harmless (identical samples yield identical medians, and
+  // every add clears it).
+  struct MedianCache {
+    support::Mutex mu;
+    std::unordered_map<std::uint64_t, double> values MPICP_GUARDED_BY(mu);
+  };
+  std::shared_ptr<MedianCache> median_cache_ =
+      std::make_shared<MedianCache>();
 };
 
 /// Render an ingest health report as an aligned table (support/table).

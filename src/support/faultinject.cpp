@@ -1,12 +1,12 @@
 #include "support/faultinject.hpp"
 
 #include <atomic>
-#include <mutex>
 #include <sstream>
 
 #include "support/error.hpp"
 #include "support/rng.hpp"
 #include "support/str.hpp"
+#include "support/thread_safety.hpp"
 
 namespace mpicp::support::faultinject {
 
@@ -134,33 +134,40 @@ std::string corrupt_stream(const std::string& text,
 namespace {
 
 std::atomic<bool> g_active{false};
-std::mutex g_mu;
-const Faults* g_faults = nullptr;       // armed table (borrowed)
-std::map<int, int> g_fit_budget;        // mutable copy of fit_failures
+Mutex g_mu;
+const Faults* g_faults MPICP_GUARDED_BY(g_mu) = nullptr;  // armed (borrowed)
+std::map<int, int> g_fit_budget
+    MPICP_GUARDED_BY(g_mu);  // mutable copy of fit_failures
 
 }  // namespace
 
 ScopedFaults::ScopedFaults(Faults faults) : faults_(std::move(faults)) {
-  const std::lock_guard lock(g_mu);
+  const MutexLock lock(g_mu);
   previous_ = g_faults;
   g_faults = &faults_;
   g_fit_budget = g_faults->fit_failures;
+  // order: fast-path hint only; readers that act on it re-check the
+  // armed table under g_mu.
   g_active.store(true, std::memory_order_relaxed);
 }
 
 ScopedFaults::~ScopedFaults() {
-  const std::lock_guard lock(g_mu);
+  const MutexLock lock(g_mu);
   g_faults = previous_;
   g_fit_budget =
       g_faults ? g_faults->fit_failures : std::map<int, int>{};
+  // order: fast-path hint only (see ScopedFaults constructor).
   g_active.store(g_faults != nullptr, std::memory_order_relaxed);
 }
 
-bool active() { return g_active.load(std::memory_order_relaxed); }
+bool active() {
+  // order: fast-path hint only (see ScopedFaults constructor).
+  return g_active.load(std::memory_order_relaxed);
+}
 
 bool consume_fit_failure(int uid) {
   if (!active()) return false;
-  const std::lock_guard lock(g_mu);
+  const MutexLock lock(g_mu);
   const auto it = g_fit_budget.find(uid);
   if (it == g_fit_budget.end() || it->second <= 0) return false;
   --it->second;
@@ -169,7 +176,7 @@ bool consume_fit_failure(int uid) {
 
 std::optional<double> forced_prediction(int uid) {
   if (!active()) return std::nullopt;
-  const std::lock_guard lock(g_mu);
+  const MutexLock lock(g_mu);
   if (!g_faults) return std::nullopt;
   const auto it = g_faults->forced_predictions.find(uid);
   if (it == g_faults->forced_predictions.end()) return std::nullopt;

@@ -11,23 +11,31 @@ namespace mpicp::support::metrics {
 namespace {
 
 /// Relaxed fetch-min/max via CAS (atomic<double> has no fetch_min).
+/// All three helpers update independent statistics: readers only need
+/// eventual totals, never cross-field consistency.
 void atomic_min(std::atomic<double>& target, double v) {
+  // order: independent statistic (see above).
   double cur = target.load(std::memory_order_relaxed);
   while (v < cur && !target.compare_exchange_weak(
+                        // order: independent statistic (see above).
                         cur, v, std::memory_order_relaxed)) {
   }
 }
 
 void atomic_max(std::atomic<double>& target, double v) {
+  // order: independent statistic (see above).
   double cur = target.load(std::memory_order_relaxed);
   while (v > cur && !target.compare_exchange_weak(
+                        // order: independent statistic (see above).
                         cur, v, std::memory_order_relaxed)) {
   }
 }
 
 void atomic_add(std::atomic<double>& target, double v) {
+  // order: independent statistic (see above).
   double cur = target.load(std::memory_order_relaxed);
   while (!target.compare_exchange_weak(cur, cur + v,
+                                       // order: independent statistic.
                                        std::memory_order_relaxed)) {
   }
 }
@@ -48,17 +56,26 @@ void Histogram::observe(double v) {
   atomic_min(min_, v);
   atomic_max(max_, v);
   atomic_add(sum_, v);
+  // order: independent statistics; a snapshot may straddle an observe,
+  // which the summary tolerates (count/sum drift by one sample).
   buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  // order: independent statistic (see above).
   count_.fetch_add(1, std::memory_order_relaxed);
 }
 
 Histogram::Summary Histogram::summary() const {
   Summary s;
+  // order: statistics snapshot; tolerates straddling a concurrent
+  // observe (fields drift by at most the in-flight sample).
   s.count = count_.load(std::memory_order_relaxed);
+  // order: statistics snapshot (see above).
   s.sum = sum_.load(std::memory_order_relaxed);
+  // order: statistics snapshot (see above).
   s.min = s.count == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+  // order: statistics snapshot (see above).
   s.max = s.count == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
   for (std::size_t b = 0; b < kBuckets; ++b) {
+    // order: statistics snapshot (see above).
     const std::uint64_t n = buckets_[b].load(std::memory_order_relaxed);
     if (n == 0) continue;
     s.buckets.emplace_back(std::ldexp(1.0, static_cast<int>(b)), n);
@@ -67,12 +84,18 @@ Histogram::Summary Histogram::summary() const {
 }
 
 void Histogram::reset() {
+  // order: reset is quiesced by callers (tests/bench reps); no
+  // concurrent observers need a consistent zeroing order.
   count_.store(0, std::memory_order_relaxed);
+  // order: quiesced reset (see above).
   sum_.store(0.0, std::memory_order_relaxed);
+  // order: quiesced reset (see above).
   min_.store(std::numeric_limits<double>::infinity(),
              std::memory_order_relaxed);
+  // order: quiesced reset (see above).
   max_.store(-std::numeric_limits<double>::infinity(),
              std::memory_order_relaxed);
+  // order: quiesced reset (see above).
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
 }
 
@@ -82,7 +105,7 @@ Registry& Registry::instance() {
 }
 
 Counter& Registry::counter(std::string_view name) {
-  const std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = counters_.find(name);
   if (it != counters_.end()) return *it->second;
   return *counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -90,7 +113,7 @@ Counter& Registry::counter(std::string_view name) {
 }
 
 Gauge& Registry::gauge(std::string_view name) {
-  const std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = gauges_.find(name);
   if (it != gauges_.end()) return *it->second;
   return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
@@ -98,7 +121,7 @@ Gauge& Registry::gauge(std::string_view name) {
 }
 
 Histogram& Registry::histogram(std::string_view name) {
-  const std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return *it->second;
   return *histograms_
@@ -107,7 +130,7 @@ Histogram& Registry::histogram(std::string_view name) {
 }
 
 Snapshot Registry::snapshot() const {
-  const std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   Snapshot snap;
   for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
@@ -118,7 +141,7 @@ Snapshot Registry::snapshot() const {
 }
 
 void Registry::reset() {
-  const std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   for (const auto& [name, c] : counters_) c->reset();
   for (const auto& [name, g] : gauges_) g->reset();
   for (const auto& [name, h] : histograms_) h->reset();

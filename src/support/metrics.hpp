@@ -22,12 +22,13 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "support/thread_safety.hpp"
 
 namespace mpicp::support::metrics {
 
@@ -35,12 +36,17 @@ namespace mpicp::support::metrics {
 class Counter {
  public:
   void inc(std::uint64_t n = 1) {
+    // order: independent statistic; readers only need eventual totals.
     value_.fetch_add(n, std::memory_order_relaxed);
   }
   std::uint64_t value() const {
+    // order: independent statistic; readers only need eventual totals.
     return value_.load(std::memory_order_relaxed);
   }
-  void reset() { value_.store(0, std::memory_order_relaxed); }
+  void reset() {
+    // order: independent statistic; readers only need eventual totals.
+    value_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<std::uint64_t> value_{0};
@@ -49,9 +55,18 @@ class Counter {
 /// Last-write-wins scalar (e.g. a configuration value or a level).
 class Gauge {
  public:
-  void set(double v) { value_.store(v, std::memory_order_relaxed); }
-  double value() const { return value_.load(std::memory_order_relaxed); }
-  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+  void set(double v) {
+    // order: last-write-wins scalar; no ordering with other data.
+    value_.store(v, std::memory_order_relaxed);
+  }
+  double value() const {
+    // order: last-write-wins scalar; no ordering with other data.
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() {
+    // order: last-write-wins scalar; no ordering with other data.
+    value_.store(0.0, std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<double> value_{0.0};
@@ -81,6 +96,7 @@ class Histogram {
   Summary summary() const;
 
   std::uint64_t count() const {
+    // order: independent statistic; readers only need eventual totals.
     return count_.load(std::memory_order_relaxed);
   }
   void reset();
@@ -123,11 +139,13 @@ class Registry {
  private:
   Registry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      MPICP_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      MPICP_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
-      histograms_;
+      histograms_ MPICP_GUARDED_BY(mu_);
 };
 
 /// Convenience accessors into Registry::instance().

@@ -30,6 +30,8 @@ int hardware_threads() {
 }
 
 int configured_threads() {
+  // order: the override is a per-process tuning knob read point-wise;
+  // no other data is published through it.
   const int override_value = g_thread_override.load(std::memory_order_relaxed);
   if (override_value >= 0) {
     return override_value == 0 ? hardware_threads() : override_value;
@@ -46,40 +48,48 @@ int configured_threads() {
 }
 
 ScopedThreads::ScopedThreads(int threads)
+    // order: single-owner knob (harness code); see configured_threads.
     : previous_(g_thread_override.load(std::memory_order_relaxed)) {
   MPICP_REQUIRE(threads >= 0 && threads <= kMaxPoolWorkers,
                 "thread override out of range");
+  // order: single-owner knob (harness code); see configured_threads.
   g_thread_override.store(threads, std::memory_order_relaxed);
 }
 
 ScopedThreads::~ScopedThreads() {
+  // order: single-owner knob (harness code); see configured_threads.
   g_thread_override.store(previous_, std::memory_order_relaxed);
 }
 
 ThreadPool::ThreadPool(int workers) {
   MPICP_REQUIRE(workers >= 0 && workers <= kMaxPoolWorkers,
                 "invalid thread pool size");
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   spawn_locked(workers);
 }
 
 ThreadPool::~ThreadPool() {
+  // The workers are joined outside the lock (a joining worker needs
+  // mu_ to see stop_); swapping the vector out keeps every guarded
+  // access inside the critical section.
+  std::vector<std::thread> workers;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
+    workers.swap(threads_);
   }
   cv_.notify_all();
-  for (std::thread& t : threads_) t.join();
+  for (std::thread& t : workers) t.join();
 }
 
 int ThreadPool::workers() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<int>(threads_.size());
 }
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     MPICP_REQUIRE(!stop_, "submit on a stopped thread pool");
     queue_.push_back(std::move(task));
   }
@@ -96,8 +106,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      // Manual wait loop: a predicate lambda would be analyzed without
+      // the caller's capability context (thread_safety.hpp).
+      while (!stop_ && queue_.empty()) cv_.wait(lock);
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -109,7 +121,7 @@ void ThreadPool::worker_loop() {
 ThreadPool& ThreadPool::shared(int min_workers) {
   static ThreadPool pool(0);
   min_workers = std::min(min_workers, kMaxPoolWorkers);
-  std::lock_guard lock(pool.mu_);
+  MutexLock lock(pool.mu_);
   const int have = static_cast<int>(pool.threads_.size());
   if (have < min_workers) pool.spawn_locked(min_workers - have);
   return pool;
@@ -124,42 +136,47 @@ namespace {
 /// exception); the caller waits for every runner to retire before
 /// returning, so `fn` outlives all uses.
 struct ForState {
-  std::size_t n = 0;
-  std::size_t chunk = 0;
-  std::size_t num_chunks = 0;
+  // The range geometry is written once by the issuing thread before any
+  // runner is published and is immutable afterwards.
+  std::size_t n = 0;           // mpicp-lint: allow(lock-discipline)
+  std::size_t chunk = 0;       // mpicp-lint: allow(lock-discipline)
+  std::size_t num_chunks = 0;  // mpicp-lint: allow(lock-discipline)
   const std::function<void(std::size_t)>* fn = nullptr;
   std::atomic<std::size_t> next{0};
-  std::mutex mu;
-  std::condition_variable done_cv;
-  int active_runners = 0;
-  std::exception_ptr error;
+  Mutex mu;
+  std::condition_variable_any done_cv;
+  int active_runners MPICP_GUARDED_BY(mu) = 0;
+  std::exception_ptr error MPICP_GUARDED_BY(mu);
 };
 
 void run_chunks(const std::shared_ptr<ForState>& state) {
+  ForState& s = *state;
   const bool was_in_region = tl_in_parallel_region;
   tl_in_parallel_region = true;
   for (;;) {
-    const std::size_t c =
-        state->next.fetch_add(1, std::memory_order_relaxed);
-    if (c >= state->num_chunks) break;
-    const std::size_t lo = c * state->chunk;
-    const std::size_t hi = std::min(state->n, lo + state->chunk);
+    // order: the chunk cursor is an independent work-stealing ticket;
+    // all result publication happens through the caller's join below.
+    const std::size_t c = s.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= s.num_chunks) break;
+    const std::size_t lo = c * s.chunk;
+    const std::size_t hi = std::min(s.n, lo + s.chunk);
     try {
-      for (std::size_t i = lo; i < hi; ++i) (*state->fn)(i);
+      for (std::size_t i = lo; i < hi; ++i) (*s.fn)(i);
     } catch (...) {
-      std::lock_guard lock(state->mu);
-      if (!state->error) state->error = std::current_exception();
+      MutexLock lock(s.mu);
+      if (!s.error) s.error = std::current_exception();
       // Best-effort cancellation: park the cursor past the end so no
       // further chunks are claimed.
-      state->next.store(state->num_chunks, std::memory_order_relaxed);
+      // order: cancellation is advisory; stragglers finish their chunk.
+      s.next.store(s.num_chunks, std::memory_order_relaxed);
     }
   }
   tl_in_parallel_region = was_in_region;
   {
-    std::lock_guard lock(state->mu);
-    --state->active_runners;
+    MutexLock lock(s.mu);
+    --s.active_runners;
   }
-  state->done_cv.notify_all();
+  s.done_cv.notify_all();
 }
 
 void serial_for(std::size_t n,
@@ -208,12 +225,16 @@ void parallel_for(std::size_t n, std::size_t chunk,
     });
   }
   run_chunks(state);  // the calling thread participates
+  std::exception_ptr error;
   {
-    std::unique_lock lock(state->mu);
-    state->done_cv.wait(lock,
-                        [&] { return state->active_runners == 0; });
+    ForState& s = *state;
+    MutexLock lock(s.mu);
+    // Manual wait loop: a predicate lambda would be analyzed without
+    // the caller's capability context (thread_safety.hpp).
+    while (s.active_runners != 0) s.done_cv.wait(lock);
+    error = s.error;
   }
-  if (state->error) std::rethrow_exception(state->error);
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace mpicp::support

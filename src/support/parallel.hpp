@@ -27,9 +27,10 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/thread_safety.hpp"
 
 namespace mpicp::support {
 
@@ -82,14 +83,14 @@ class ThreadPool {
   static ThreadPool& shared(int min_workers);
 
  private:
-  void spawn_locked(int count);
+  void spawn_locked(int count) MPICP_REQUIRES(mu_);
   void worker_loop();
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> threads_;
-  bool stop_ = false;
+  mutable Mutex mu_;
+  std::condition_variable_any cv_;
+  std::deque<std::function<void()>> queue_ MPICP_GUARDED_BY(mu_);
+  std::vector<std::thread> threads_ MPICP_GUARDED_BY(mu_);
+  bool stop_ MPICP_GUARDED_BY(mu_) = false;
 };
 
 /// True while the calling thread is executing a parallel_for body.

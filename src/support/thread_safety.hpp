@@ -1,0 +1,117 @@
+// Capability (thread-safety) annotations (DESIGN.md §15).
+//
+// Every concurrent subsystem declares its locking contract with these
+// macros: which mutex guards which member (MPICP_GUARDED_BY), which
+// functions must be entered with a capability held (MPICP_REQUIRES),
+// and which RAII types acquire/release capabilities. Under Clang the
+// macros lower to the thread-safety-analysis attributes and the CI
+// `-Wthread-safety -Werror=thread-safety` job verifies the contracts
+// at compile time; under other compilers they expand to nothing and
+// serve as machine-readable documentation that `mpicp_lint` rule R13
+// (lock-discipline) keeps mandatory.
+//
+// libstdc++'s std::mutex carries no capability attributes, so the
+// analysis cannot see through it. `support::Mutex` and
+// `support::MutexLock` below are the annotated drop-in wrappers; all
+// project code locks through them. MutexLock is relockable (lock() /
+// unlock() members) so it can be handed to
+// std::condition_variable_any::wait as a BasicLockable.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define MPICP_TSA(x) __attribute__((x))
+#endif
+#endif
+#ifndef MPICP_TSA
+#define MPICP_TSA(x)  // no-op outside Clang thread-safety analysis
+#endif
+
+/// Type is a capability (lockable). Argument names the capability kind
+/// shown in diagnostics, e.g. MPICP_CAPABILITY("mutex").
+#define MPICP_CAPABILITY(x) MPICP_TSA(capability(x))
+
+/// RAII type whose constructor acquires and destructor releases a
+/// capability.
+#define MPICP_SCOPED_CAPABILITY MPICP_TSA(scoped_lockable)
+
+/// Data member readable/writable only with `x` held.
+#define MPICP_GUARDED_BY(x) MPICP_TSA(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define MPICP_PT_GUARDED_BY(x) MPICP_TSA(pt_guarded_by(x))
+
+/// Function must be called with the capabilities held (and does not
+/// release them).
+#define MPICP_REQUIRES(...) MPICP_TSA(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capabilities and holds them on return.
+#define MPICP_ACQUIRE(...) MPICP_TSA(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capabilities; they must be held on entry.
+#define MPICP_RELEASE(...) MPICP_TSA(release_capability(__VA_ARGS__))
+
+/// Function acquires the capabilities iff it returns `b`.
+#define MPICP_TRY_ACQUIRE(b, ...) \
+  MPICP_TSA(try_acquire_capability(b, __VA_ARGS__))
+
+/// Function must NOT be called with the capabilities held (deadlock
+/// guard for self-locking public entry points).
+#define MPICP_EXCLUDES(...) MPICP_TSA(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define MPICP_RETURN_CAPABILITY(x) MPICP_TSA(lock_returned(x))
+
+/// Escape hatch: function body is exempt from the analysis. Use only
+/// with a comment explaining why the contract cannot be expressed.
+#define MPICP_NO_THREAD_SAFETY_ANALYSIS \
+  MPICP_TSA(no_thread_safety_analysis)
+
+namespace mpicp::support {
+
+/// std::mutex with capability attributes the analysis can see.
+class MPICP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MPICP_ACQUIRE() { mu_.lock(); }
+  void unlock() MPICP_RELEASE() { mu_.unlock(); }
+  bool try_lock() MPICP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock for support::Mutex. Relockable: lock()/unlock() allow
+/// condition-variable waits (std::condition_variable_any takes any
+/// BasicLockable) while keeping the capability bookkeeping exact.
+class MPICP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MPICP_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.lock();
+  }
+  ~MutexLock() MPICP_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void lock() MPICP_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+  void unlock() MPICP_RELEASE() {
+    held_ = false;
+    mu_.unlock();
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+}  // namespace mpicp::support

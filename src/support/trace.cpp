@@ -8,9 +8,9 @@
 #include <cstring>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "support/table.hpp"
+#include "support/thread_safety.hpp"
 
 namespace mpicp::support::trace {
 
@@ -42,15 +42,17 @@ std::uint64_t now_ns() {
 /// Per-thread span sink. Appends take the buffer's own mutex, which is
 /// uncontended except while records()/reset() walks all buffers.
 struct ThreadBuffer {
-  std::mutex mu;
-  std::vector<SpanRecord> spans;
-  int thread_id = 0;
+  Mutex mu;
+  std::vector<SpanRecord> spans MPICP_GUARDED_BY(mu);
+  // Written once at registration, before the buffer is published into
+  // Buffers::all; immutable afterwards.
+  int thread_id = 0;  // mpicp-lint: allow(lock-discipline)
 };
 
 struct Buffers {
-  std::mutex mu;
-  std::vector<std::shared_ptr<ThreadBuffer>> all;
-  int next_thread_id = 0;
+  Mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> all MPICP_GUARDED_BY(mu);
+  int next_thread_id MPICP_GUARDED_BY(mu) = 0;
 };
 
 Buffers& buffers() {
@@ -74,7 +76,7 @@ ThreadBuffer& thread_buffer() {
   if (!state.buffer) {
     state.buffer = std::make_shared<ThreadBuffer>();
     Buffers& b = buffers();
-    const std::lock_guard lock(b.mu);
+    const MutexLock lock(b.mu);
     state.buffer->thread_id = b.next_thread_id++;
     b.all.push_back(state.buffer);
   }
@@ -84,15 +86,19 @@ ThreadBuffer& thread_buffer() {
 }  // namespace
 
 bool enabled() {
+  // order: an on/off flag publishing no other data; a racing resolve
+  // writes the same env-derived value.
   int state = g_enabled.load(std::memory_order_relaxed);
   if (state < 0) {
     state = resolve_enabled_from_env();
+    // order: idempotent env-derived flag (see above).
     g_enabled.store(state, std::memory_order_relaxed);
   }
   return state != 0;
 }
 
 void set_enabled(bool on) {
+  // order: an on/off flag publishing no other data.
   g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
 }
 
@@ -121,7 +127,7 @@ Span::~Span() {
   // The stack is strictly LIFO per thread (spans are scoped locals).
   state.stack.pop_back();
   ThreadBuffer& buf = thread_buffer();
-  const std::lock_guard lock(buf.mu);
+  const MutexLock lock(buf.mu);
   buf.spans.push_back(
       {std::move(path_), start_ns_, dur, buf.thread_id, depth_});
 }
@@ -145,13 +151,14 @@ std::vector<SpanRecord> records() {
   Buffers& b = buffers();
   std::vector<std::shared_ptr<ThreadBuffer>> all;
   {
-    const std::lock_guard lock(b.mu);
+    const MutexLock lock(b.mu);
     all = b.all;
   }
   std::vector<SpanRecord> out;
   for (const auto& buf : all) {
-    const std::lock_guard lock(buf->mu);
-    out.insert(out.end(), buf->spans.begin(), buf->spans.end());
+    ThreadBuffer& tb = *buf;
+    const MutexLock lock(tb.mu);
+    out.insert(out.end(), tb.spans.begin(), tb.spans.end());
   }
   return out;
 }
@@ -179,10 +186,11 @@ std::vector<ProfileEntry> profile() {
 
 void reset() {
   Buffers& b = buffers();
-  const std::lock_guard lock(b.mu);
+  const MutexLock lock(b.mu);
   for (const auto& buf : b.all) {
-    const std::lock_guard buf_lock(buf->mu);
-    buf->spans.clear();
+    ThreadBuffer& tb = *buf;
+    const MutexLock buf_lock(tb.mu);
+    tb.spans.clear();
   }
 }
 

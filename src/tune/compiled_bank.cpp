@@ -101,21 +101,24 @@ int CompiledBank::argmin_uid_cached(const bench::Instance& inst) const {
   if (!cache_enabled_) return argmin_uid(inst);
   const std::tuple<std::uint64_t, int, int> key{inst.msize, inst.nodes,
                                                 inst.ppn};
+  CacheState& cache = *cache_;
   {
-    const std::lock_guard<std::mutex> lock(cache_->mu);
-    const auto it = cache_->memo.find(key);
-    if (it != cache_->memo.end()) {
-      cache_->hits.fetch_add(1, std::memory_order_relaxed);
+    const support::MutexLock lock(cache.mu);
+    const auto it = cache.memo.find(key);
+    if (it != cache.memo.end()) {
+      // order: independent statistic; readers only need eventual totals.
+      cache.hits.fetch_add(1, std::memory_order_relaxed);
       metrics::counter("compiled.cache.hits").inc();
       return it->second;
     }
   }
   const int best = argmin_uid(inst);
   {
-    const std::lock_guard<std::mutex> lock(cache_->mu);
-    cache_->memo.emplace(key, best);
+    const support::MutexLock lock(cache.mu);
+    cache.memo.emplace(key, best);
   }
-  cache_->misses.fetch_add(1, std::memory_order_relaxed);
+  // order: independent statistic; readers only need eventual totals.
+  cache.misses.fetch_add(1, std::memory_order_relaxed);
   metrics::counter("compiled.cache.misses").inc();
   return best;
 }
@@ -171,15 +174,21 @@ std::vector<int> CompiledBank::select_grid(
 }
 
 void CompiledBank::set_cache_enabled(bool enabled) {
-  const std::lock_guard<std::mutex> lock(cache_->mu);
+  CacheState& cache = *cache_;
+  const support::MutexLock lock(cache.mu);
   cache_enabled_ = enabled;
-  cache_->memo.clear();
-  cache_->hits.store(0, std::memory_order_relaxed);
-  cache_->misses.store(0, std::memory_order_relaxed);
+  cache.memo.clear();
+  // order: quiesced reconfiguration; counters are independent stats.
+  cache.hits.store(0, std::memory_order_relaxed);
+  // order: quiesced reconfiguration; counters are independent stats.
+  cache.misses.store(0, std::memory_order_relaxed);
 }
 
 CompiledBank::CacheStats CompiledBank::cache_stats() const {
+  // order: independent statistics snapshot; may straddle a concurrent
+  // selection by one query, which callers tolerate.
   return {cache_->hits.load(std::memory_order_relaxed),
+          // order: independent statistics snapshot (see above).
           cache_->misses.load(std::memory_order_relaxed)};
 }
 

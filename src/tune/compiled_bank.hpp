@@ -26,12 +26,12 @@
 #include <filesystem>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <tuple>
 #include <vector>
 
 #include "ml/flatten.hpp"
+#include "support/thread_safety.hpp"
 #include "tune/selector.hpp"
 
 namespace mpicp::tune {
@@ -103,8 +103,9 @@ class CompiledBank {
   ml::FlatBank bank_;
 
   struct CacheState {
-    std::mutex mu;
-    std::map<std::tuple<std::uint64_t, int, int>, int> memo;
+    support::Mutex mu;
+    std::map<std::tuple<std::uint64_t, int, int>, int> memo
+        MPICP_GUARDED_BY(mu);
     std::atomic<std::uint64_t> hits{0};
     std::atomic<std::uint64_t> misses{0};
   };

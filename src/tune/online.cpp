@@ -34,6 +34,7 @@ OnlineSelector::Cell& OnlineSelector::cell(const bench::Instance& inst) {
 }
 
 int OnlineSelector::next_uid(const bench::Instance& inst) {
+  const support::MutexLock lock(mu_);
   Cell& c = cell(inst);
   if (c.committed_uid >= 0) return c.committed_uid;
   // Round-robin over candidates that still need probes.
@@ -66,6 +67,7 @@ int OnlineSelector::next_uid(const bench::Instance& inst) {
 void OnlineSelector::record(const bench::Instance& inst, int uid,
                             double time_us) {
   MPICP_REQUIRE(time_us > 0.0, "non-positive measurement");
+  const support::MutexLock lock(mu_);
   std::vector<double>& times = cell(inst).observations[uid];
   times.push_back(time_us);
   // Bounded memory: keep only the freshest max_observations_per_uid
@@ -80,6 +82,7 @@ void OnlineSelector::record(const bench::Instance& inst, int uid,
 }
 
 std::size_t OnlineSelector::observation_count() const {
+  const support::MutexLock lock(mu_);
   std::size_t total = 0;
   for (const auto& [cell_key, cell] : cells_) {
     for (const auto& [uid, times] : cell.observations) {
@@ -90,6 +93,7 @@ std::size_t OnlineSelector::observation_count() const {
 }
 
 bool OnlineSelector::converged(const bench::Instance& inst) const {
+  const support::MutexLock lock(mu_);
   const auto it = cells_.find(key(inst));
   if (it == cells_.end()) return false;
   if (it->second.committed_uid >= 0) return true;
@@ -105,6 +109,7 @@ bool OnlineSelector::converged(const bench::Instance& inst) const {
 }
 
 int OnlineSelector::current_best(const bench::Instance& inst) const {
+  const support::MutexLock lock(mu_);
   const auto it = cells_.find(key(inst));
   MPICP_REQUIRE(it != cells_.end() && !it->second.observations.empty(),
                 "no observations for instance");
@@ -126,6 +131,7 @@ bench::Dataset OnlineSelector::observations_dataset(
     std::string machine) const {
   MPICP_SPAN("online.export_dataset");
   bench::Dataset ds(std::move(name), lib, coll, std::move(machine));
+  const support::MutexLock lock(mu_);
   for (const auto& [cell_key, cell] : cells_) {
     for (const auto& [uid, times] : cell.observations) {
       for (const double time_us : times) {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "collbench/dataset.hpp"
+#include "support/thread_safety.hpp"
 #include "tune/registry.hpp"
 
 namespace mpicp::tune {
@@ -76,10 +77,16 @@ class OnlineSelector {
   };
 
   static std::uint64_t key(const bench::Instance& inst);
-  Cell& cell(const bench::Instance& inst);
+  Cell& cell(const bench::Instance& inst) MPICP_REQUIRES(mu_);
 
-  Options options_;
-  std::map<std::uint64_t, Cell> cells_;
+  /// Validated by the constructor; immutable afterwards.
+  Options options_;  // mpicp-lint: allow(lock-discipline)
+  /// Serializes probe bookkeeping: concurrent ranks may interleave
+  /// next_uid/record on the same selector. refit_into snapshots the
+  /// observations under mu_ (via observations_dataset) and fits on the
+  /// copy, so the lock never spans a fit.
+  mutable support::Mutex mu_;
+  std::map<std::uint64_t, Cell> cells_ MPICP_GUARDED_BY(mu_);
 };
 
 }  // namespace mpicp::tune

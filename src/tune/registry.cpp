@@ -55,6 +55,7 @@ std::uint64_t hash_key(const BankKey& key) {
 /// swaps — not even between independent registries.
 std::uint64_t next_version() {
   static std::atomic<std::uint64_t> counter{0};
+  // order: a unique-ticket counter; uniqueness needs atomicity only.
   return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
@@ -83,12 +84,13 @@ BankRegistry::BankRegistry(Options options)
     // mpicp-lint: allow(no-alloc-in-loop)
     auto shard = std::make_unique<Shard>();
     const std::string prefix = "registry.shard" + std::to_string(i) + ".";
-    shard->c_lookups = &metrics::counter(prefix + "lookups");
-    shard->c_hits = &metrics::counter(prefix + "hits");
-    shard->c_memo_hits = &metrics::counter(prefix + "memo_hits");
-    shard->c_memo_misses = &metrics::counter(prefix + "memo_misses");
-    shard->c_rule_selections = &metrics::counter(prefix + "rule_selections");
-    shard->c_swaps = &metrics::counter(prefix + "swaps");
+    shard->c.lookups = &metrics::counter(prefix + "lookups");
+    shard->c.hits = &metrics::counter(prefix + "hits");
+    shard->c.memo_hits = &metrics::counter(prefix + "memo_hits");
+    shard->c.memo_misses = &metrics::counter(prefix + "memo_misses");
+    shard->c.rule_selections = &metrics::counter(prefix + "rule_selections");
+    shard->c.swaps = &metrics::counter(prefix + "swaps");
+    // order: publishes the empty snapshot map to future reader threads.
     // mpicp-lint: allow(no-alloc-in-loop)
     shard->snapshot.store(std::make_shared<const BankMap>(),
                           std::memory_order_release);
@@ -104,6 +106,7 @@ int BankRegistry::shards() const {
 std::size_t BankRegistry::num_banks() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
+    // order: pairs with the release stores in publish()/publish_rules().
     total += shard->snapshot.load(std::memory_order_acquire)->size();
   }
   return total;
@@ -115,17 +118,20 @@ BankRegistry::Shard& BankRegistry::shard_of(const BankKey& key) const {
 
 BankRegistry::Entry BankRegistry::find_entry(const BankKey& key) const {
   Shard& shard = shard_of(key);
+  // order: independent statistic; readers only need eventual totals.
   shard.lookups.fetch_add(1, std::memory_order_relaxed);
-  shard.c_lookups->inc();
+  shard.c.lookups->inc();
   // The RCU read: one atomic snapshot load; the map behind it is
   // immutable, so the find needs no lock and a concurrent publish
   // cannot tear it.
+  // order: pairs with the release stores in publish()/publish_rules().
   const std::shared_ptr<const BankMap> snap =
       shard.snapshot.load(std::memory_order_acquire);
   const auto it = snap->find(key);
   if (it == snap->end()) return {};
+  // order: independent statistic; readers only need eventual totals.
   shard.hits.fetch_add(1, std::memory_order_relaxed);
-  shard.c_hits->inc();
+  shard.c.hits->inc();
   return it->second;
 }
 
@@ -134,26 +140,29 @@ int BankRegistry::select_in_entry(Shard& shard, const Entry& entry,
   if (entry.rules != nullptr) {
     // Rule-table fast path: the flat threshold walk is cheaper than the
     // memo lookup it would replace, so it bypasses the memo entirely.
+    // order: independent statistic; readers only need eventual totals.
     shard.rule_selections.fetch_add(1, std::memory_order_relaxed);
-    shard.c_rule_selections->inc();
+    shard.c.rule_selections->inc();
     return entry.rules->uid_for(inst);
   }
   if (!memo_enabled_) return entry.bank->select_uid_or_invalid(inst);
   const MemoKey key{entry.version, inst.msize, inst.nodes, inst.ppn};
   {
-    const std::lock_guard<std::mutex> lock(shard.memo_mu);
+    const support::MutexLock lock(shard.memo_mu);
     const auto it = shard.memo.find(key);
     if (it != shard.memo.end()) {
+      // order: independent statistic; readers only need eventual totals.
       shard.memo_hits.fetch_add(1, std::memory_order_relaxed);
-      shard.c_memo_hits->inc();
+      shard.c.memo_hits->inc();
       return it->second;
     }
   }
   const int uid = entry.bank->select_uid_or_invalid(inst);
+  // order: independent statistic; readers only need eventual totals.
   shard.memo_misses.fetch_add(1, std::memory_order_relaxed);
-  shard.c_memo_misses->inc();
+  shard.c.memo_misses->inc();
   if (uid > 0) {
-    const std::lock_guard<std::mutex> lock(shard.memo_mu);
+    const support::MutexLock lock(shard.memo_mu);
     shard.memo.emplace(key, uid);
   }
   return uid;
@@ -248,23 +257,27 @@ std::uint64_t BankRegistry::publish(const BankKey& key,
   {
     // Writers serialize among themselves; readers never wait — they
     // keep using the snapshot they loaded until the store below.
-    const std::lock_guard<std::mutex> lock(shard.write_mu);
+    const support::MutexLock lock(shard.write_mu);
+    // order: the writer's own read; write_mu orders writer-to-writer.
     const std::shared_ptr<const BankMap> old =
         shard.snapshot.load(std::memory_order_acquire);
     auto next = std::make_shared<BankMap>(*old);
     // A fresh Entry has no rules: the incoming bank invalidates any
     // table distilled from the outgoing one.
     (*next)[key] = Entry{std::move(bank), nullptr, version};
+    // order: publishes the cloned map; pairs with the acquire loads on
+    // every reader path (find_entry, num_banks, shard_stats).
     shard.snapshot.store(std::move(next), std::memory_order_release);
   }
   {
     // Drop the shard memo wholesale: stale versions can never hit again
     // (lookups now resolve the new version), this just bounds memory.
-    const std::lock_guard<std::mutex> lock(shard.memo_mu);
+    const support::MutexLock lock(shard.memo_mu);
     shard.memo.clear();
   }
+  // order: independent statistic; readers only need eventual totals.
   shard.swaps.fetch_add(1, std::memory_order_relaxed);
-  shard.c_swaps->inc();
+  shard.c.swaps->inc();
   static metrics::Counter& swaps = metrics::counter("registry.swaps");
   swaps.inc();
   return version;
@@ -311,7 +324,8 @@ std::uint64_t BankRegistry::publish_rules(
   MPICP_REQUIRE(rules != nullptr && !rules->empty(),
                 "publishing an empty rule table for " + to_string(key));
   Shard& shard = shard_of(key);
-  const std::lock_guard<std::mutex> lock(shard.write_mu);
+  const support::MutexLock lock(shard.write_mu);
+  // order: the writer's own read; write_mu orders writer-to-writer.
   const std::shared_ptr<const BankMap> old =
       shard.snapshot.load(std::memory_order_acquire);
   const auto it = old->find(key);
@@ -325,6 +339,7 @@ std::uint64_t BankRegistry::publish_rules(
   Entry& entry = (*next)[key];
   entry.rules = std::move(rules);
   const std::uint64_t version = entry.version;
+  // order: publishes the cloned map; pairs with the reader acquires.
   shard.snapshot.store(std::move(next), std::memory_order_release);
   static metrics::Counter& attaches =
       metrics::counter("registry.rule_attaches");
@@ -394,13 +409,21 @@ std::vector<BankRegistry::ShardStats> BankRegistry::shard_stats() const {
   out.reserve(shards_.size());
   for (const auto& shard : shards_) {
     ShardStats s;
+    // order: statistics snapshot; tolerates straddling in-flight
+    // selections (counters are independent, eventual totals).
     s.lookups = shard->lookups.load(std::memory_order_relaxed);
+    // order: statistics snapshot (see above).
     s.hits = shard->hits.load(std::memory_order_relaxed);
+    // order: statistics snapshot (see above).
     s.memo_hits = shard->memo_hits.load(std::memory_order_relaxed);
+    // order: statistics snapshot (see above).
     s.memo_misses = shard->memo_misses.load(std::memory_order_relaxed);
+    // order: statistics snapshot (see above).
     s.rule_selections =
         shard->rule_selections.load(std::memory_order_relaxed);
+    // order: statistics snapshot (see above).
     s.swaps = shard->swaps.load(std::memory_order_relaxed);
+    // order: pairs with the release stores in publish()/publish_rules().
     s.banks = shard->snapshot.load(std::memory_order_acquire)->size();
     out.push_back(s);
   }

@@ -40,7 +40,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <tuple>
@@ -48,6 +47,7 @@
 
 #include "collbench/dataset.hpp"
 #include "support/metrics.hpp"
+#include "support/thread_safety.hpp"
 #include "tune/compiled_bank.hpp"
 #include "tune/ruletable.hpp"
 #include "tune/selector.hpp"
@@ -248,14 +248,25 @@ class BankRegistry {
   /// process-unique, so memoized answers can never alias across swaps.
   using MemoKey = std::tuple<std::uint64_t, std::uint64_t, int, int>;
 
+  /// Cached "registry.shard<i>.*" instruments (stable for the process
+  /// lifetime; resolved once at construction, off the hot path).
+  struct ShardInstruments {
+    support::metrics::Counter* lookups = nullptr;
+    support::metrics::Counter* hits = nullptr;
+    support::metrics::Counter* memo_hits = nullptr;
+    support::metrics::Counter* memo_misses = nullptr;
+    support::metrics::Counter* rule_selections = nullptr;
+    support::metrics::Counter* swaps = nullptr;
+  };
+
   struct Shard {
     /// RCU snapshot: readers atomically load, writers clone-and-swap
     /// under write_mu.
     std::atomic<std::shared_ptr<const BankMap>> snapshot;
-    std::mutex write_mu;
+    support::Mutex write_mu;
 
-    std::mutex memo_mu;
-    std::map<MemoKey, int> memo;
+    support::Mutex memo_mu;
+    std::map<MemoKey, int> memo MPICP_GUARDED_BY(memo_mu);
 
     std::atomic<std::uint64_t> lookups{0};
     std::atomic<std::uint64_t> hits{0};
@@ -264,14 +275,9 @@ class BankRegistry {
     std::atomic<std::uint64_t> rule_selections{0};
     std::atomic<std::uint64_t> swaps{0};
 
-    /// Cached "registry.shard<i>.*" instruments (stable for the process
-    /// lifetime; resolved once at construction, off the hot path).
-    support::metrics::Counter* c_lookups = nullptr;
-    support::metrics::Counter* c_hits = nullptr;
-    support::metrics::Counter* c_memo_hits = nullptr;
-    support::metrics::Counter* c_memo_misses = nullptr;
-    support::metrics::Counter* c_rule_selections = nullptr;
-    support::metrics::Counter* c_swaps = nullptr;
+    /// Written once at construction, before the registry is visible to
+    /// any other thread; immutable afterwards.
+    ShardInstruments c;  // mpicp-lint: allow(lock-discipline)
   };
 
   Shard& shard_of(const BankKey& key) const;

@@ -68,6 +68,7 @@ StreamPipeline::RowOutcome StreamPipeline::push_row(
     static metrics::Counter& seen = metrics::counter("stream.rows_seen");
     static metrics::Counter& quarantined =
         metrics::counter("stream.rows_quarantined");
+    const support::MutexLock lock(mu_);
     ++stats_.rows_seen;
     seen.inc();
     ++stats_.rows_quarantined;
@@ -83,6 +84,12 @@ StreamPipeline::RowOutcome StreamPipeline::push_row(
 
 StreamPipeline::RowOutcome StreamPipeline::push(const BankKey& key,
                                                 const bench::Record& rec) {
+  const support::MutexLock lock(mu_);
+  return push_locked(key, rec);
+}
+
+StreamPipeline::RowOutcome StreamPipeline::push_locked(
+    const BankKey& key, const bench::Record& rec) {
   MPICP_SPAN("stream.push");
   static metrics::Counter& seen = metrics::counter("stream.rows_seen");
   static metrics::Counter& quarantined =
@@ -268,16 +275,19 @@ void StreamPipeline::maybe_refit(KeyState& state, const BankKey& key,
 
 double StreamPipeline::holdout_error(const KeyState& state,
                                      const CompiledBank& bank) const {
-  pred_scratch_.resize(bank.num_models());
+  // Local buffer rather than pred_scratch_: this runs inside the
+  // registry's validator callback, outside the pump's capability
+  // context, and the holdout walk is off the per-row hot path.
+  std::vector<Selector::Prediction> preds(bank.num_models());
   const std::vector<int>& uids = bank.uids();
   double sum = 0.0;
   std::size_t n = 0;
   for (const bench::Record& r : state.holdout) {
-    bank.predict_all_into({r.nodes, r.ppn, r.msize}, pred_scratch_);
+    bank.predict_all_into({r.nodes, r.ppn, r.msize}, preds);
     double err = kUnusablePenalty;
     for (std::size_t i = 0; i < uids.size(); ++i) {
       if (uids[i] != r.uid) continue;
-      const Selector::Prediction& p = pred_scratch_[i];
+      const Selector::Prediction& p = preds[i];
       if (p.usable && p.time_us > 0.0) {
         err = std::abs(p.time_us - r.time_us) / r.time_us;
       }
@@ -289,12 +299,19 @@ double StreamPipeline::holdout_error(const KeyState& state,
   return n == 0 ? 0.0 : sum / static_cast<double>(n);
 }
 
+StreamPipeline::Stats StreamPipeline::stats() const {
+  const support::MutexLock lock(mu_);
+  return stats_;
+}
+
 std::size_t StreamPipeline::window_size(const BankKey& key) const {
+  const support::MutexLock lock(mu_);
   const auto it = states_.find(key);
   return it == states_.end() ? 0 : it->second.window.size();
 }
 
 std::size_t StreamPipeline::holdout_size(const BankKey& key) const {
+  const support::MutexLock lock(mu_);
   const auto it = states_.find(key);
   return it == states_.end() ? 0 : it->second.holdout.size();
 }

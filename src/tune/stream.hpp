@@ -15,9 +15,10 @@
 // Serving never stops: selections go through the registry's RCU
 // snapshots, a refit publishes (or is rejected) while readers keep
 // answering from the incumbent, and refit storms are rate-limited with
-// exponential backoff. The pump itself is single-threaded (one producer
-// thread owns the pipeline; fits inside refits still use the
-// support/parallel pool and stay bit-identical at any MPICP_THREADS).
+// exponential backoff. The pump itself is serialized: push()/push_row()
+// take the pipeline mutex, so concurrent producers interleave whole
+// rows (fits inside refits still use the support/parallel pool and
+// stay bit-identical at any MPICP_THREADS).
 #pragma once
 
 #include <cstddef>
@@ -28,6 +29,7 @@
 #include <vector>
 
 #include "collbench/dataset.hpp"
+#include "support/thread_safety.hpp"
 #include "tune/drift.hpp"
 #include "tune/registry.hpp"
 
@@ -106,7 +108,9 @@ class StreamPipeline {
     std::uint64_t backoff_skips = 0;    ///< refit due but backoff gated it
     std::uint64_t window_evictions = 0;
   };
-  const Stats& stats() const { return stats_; }
+  /// Point-in-time copy of the pipeline accounting, taken under the
+  /// pump lock so a concurrent push never tears it.
+  Stats stats() const;
 
   std::size_t window_size(const BankKey& key) const;
   std::size_t holdout_size(const BankKey& key) const;
@@ -125,20 +129,32 @@ class StreamPipeline {
     std::uint64_t backoff_until = 0;    ///< accepted count gate
   };
 
-  void ingest(KeyState& state, const bench::Record& rec);
+  [[nodiscard]] RowOutcome push_locked(const BankKey& key,
+                                       const bench::Record& rec)
+      MPICP_REQUIRES(mu_);
+  void ingest(KeyState& state, const bench::Record& rec)
+      MPICP_REQUIRES(mu_);
   void observe_error(KeyState& state, const BankKey& key,
-                     const bench::Record& rec, RowOutcome* out);
-  void maybe_refit(KeyState& state, const BankKey& key, RowOutcome* out);
+                     const bench::Record& rec, RowOutcome* out)
+      MPICP_REQUIRES(mu_);
+  void maybe_refit(KeyState& state, const BankKey& key, RowOutcome* out)
+      MPICP_REQUIRES(mu_);
   /// Mean relative holdout error of `bank`; unusable predictions carry
   /// a fixed penalty so a bank that cannot serve the holdout loses.
+  /// Needs no capability: it runs inside the registry's validator
+  /// callback, which the analysis sees without the pump's context.
   double holdout_error(const KeyState& state, const CompiledBank& bank) const;
 
   BankRegistry& registry_;
-  StreamOptions options_;
-  std::map<BankKey, KeyState> states_;
-  Stats stats_;
-  /// Scratch for per-row predictions (the pump is single-threaded).
-  mutable std::vector<Selector::Prediction> pred_scratch_;
+  /// Validated by the constructor; immutable afterwards.
+  StreamOptions options_;  // mpicp-lint: allow(lock-discipline)
+  /// Serializes the pump: whole rows interleave, never their steps.
+  mutable support::Mutex mu_;
+  std::map<BankKey, KeyState> states_ MPICP_GUARDED_BY(mu_);
+  Stats stats_ MPICP_GUARDED_BY(mu_);
+  /// Scratch for per-row predictions, reused across pushes.
+  mutable std::vector<Selector::Prediction> pred_scratch_
+      MPICP_GUARDED_BY(mu_);
 };
 
 }  // namespace mpicp::tune

@@ -1,0 +1,17 @@
+// Naked weakened orders (two findings: lines 8 and 12).
+
+#include <atomic>
+
+namespace mpicp::support {
+
+int drain(std::atomic<int>& pending) {
+  const int n = pending.load(std::memory_order_relaxed);
+  pending.store(0, std::memory_order_seq_cst);
+  for (int i = 0; i < n; ++i) {
+    // A stale comment without the tag does not satisfy the audit.
+    pending.fetch_sub(1, std::memory_order::acq_rel);
+  }
+  return n;
+}
+
+}  // namespace mpicp::support

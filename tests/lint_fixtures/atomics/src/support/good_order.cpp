@@ -1,0 +1,20 @@
+// Every satisfying shape: same-line tag, comment-block tag, a tag
+// above a multi-line call, and the allow() escape hatch.
+
+#include <atomic>
+
+namespace mpicp::support {
+
+void publish(std::atomic<int>& flag, std::atomic<long>& total) {
+  flag.store(1, std::memory_order_release);  // order: publishes total
+  // order: independent statistic; readers only need eventual totals,
+  // and the comment block above the statement satisfies the audit.
+  total.fetch_add(1, std::memory_order_relaxed);
+  // order: the continuation walk follows multi-line argument lists.
+  total.store(0,
+              std::memory_order_relaxed);
+  // mpicp-lint: allow(atomic-order-audit)
+  total.fetch_add(2, std::memory_order_relaxed);
+}
+
+}  // namespace mpicp::support

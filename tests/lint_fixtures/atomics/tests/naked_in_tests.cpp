@@ -1,0 +1,7 @@
+// R14 is scoped to src/ — naked orders outside it stay silent.
+
+#include <atomic>
+
+void spin_up(std::atomic<bool>& flag) {
+  flag.store(true, std::memory_order_relaxed);
+}

@@ -1,0 +1,15 @@
+// The other half of the include cycle. simmpi and collbench share a
+// rank, so neither edge is an upward include — only the cycle fires.
+#pragma once
+
+#include "simmpi/cycle_a.hpp"
+
+namespace mpicp::bench {
+
+struct CycleB {
+  int tag = 0;
+};
+
+inline int poke(CycleB& b) { return sim::touch_b(b); }
+
+}  // namespace mpicp::bench

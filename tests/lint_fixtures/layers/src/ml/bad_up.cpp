@@ -1,0 +1,12 @@
+// Upward include: ml (layer 1) must not depend on tune (layer 3).
+// The same edge with an inline allow() lives in allowed_up.cpp.
+
+#include "tune/top.hpp"
+
+namespace mpicp::ml {
+
+int probe_size(const tune::TopThing& thing) {
+  return thing.base.value;
+}
+
+}  // namespace mpicp::ml

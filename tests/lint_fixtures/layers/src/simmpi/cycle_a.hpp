@@ -1,0 +1,10 @@
+// One half of a deliberate include cycle (closed in collbench).
+#pragma once
+
+#include "collbench/cycle_b.hpp"
+
+namespace mpicp::sim {
+
+inline int touch_b(const bench::CycleB& b) { return b.tag; }
+
+}  // namespace mpicp::sim

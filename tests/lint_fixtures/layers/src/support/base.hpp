@@ -1,0 +1,10 @@
+// Bottom-layer header the other layer fixtures include.
+#pragma once
+
+namespace mpicp::support {
+
+struct BaseThing {
+  int value = 0;
+};
+
+}  // namespace mpicp::support

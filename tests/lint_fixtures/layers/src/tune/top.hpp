@@ -1,0 +1,12 @@
+// Top-layer header; including it from a lower layer inverts the DAG.
+#pragma once
+
+#include "support/base.hpp"
+
+namespace mpicp::tune {
+
+struct TopThing {
+  support::BaseThing base;
+};
+
+}  // namespace mpicp::tune

@@ -1,0 +1,22 @@
+// Unannotated members in mutex-declaring classes (two findings).
+#pragma once
+
+#include <mutex>
+
+namespace mpicp::support {
+
+struct BadCounters {
+  int hits = 0;
+  std::mutex mu;
+};
+
+class BadQueue {
+ public:
+  void push(int v);
+
+ private:
+  std::mutex mu_;
+  int depth_ = 0;
+};
+
+}  // namespace mpicp::support

@@ -1,0 +1,34 @@
+// Every exempt shape: annotated, allow()ed, sync primitives,
+// references, static/constexpr/const members, and mutex-free classes.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#define MPICP_GUARDED_BY(x)
+
+namespace mpicp::support {
+
+class GoodQueue {
+ public:
+  void push(int v);
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable_any cv_;
+  std::atomic<int> pending_{0};
+  int depth_ MPICP_GUARDED_BY(mu_) = 0;
+  /// Written once at construction; immutable afterwards.
+  int capacity_ = 0;  // mpicp-lint: allow(lock-discipline)
+  int& sink_;
+  static int s_instances;
+  static constexpr int kLimit = 8;
+  const int floor_ = 0;
+};
+
+struct NoMutexHere {
+  int anything = 0;
+};
+
+}  // namespace mpicp::support

@@ -67,14 +67,15 @@ std::vector<Finding> parse_findings(const std::string& output) {
   return out;
 }
 
-TEST(Lint, ListsAllElevenRules) {
+TEST(Lint, ListsAllFourteenRules) {
   const LintRun run = run_lint("--list-rules");
   EXPECT_EQ(run.exit_code, 0);
   for (const char* rule :
        {"no-raw-rand", "no-raw-thread", "no-wall-clock", "no-stdout",
         "no-bare-throw", "no-float-eq", "header-hygiene",
         "nodiscard-report", "no-alloc-in-loop", "span-coverage",
-        "include-what-you-use-lite"}) {
+        "include-what-you-use-lite", "layer-dag", "lock-discipline",
+        "atomic-order-audit"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
   }
 }
@@ -159,6 +160,85 @@ TEST(Lint, IwyuFixtureTreeReportsExactDiagnostics) {
   std::vector<Finding> got = parse_findings(run.output);
   std::sort(got.begin(), got.end());
   EXPECT_EQ(got, expected) << run.output;
+}
+
+TEST(Lint, LayerFixtureTreeReportsExactDiagnostics) {
+  // R12 flags the upward ml -> tune include and the simmpi <->
+  // collbench cycle (anchored at the edge that closes it in sorted DFS
+  // order); the allow(layer-dag)ed upward edge, downward includes and
+  // same-rank sibling includes all stay silent.
+  const LintRun run = run_lint("--root " + fixture_root("layers"));
+  EXPECT_EQ(run.exit_code, 1);
+
+  const std::vector<Finding> expected = {
+      {"src/ml/bad_up.cpp", 4, "layer-dag"},
+      {"src/simmpi/cycle_a.hpp", 4, "layer-dag"},
+  };
+  std::vector<Finding> got = parse_findings(run.output);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected) << run.output;
+}
+
+TEST(Lint, LockFixtureTreeReportsExactDiagnostics) {
+  // R13 flags unannotated members of mutex-declaring classes;
+  // MPICP_GUARDED_BY, allow(lock-discipline), sync primitives,
+  // references, static/constexpr/const members, methods and mutex-free
+  // classes all stay silent.
+  const LintRun run = run_lint("--root " + fixture_root("locks"));
+  EXPECT_EQ(run.exit_code, 1);
+
+  const std::vector<Finding> expected = {
+      {"src/support/bad_lock.hpp", 9, "lock-discipline"},
+      {"src/support/bad_lock.hpp", 19, "lock-discipline"},
+  };
+  std::vector<Finding> got = parse_findings(run.output);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected) << run.output;
+}
+
+TEST(Lint, AtomicOrderFixtureTreeReportsExactDiagnostics) {
+  // R14 flags explicitly weakened memory orders without an adjacent
+  // `// order:` justification; same-line tags, comment-block tags,
+  // continuation-line walks, seq_cst, the allow() escape hatch and
+  // files outside src/ all stay silent.
+  const LintRun run = run_lint("--root " + fixture_root("atomics"));
+  EXPECT_EQ(run.exit_code, 1);
+
+  const std::vector<Finding> expected = {
+      {"src/support/bad_order.cpp", 8, "atomic-order-audit"},
+      {"src/support/bad_order.cpp", 12, "atomic-order-audit"},
+  };
+  std::vector<Finding> got = parse_findings(run.output);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected) << run.output;
+}
+
+TEST(Lint, SelfTestPasses) {
+  // The embedded fixture expectations and the binary agree — this is
+  // the same gate CI runs before the libraries compile.
+  const LintRun run = run_lint("--root " MPICP_SOURCE_DIR " --self-test");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("mpicp_lint --self-test: PASS"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(Lint, GraphCacheKeepsFindingsIdentical) {
+  // A cold run writes the include-graph cache; a warm run reuses it and
+  // must report byte-identical diagnostics.
+  namespace fs = std::filesystem;
+  const fs::path cache =
+      fs::temp_directory_path() / "mpicp_lint_test_graph.cache";
+  fs::remove(cache);
+  const std::string args = "--root " + fixture_root("layers") +
+                           " --graph-cache " + cache.string();
+  const LintRun cold = run_lint(args);
+  EXPECT_EQ(cold.exit_code, 1);
+  ASSERT_TRUE(fs::exists(cache));
+  const LintRun warm = run_lint(args);
+  EXPECT_EQ(warm.exit_code, 1);
+  EXPECT_EQ(cold.output, warm.output);
+  fs::remove(cache);
 }
 
 TEST(Lint, SuppressionsSilenceEveryForm) {

@@ -21,8 +21,10 @@
 #include <algorithm>
 #include <cctype>
 #include <cstddef>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <map>
 #include <regex>
@@ -51,12 +53,18 @@ constexpr const char* kRuleAllocLoop = "no-alloc-in-loop";// R9
 constexpr const char* kRuleSpan = "span-coverage";        // R10
 constexpr const char* kRuleIwyu =
     "include-what-you-use-lite";                          // R11
+constexpr const char* kRuleLayerDag = "layer-dag";        // R12
+constexpr const char* kRuleLockDiscipline =
+    "lock-discipline";                                    // R13
+constexpr const char* kRuleAtomicOrder =
+    "atomic-order-audit";                                 // R14
 
 const std::set<std::string>& all_rules() {
   static const std::set<std::string> rules = {
       kRuleRand,    kRuleThread,  kRuleWallClock, kRuleStdout,
       kRuleThrow,   kRuleFloatEq, kRuleHeader,    kRuleNodiscard,
-      kRuleAllocLoop, kRuleSpan,  kRuleIwyu};
+      kRuleAllocLoop, kRuleSpan,  kRuleIwyu,      kRuleLayerDag,
+      kRuleLockDiscipline, kRuleAtomicOrder};
   return rules;
 }
 
@@ -1018,22 +1026,403 @@ void check_iwyu(const std::string& rel,
 }
 
 // ---------------------------------------------------------------------
+// R12 — the layer DAG (whole-program, two-phase).
+//
+// The project layers form a DAG (DESIGN.md §15):
+//
+//   support -> {ml, simnet} -> {simmpi, collbench} -> tune
+//           -> {tools, bench, examples, tests}
+//
+// Phase 1 walks every file once and records its project includes (the
+// include graph; cacheable via --graph-cache). Phase 2 then flags
+//   a) upward includes — a file whose layer ranks lower than the layer
+//      of a header it includes (same-rank sibling includes are fine:
+//      collbench legitimately uses simmpi), and
+//   b) include cycles — a DFS over the file-level graph, visited in
+//      sorted order so the report is deterministic; each cycle is
+//      reported once, anchored at the include edge that closes it.
+// Findings honour the including file's allow(layer-dag) suppressions
+// like any per-file rule.
+// ---------------------------------------------------------------------
+struct IncludeEdge {
+  std::string path;      // as written, e.g. "tune/registry.hpp"
+  std::size_t line = 0;  // 1-based
+};
+
+/// rel -> project includes, for every walked file.
+using IncludeGraph = std::map<std::string, std::vector<IncludeEdge>>;
+
+int layer_rank(const std::string& rel) {
+  if (starts_with(rel, "src/support/")) return 0;
+  if (starts_with(rel, "src/ml/") || starts_with(rel, "src/simnet/")) {
+    return 1;
+  }
+  if (starts_with(rel, "src/simmpi/") ||
+      starts_with(rel, "src/collbench/")) {
+    return 2;
+  }
+  if (starts_with(rel, "src/tune/")) return 3;
+  return 4;  // tools, bench, examples, tests: free to use every layer
+}
+
+const char* layer_name(int rank) {
+  switch (rank) {
+    case 0: return "support";
+    case 1: return "ml/simnet";
+    case 2: return "simmpi/collbench";
+    case 3: return "tune";
+    default: return "the leaf layer (tools/bench/examples/tests)";
+  }
+}
+
+std::vector<IncludeEdge> extract_project_includes(
+    const std::vector<std::string>& raw, const LexedFile& lexed) {
+  // The lexed line proves the directive is live code; the raw line
+  // carries the path the lexer blanked (as in check_iwyu). Both quote
+  // forms are recorded: R7c separately flags <> project includes, but
+  // they still count as dependency edges.
+  static const std::regex inc_code(R"(^\s*#\s*include\b)");
+  static const std::regex inc_raw(R"(^\s*#\s*include\s*[<"]([^>"]+)[>"])");
+  std::vector<IncludeEdge> out;
+  for (std::size_t li = 0; li < raw.size(); ++li) {
+    if (!std::regex_search(lexed.code[li], inc_code)) continue;
+    std::smatch m;
+    if (!std::regex_search(raw[li], m, inc_raw)) continue;
+    const std::string path = m[1].str();
+    for (const std::string& p : project_include_prefixes()) {
+      if (starts_with(path, p)) {
+        out.push_back({path, li + 1});
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void check_layer_dag(const IncludeGraph& graph,
+                     std::map<std::string, std::vector<Diagnostic>>* out) {
+  // a) Upward includes (rank is path-derived; the target need not be a
+  //    walked file for the edge to be judged).
+  for (const auto& [rel, edges] : graph) {
+    const int r = layer_rank(rel);
+    for (const IncludeEdge& e : edges) {
+      const int tr = layer_rank("src/" + e.path);
+      if (tr <= r) continue;
+      (*out)[rel].push_back(
+          {rel, e.line, kRuleLayerDag,
+           "include of '" + e.path + "' inverts the layer DAG — " +
+               std::string(layer_name(r)) + " must not depend on " +
+               layer_name(tr) + " (DESIGN.md §15)"});
+    }
+  }
+
+  // b) Cycles. Only edges to walked files are traversed.
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::string> stack;
+  const std::function<void(const std::string&)> dfs =
+      [&](const std::string& u) {
+        color[u] = 1;
+        stack.push_back(u);
+        const auto it = graph.find(u);
+        if (it != graph.end()) {
+          for (const IncludeEdge& e : it->second) {
+            const std::string v = "src/" + e.path;
+            if (!graph.count(v)) continue;
+            const int c = color[v];
+            if (c == 2) continue;
+            if (c == 0) {
+              dfs(v);
+              continue;
+            }
+            // Back edge u -> v: the cycle is v .. u -> v on the stack.
+            std::string chain = v;
+            bool tail = false;
+            for (const std::string& n : stack) {
+              if (n == v) {
+                tail = true;
+                continue;
+              }
+              if (tail) chain += " -> " + n;
+            }
+            chain += " -> " + v;
+            (*out)[u].push_back({u, e.line, kRuleLayerDag,
+                                 "include cycle: " + chain});
+          }
+        }
+        stack.pop_back();
+        color[u] = 2;
+      };
+  for (const auto& [rel, edges] : graph) {
+    (void)edges;
+    if (color[rel] == 0) dfs(rel);
+  }
+}
+
+// ---------------------------------------------------------------------
+// R13 — lock discipline (src/** only).
+//
+// A class that declares a mutex capability (std::mutex,
+// std::shared_mutex or support::Mutex by value) is a concurrent
+// container: every mutable data member in it must either carry
+// MPICP_GUARDED_BY / MPICP_PT_GUARDED_BY or justify itself with
+// allow(lock-discipline) (the idiom for members made immutable by
+// construction order — see thread_safety.hpp).
+//
+// The parser is deliberately conservative; unresolvable shapes exempt,
+// never flag. Exempt are: the synchronisation primitives themselves
+// (mutexes, atomics, condition variables), reference members (they
+// alias state guarded elsewhere), static/constexpr members, const-
+// leading members, and anything that parses as a method or nested type.
+// ---------------------------------------------------------------------
+void check_lock_discipline(const std::string& rel,
+                           const std::vector<std::string>& code,
+                           std::vector<Diagnostic>* diags) {
+  std::string joined;
+  std::vector<std::size_t> line_of;
+  for (std::size_t li = 0; li < code.size(); ++li) {
+    joined += code[li];
+    joined += '\n';
+    line_of.resize(joined.size(), li + 1);
+  }
+  const std::vector<Token> toks = tokenize(joined);
+
+  static const std::set<std::string> kMutexTypes = {"mutex", "shared_mutex",
+                                                    "Mutex"};
+  static const std::set<std::string> kSyncTypes = {
+      "mutex",       "shared_mutex",       "Mutex",
+      "atomic",      "atomic_flag",        "condition_variable",
+      "condition_variable_any"};
+  static const std::set<std::string> kSkipLead = {
+      "using",  "typedef", "friend",   "static", "constexpr",
+      "enum",   "class",   "struct",   "union",  "template",
+      "operator", "explicit", "virtual", "const", "public",
+      "private", "protected"};
+
+  for (std::size_t t = 0; t + 1 < toks.size(); ++t) {
+    const Token& tok = toks[t];
+    if (tok.kind != Token::Kind::kIdent ||
+        (tok.text != "class" && tok.text != "struct")) {
+      continue;
+    }
+    if (t > 0 && toks[t - 1].text == "enum") continue;  // enum class
+    if (toks[t + 1].kind != Token::Kind::kIdent) continue;  // anonymous
+    // Find the body brace past the name, capability macros and base
+    // clause; `;` is a forward declaration, `>`/`,`/`)` a template or
+    // parameter context — not a definition.
+    std::size_t open = 0;
+    for (std::size_t j = t + 1; j < toks.size(); ++j) {
+      const std::string& s = toks[j].text;
+      if (s == "(") { j = match_forward(toks, j, "(", ")"); continue; }
+      if (s == "<") { j = match_forward(toks, j, "<", ">"); continue; }
+      if (s == "{") { open = j; break; }
+      if (s == ";" || s == ">" || s == "," || s == ")") break;
+    }
+    if (open == 0) continue;
+    const std::size_t close = match_forward(toks, open, "{", "}");
+
+    // Depth-1 statements of the class body. A `}` returning to depth 1
+    // ends a method body or nested type without a separating `;`.
+    std::vector<std::pair<std::size_t, std::size_t>> stmts;  // [b, e)
+    int brace = 0;
+    int paren = 0;
+    std::size_t begin = open + 1;
+    for (std::size_t j = open; j <= close && j < toks.size(); ++j) {
+      const std::string& s = toks[j].text;
+      if (s == "{") {
+        ++brace;
+      } else if (s == "}") {
+        --brace;
+        // Only a real body close ends a statement — a brace inside an
+        // argument list (`= {}` default arguments) does not.
+        if (brace == 1 && paren == 0) begin = j + 1;
+      } else if (s == "(") {
+        ++paren;
+      } else if (s == ")") {
+        --paren;
+      } else if (s == ";" && brace == 1 && paren == 0) {
+        stmts.emplace_back(begin, j);
+        begin = j + 1;
+      }
+    }
+
+    bool has_mutex = false;
+    struct Candidate {
+      std::string name;
+      std::size_t line;
+    };
+    std::vector<Candidate> unannotated;
+    for (auto [b, e] : stmts) {
+      // Strip access-specifier labels fused into the statement.
+      while (b + 1 < e && toks[b].kind == Token::Kind::kIdent &&
+             (toks[b].text == "public" || toks[b].text == "private" ||
+              toks[b].text == "protected") &&
+             toks[b + 1].text == ":") {
+        b += 2;
+      }
+      if (b >= e) continue;
+      // Annotated members are satisfied whatever their shape (and the
+      // macro's parens would otherwise read as a method signature).
+      bool annotated = false;
+      for (std::size_t j = b; j < e; ++j) {
+        if (toks[j].text == "MPICP_GUARDED_BY" ||
+            toks[j].text == "MPICP_PT_GUARDED_BY") {
+          annotated = true;
+          break;
+        }
+      }
+      if (annotated) continue;
+      if (toks[b].kind == Token::Kind::kIdent &&
+          kSkipLead.count(toks[b].text)) {
+        continue;
+      }
+      // The declarator prefix: everything before the first top-level
+      // initialiser (`=` or `{`).
+      std::size_t stop = e;
+      int pd = 0;
+      int ad = 0;
+      for (std::size_t j = b; j < e; ++j) {
+        const std::string& s = toks[j].text;
+        if (s == "(") {
+          ++pd;
+        } else if (s == ")") {
+          --pd;
+        } else if (s == "<") {
+          ++ad;
+        } else if (s == ">") {
+          if (ad > 0) --ad;
+        } else if (pd == 0 && ad == 0 && (s == "=" || s == "{")) {
+          stop = j;
+          break;
+        }
+      }
+      if (stop <= b) continue;
+      bool has_paren = false;
+      bool is_ref = false;
+      bool sync = false;
+      bool mutex_typed = false;
+      for (std::size_t j = b; j < stop; ++j) {
+        const std::string& s = toks[j].text;
+        if (s == "(") has_paren = true;
+        if (s == "&") is_ref = true;
+        if (toks[j].kind == Token::Kind::kIdent) {
+          if (kSyncTypes.count(s)) sync = true;
+          if (kMutexTypes.count(s)) mutex_typed = true;
+        }
+      }
+      if (has_paren) continue;  // method, constructor, function type
+      const Token& last = toks[stop - 1];
+      if (last.kind != Token::Kind::kIdent) continue;
+      if (mutex_typed && !is_ref) has_mutex = true;
+      if (sync || is_ref) continue;  // the primitives guard, not guarded
+      unannotated.push_back({last.text, line_of[last.col]});
+    }
+    if (!has_mutex) continue;
+    for (const Candidate& c : unannotated) {
+      diags->push_back(
+          {rel, c.line, kRuleLockDiscipline,
+           "'" + c.name + "' shares a class with a mutex but carries no "
+           "MPICP_GUARDED_BY — annotate the guard, or justify with "
+           "allow(lock-discipline) (thread_safety.hpp, DESIGN.md §15)"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// R14 — atomic order audit (src/** only).
+//
+// Every explicitly weakened memory order (memory_order_relaxed /
+// acquire / release / acq_rel / consume, either spelling) must carry an
+// adjacent `// order: <why>` justification: on the same line, or in the
+// comment block immediately above the statement (the walk follows
+// comment-only lines and continuation lines of a multi-line call).
+// Default (seq_cst) operations need nothing — the rule exists so every
+// deliberate weakening states what it publishes and why that is safe.
+// ---------------------------------------------------------------------
+void check_atomic_order(const std::string& rel, const LexedFile& lexed,
+                        const std::vector<std::vector<Token>>& toks,
+                        std::vector<Diagnostic>* diags) {
+  static const std::set<std::string> kWeak = {
+      "memory_order_relaxed", "memory_order_acquire",
+      "memory_order_release", "memory_order_acq_rel",
+      "memory_order_consume"};
+  static const std::set<std::string> kWeakShort = {
+      "relaxed", "acquire", "release", "acq_rel", "consume"};
+  constexpr std::string_view kTag = "order:";
+  constexpr std::string_view kContinuation = ",(=&|+-*/?:<>";
+
+  const auto tagged = [&](std::size_t li) {
+    return lexed.comment[li].find(kTag) != std::string::npos;
+  };
+
+  for (std::size_t li = 0; li < toks.size(); ++li) {
+    const std::vector<Token>& line = toks[li];
+    std::string spelled;
+    for (std::size_t t = 0; t < line.size(); ++t) {
+      const Token& tok = line[t];
+      if (tok.kind != Token::Kind::kIdent) continue;
+      if (kWeak.count(tok.text)) {
+        spelled = tok.text;
+        break;
+      }
+      if (tok.text == "memory_order" && t + 3 < line.size() &&
+          line[t + 1].text == ":" && line[t + 2].text == ":" &&
+          kWeakShort.count(line[t + 3].text)) {
+        spelled = "memory_order::" + line[t + 3].text;
+        break;
+      }
+    }
+    if (spelled.empty() || tagged(li)) continue;
+    bool satisfied = false;
+    std::size_t j = li;
+    for (int steps = 0; j > 0 && steps < 8; ++steps) {
+      --j;
+      if (tagged(j)) {
+        satisfied = true;
+        break;
+      }
+      const std::string& prev = lexed.code[j];
+      const std::size_t lastc = prev.find_last_not_of(" \t");
+      if (lastc == std::string::npos) continue;  // blank or comment-only
+      if (kContinuation.find(prev[lastc]) != std::string_view::npos) {
+        continue;  // the statement continues across this line
+      }
+      break;  // a completed prior statement without a tag
+    }
+    if (satisfied) continue;
+    diags->push_back(
+        {rel, li + 1, kRuleAtomicOrder,
+         "explicit '" + spelled + "' without an adjacent '// order:' "
+         "comment — state what the weakened ordering publishes and why "
+         "that is safe (DESIGN.md §15)"});
+  }
+}
+
+// ---------------------------------------------------------------------
 // Driver.
 // ---------------------------------------------------------------------
 struct Options {
   fs::path root = ".";
   fs::path baseline;
   fs::path write_baseline;
+  fs::path graph_cache;         // phase-1 include-graph cache file
   std::vector<fs::path> paths;  // explicit files/dirs; default: the tree
 };
 
-void lint_file(const fs::path& abs, const std::string& rel,
-               const fs::path& root, IwyuCache* iwyu_cache,
-               std::vector<Diagnostic>* out) {
+/// Per-line suppressions, shared between the per-file rules and the
+/// whole-program phase (R12 findings land on include lines of a file
+/// whose allow map was collected during its own lint pass).
+using AllowMap = std::map<std::size_t, std::set<std::string>>;
+
+/// The per-file pass: every rule except R12, unfiltered, plus the
+/// file's allow map. Suppression filtering happens in the driver, after
+/// the whole-program findings have been merged in.
+AllowMap lint_file(const fs::path& abs, const std::string& rel,
+                   const fs::path& root, IwyuCache* iwyu_cache,
+                   std::vector<Diagnostic>* out) {
   std::ifstream in(abs);
   if (!in) {
     out->push_back({rel, 0, kRuleHeader, "cannot open file"});
-    return;
+    return {};
   }
   std::vector<std::string> lines;
   std::string line;
@@ -1042,34 +1431,143 @@ void lint_file(const fs::path& abs, const std::string& rel,
   const FileRole role = classify(rel);
   const LexedFile lexed = lex(lines);
 
-  std::vector<Diagnostic> diags;
-  const auto allow =
-      collect_suppressions(lexed.comment, lexed.code, &diags, rel);
+  const AllowMap allow =
+      collect_suppressions(lexed.comment, lexed.code, out, rel);
 
   std::vector<std::vector<Token>> toks(lexed.code.size());
   for (std::size_t i = 0; i < lexed.code.size(); ++i) {
     toks[i] = tokenize(lexed.code[i]);
   }
-  check_tokens(rel, role, toks, &diags);
+  check_tokens(rel, role, toks, out);
   if (role.is_header) {
-    check_header(rel, lexed.code, &diags);
-    check_nodiscard(rel, lexed.code, &diags);
+    check_header(rel, lexed.code, out);
+    check_nodiscard(rel, lexed.code, out);
   }
   if (role.alloc_hot) {
-    check_alloc_in_loop(rel, lexed.code, &diags);
+    check_alloc_in_loop(rel, lexed.code, out);
   }
   if (role.span_scope) {
-    check_span_coverage(rel, lexed.code, &diags);
+    check_span_coverage(rel, lexed.code, out);
   }
-  check_iwyu(rel, lines, lexed, root, iwyu_cache, &diags);
-  for (const Diagnostic& d : diags) {
-    const auto it = allow.find(d.line);
-    if (it != allow.end() &&
-        (it->second.count("all") || it->second.count(d.rule))) {
+  if (role.in_src) {
+    check_lock_discipline(rel, lexed.code, out);
+    check_atomic_order(rel, lexed, toks, out);
+  }
+  check_iwyu(rel, lines, lexed, root, iwyu_cache, out);
+  return allow;
+}
+
+// ---------------------------------------------------------------------
+// Phase 1: the include graph, optionally cached. The cache is a text
+// file of `rel|size|mtime|path@line;...` lines; an entry is reused only
+// when size and mtime still match, so a stale cache degrades to a
+// re-parse, never to wrong edges.
+// ---------------------------------------------------------------------
+struct GraphCacheEntry {
+  std::uintmax_t size = 0;
+  long long mtime = 0;
+  std::vector<IncludeEdge> edges;
+};
+
+std::map<std::string, GraphCacheEntry> load_graph_cache(
+    const fs::path& path) {
+  std::map<std::string, GraphCacheEntry> cache;
+  std::ifstream in(path);
+  if (!in) return cache;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::stringstream ss(line);
+    std::string rel, size_s, mtime_s, edges_s;
+    if (!std::getline(ss, rel, '|') || !std::getline(ss, size_s, '|') ||
+        !std::getline(ss, mtime_s, '|')) {
       continue;
     }
-    out->push_back(d);
+    std::getline(ss, edges_s);  // may be empty: a file with no includes
+    GraphCacheEntry entry;
+    try {
+      entry.size = std::stoull(size_s);
+      entry.mtime = std::stoll(mtime_s);
+    } catch (...) {
+      continue;
+    }
+    std::stringstream es(edges_s);
+    std::string edge;
+    bool bad = false;
+    while (std::getline(es, edge, ';')) {
+      const std::size_t at = edge.rfind('@');
+      if (at == std::string::npos) {
+        bad = true;
+        break;
+      }
+      try {
+        entry.edges.push_back(
+            {edge.substr(0, at),
+             static_cast<std::size_t>(std::stoull(edge.substr(at + 1)))});
+      } catch (...) {
+        bad = true;
+        break;
+      }
+    }
+    if (!bad) cache.emplace(std::move(rel), std::move(entry));
   }
+  return cache;
+}
+
+long long mtime_of(const fs::path& p) {
+  std::error_code ec;
+  const auto t = fs::last_write_time(p, ec);
+  return ec ? 0 : static_cast<long long>(t.time_since_epoch().count());
+}
+
+IncludeGraph build_include_graph(
+    const std::vector<std::pair<fs::path, std::string>>& files,
+    const fs::path& cache_path) {
+  std::map<std::string, GraphCacheEntry> cache;
+  if (!cache_path.empty()) cache = load_graph_cache(cache_path);
+
+  IncludeGraph graph;
+  std::map<std::string, GraphCacheEntry> fresh;
+  for (const auto& [abs, rel] : files) {
+    std::error_code ec;
+    const std::uintmax_t size = fs::file_size(abs, ec);
+    const long long mtime = mtime_of(abs);
+    const auto it = cache.find(rel);
+    if (!ec && it != cache.end() && it->second.size == size &&
+        it->second.mtime == mtime) {
+      graph[rel] = it->second.edges;
+      if (!cache_path.empty()) fresh.emplace(rel, it->second);
+      continue;
+    }
+    std::ifstream in(abs);
+    if (!in) {
+      graph[rel];  // present but edge-free; the lint pass reports it
+      continue;
+    }
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    const LexedFile lexed = lex(lines);
+    std::vector<IncludeEdge> edges = extract_project_includes(lines, lexed);
+    graph[rel] = edges;
+    if (!cache_path.empty()) {
+      fresh.emplace(rel, GraphCacheEntry{ec ? 0 : size, mtime,
+                                         std::move(edges)});
+    }
+  }
+
+  if (!cache_path.empty()) {
+    std::ofstream out(cache_path);
+    for (const auto& [rel, entry] : fresh) {
+      out << rel << '|' << entry.size << '|' << entry.mtime << '|';
+      bool first = true;
+      for (const IncludeEdge& e : entry.edges) {
+        out << (first ? "" : ";") << e.path << '@' << e.line;
+        first = false;
+      }
+      out << '\n';
+    }
+  }
+  return graph;
 }
 
 bool lintable(const fs::path& p) {
@@ -1092,7 +1590,8 @@ std::string rel_path(const fs::path& p, const fs::path& root) {
   return s;
 }
 
-int run(const Options& opt) {
+std::vector<std::pair<fs::path, std::string>> collect_files(
+    const Options& opt) {
   std::vector<std::pair<fs::path, std::string>> files;  // abs, rel
   auto add_tree = [&](const fs::path& dir) {
     if (!fs::exists(dir)) return;
@@ -1118,13 +1617,50 @@ int run(const Options& opt) {
   }
   std::sort(files.begin(), files.end(),
             [](const auto& a, const auto& b) { return a.second < b.second; });
+  return files;
+}
 
+/// Both phases over the requested file set: per-file rules, the
+/// whole-program layer DAG, then suppression filtering. Returns the
+/// surviving diagnostics, sorted.
+std::vector<Diagnostic> analyze(const Options& opt, std::size_t* n_files) {
+  const auto files = collect_files(opt);
+  if (n_files) *n_files = files.size();
+
+  // Phase 1: the include graph (cache-aware).
+  const IncludeGraph graph = build_include_graph(files, opt.graph_cache);
+  std::map<std::string, std::vector<Diagnostic>> layer_diags;
+  check_layer_dag(graph, &layer_diags);
+
+  // Phase 2: per-file rules, then filter everything — including the
+  // R12 findings above — through each file's allow map.
   std::vector<Diagnostic> diags;
   IwyuCache iwyu_cache;
   for (const auto& [abs, rel] : files) {
-    lint_file(abs, rel, opt.root, &iwyu_cache, &diags);
+    std::vector<Diagnostic> file_diags;
+    const AllowMap allow =
+        lint_file(abs, rel, opt.root, &iwyu_cache, &file_diags);
+    const auto lit = layer_diags.find(rel);
+    if (lit != layer_diags.end()) {
+      file_diags.insert(file_diags.end(), lit->second.begin(),
+                        lit->second.end());
+    }
+    for (const Diagnostic& d : file_diags) {
+      const auto it = allow.find(d.line);
+      if (it != allow.end() &&
+          (it->second.count("all") || it->second.count(d.rule))) {
+        continue;
+      }
+      diags.push_back(d);
+    }
   }
   std::sort(diags.begin(), diags.end());
+  return diags;
+}
+
+int run(const Options& opt) {
+  std::size_t n_files = 0;
+  std::vector<Diagnostic> diags = analyze(opt, &n_files);
 
   // Baseline: `path: [rule-id]` lines grandfather existing findings.
   std::set<std::pair<std::string, std::string>> baselined;
@@ -1168,15 +1704,113 @@ int run(const Options& opt) {
               << d.message << '\n';
     ++reported;
   }
-  std::cerr << "mpicp_lint: " << files.size() << " file(s), " << reported
+  std::cerr << "mpicp_lint: " << n_files << " file(s), " << reported
             << " finding(s)\n";
   return reported == 0 ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------
+// --self-test: lint the checked-in fixture trees under
+// <root>/tests/lint_fixtures and compare against the expected findings
+// embedded here. Standalone (no gtest), so CI can gate on the linter
+// before any project library compiles; tests/test_lint.cpp asserts the
+// same tables through the ctest harness.
+// ---------------------------------------------------------------------
+int self_test(const fs::path& root) {
+  struct Expect {
+    const char* file;
+    std::size_t line;
+    const char* rule;
+  };
+  struct Case {
+    const char* tree;
+    std::vector<Expect> expects;
+  };
+  const std::vector<Case> cases = {
+      {"clean", {}},
+      {"dirty",
+       {{"src/bad_clock.cpp", 6, kRuleWallClock},
+        {"src/bad_clock.cpp", 7, kRuleWallClock},
+        {"src/bad_floateq.cpp", 3, kRuleFloatEq},
+        {"src/bad_header.hpp", 1, kRuleHeader},
+        {"src/bad_header.hpp", 3, kRuleHeader},
+        {"src/bad_header.hpp", 5, kRuleHeader},
+        {"src/bad_nodiscard.hpp", 6, kRuleNodiscard},
+        {"src/bad_rand.cpp", 6, kRuleRand},
+        {"src/bad_rand.cpp", 7, kRuleRand},
+        {"src/bad_rand.cpp", 8, kRuleRand},
+        {"src/bad_stdout.cpp", 6, kRuleStdout},
+        {"src/bad_stdout.cpp", 7, kRuleStdout},
+        {"src/bad_thread.cpp", 5, kRuleThread},
+        {"src/bad_thread.cpp", 6, kRuleThread},
+        {"src/bad_throw.cpp", 5, kRuleThrow}}},
+      {"alloc",
+       {{"src/ml/bad_alloc.cpp", 9, kRuleAllocLoop},
+        {"src/ml/bad_alloc.cpp", 10, kRuleAllocLoop},
+        {"src/ml/bad_alloc.cpp", 11, kRuleAllocLoop},
+        {"src/ml/bad_alloc.cpp", 12, kRuleAllocLoop},
+        {"src/ml/bad_alloc.cpp", 15, kRuleAllocLoop},
+        {"src/ml/bad_alloc.cpp", 18, kRuleAllocLoop}}},
+      {"spans", {{"src/tune/needs_span.cpp", 8, kRuleSpan}}},
+      {"iwyu", {{"src/tune/consumer.cpp", 7, kRuleIwyu}}},
+      {"suppressed", {}},
+      {"unknown", {{"src/unknown.cpp", 3, kRuleHeader}}},
+      {"layers",
+       {{"src/ml/bad_up.cpp", 4, kRuleLayerDag},
+        {"src/simmpi/cycle_a.hpp", 4, kRuleLayerDag}}},
+      {"locks",
+       {{"src/support/bad_lock.hpp", 9, kRuleLockDiscipline},
+        {"src/support/bad_lock.hpp", 19, kRuleLockDiscipline}}},
+      {"atomics",
+       {{"src/support/bad_order.cpp", 8, kRuleAtomicOrder},
+        {"src/support/bad_order.cpp", 12, kRuleAtomicOrder}}},
+  };
+
+  bool ok = true;
+  for (const Case& c : cases) {
+    Options opt;
+    opt.root = root / "tests" / "lint_fixtures" / c.tree;
+    if (!fs::exists(opt.root)) {
+      std::cout << "self-test " << c.tree << ": FAIL (missing fixture tree "
+                << opt.root.string() << ")\n";
+      ok = false;
+      continue;
+    }
+    const std::vector<Diagnostic> diags = analyze(opt, nullptr);
+    std::set<std::string> got;
+    for (const Diagnostic& d : diags) {
+      got.insert(d.file + ":" + std::to_string(d.line) + ":" + d.rule);
+    }
+    std::set<std::string> want;
+    for (const Expect& e : c.expects) {
+      want.insert(std::string(e.file) + ":" + std::to_string(e.line) + ":" +
+                  e.rule);
+    }
+    if (got == want) {
+      std::cout << "self-test " << c.tree << ": PASS (" << want.size()
+                << " expected finding" << (want.size() == 1 ? "" : "s")
+                << ")\n";
+      continue;
+    }
+    ok = false;
+    std::cout << "self-test " << c.tree << ": FAIL\n";
+    for (const std::string& g : got) {
+      if (!want.count(g)) std::cout << "  unexpected: " << g << '\n';
+    }
+    for (const std::string& w : want) {
+      if (!got.count(w)) std::cout << "  missing:    " << w << '\n';
+    }
+  }
+  std::cout << "mpicp_lint --self-test: " << (ok ? "PASS" : "FAIL")
+            << '\n';
+  return ok ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opt;
+  bool want_self_test = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&](const char* flag) -> std::string {
@@ -1192,16 +1826,24 @@ int main(int argc, char** argv) {
       opt.baseline = value("--baseline");
     } else if (arg == "--write-baseline") {
       opt.write_baseline = value("--write-baseline");
+    } else if (arg == "--graph-cache") {
+      opt.graph_cache = value("--graph-cache");
+    } else if (arg == "--self-test") {
+      want_self_test = true;
     } else if (arg == "--list-rules") {
       for (const std::string& r : all_rules()) std::cout << r << '\n';
       return 0;
     } else if (arg == "--help" || arg == "-h") {
       std::cout <<
           "usage: mpicp_lint [--root DIR] [--baseline FILE]\n"
-          "                  [--write-baseline FILE] [--list-rules]\n"
-          "                  [paths...]\n"
+          "                  [--write-baseline FILE] [--graph-cache FILE]\n"
+          "                  [--list-rules] [--self-test] [paths...]\n"
           "Lints src/ tests/ bench/ examples/ under --root (default: .)\n"
-          "or the explicit files/directories given. Exits 1 on findings.\n";
+          "or the explicit files/directories given. Exits 1 on findings.\n"
+          "--graph-cache reuses the phase-1 include graph across runs\n"
+          "(entries are revalidated by size+mtime). --self-test lints\n"
+          "the fixture trees under <root>/tests/lint_fixtures against\n"
+          "the expected findings embedded in the binary.\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "mpicp_lint: unknown option '" << arg << "'\n";
@@ -1210,5 +1852,6 @@ int main(int argc, char** argv) {
       opt.paths.emplace_back(arg);
     }
   }
+  if (want_self_test) return self_test(opt.root);
   return run(opt);
 }
