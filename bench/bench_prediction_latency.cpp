@@ -16,6 +16,7 @@
 // Remaining arguments are passed through to google-benchmark.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -254,6 +255,61 @@ ComparisonRow compare_serving(const std::string& learner, int repeats) {
   return row;
 }
 
+/// Per-layout grid-argmin comparison for the tree-ensemble learners
+/// (DESIGN.md §16): the PR 8 per-instance pointer-free argmin
+/// (select_grid_legacy) against the blocked batched kernel
+/// (select_grid_into), p50/p99 per instance over repeated full-grid
+/// passes at one thread.
+struct LayoutRow {
+  std::string learner;
+  double legacy_p50_us = 0.0;
+  double legacy_p99_us = 0.0;
+  double batched_p50_us = 0.0;
+  double batched_p99_us = 0.0;
+  bool picks_identical = true;
+
+  double speedup() const { return legacy_p50_us / batched_p50_us; }
+};
+
+double percentile_of(std::vector<double>& samples, double p) {
+  std::sort(samples.begin(), samples.end());
+  const std::size_t idx = std::min(
+      samples.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(samples.size())));
+  return samples[idx];
+}
+
+LayoutRow compare_layouts(const std::string& learner, int reps) {
+  const bench::Dataset& ds = training_data();
+  tune::Selector selector(tune::SelectorOptions{.learner = learner});
+  (void)selector.fit(ds, ds.node_counts());
+  const tune::CompiledBank bank = selector.compile();
+  const std::vector<bench::Instance> grid = make_query_grid();
+
+  support::ScopedThreads scoped(1);
+  LayoutRow row;
+  row.learner = learner;
+  std::vector<double> legacy_us(reps, 0.0);
+  std::vector<double> batched_us(reps, 0.0);
+  std::vector<int> legacy_picks;
+  std::vector<int> batched_picks(grid.size(), -1);
+  for (int rep = 0; rep < reps; ++rep) {
+    auto start = Clock::now();
+    legacy_picks = bank.select_grid_legacy(grid);
+    legacy_us[rep] = seconds_since(start) * 1e6 / grid.size();
+
+    start = Clock::now();
+    bank.select_grid_into(grid, batched_picks);
+    batched_us[rep] = seconds_since(start) * 1e6 / grid.size();
+    if (batched_picks != legacy_picks) row.picks_identical = false;
+  }
+  row.legacy_p50_us = percentile_of(legacy_us, 0.50);
+  row.legacy_p99_us = percentile_of(legacy_us, 0.99);
+  row.batched_p50_us = percentile_of(batched_us, 0.50);
+  row.batched_p99_us = percentile_of(batched_us, 0.99);
+  return row;
+}
+
 int run_comparison(bool smoke, const std::string& json_path) {
   const std::vector<std::string> learners =
       smoke ? std::vector<std::string>{"gam", "knn"}
@@ -309,6 +365,46 @@ int run_comparison(bool smoke, const std::string& json_path) {
   table.print(os);
   std::fputs(os.str().c_str(), stdout);
 
+  // Blocked-layout trajectory for the tree ensembles: legacy
+  // per-instance argmin vs the batched kernel, both layouts must pick
+  // identically and the batched kernel must clear 1.5x at p50.
+  const int layout_reps = smoke ? 24 : 64;
+  std::printf("\nGBT/RF grid argmin per layout (1 thread, %d full-grid "
+              "passes)\n\n",
+              layout_reps);
+  support::TextTable layout_table(
+      {"learner", "legacy p50 [us/inst]", "legacy p99 [us/inst]",
+       "batched p50 [us/inst]", "batched p99 [us/inst]", "p50 speedup",
+       "picks identical"});
+  bool layouts_identical = true;
+  double min_layout_speedup = 1e300;
+  for (const std::string& learner : {"xgboost", "rf"}) {
+    const LayoutRow row = compare_layouts(learner, layout_reps);
+    layouts_identical = layouts_identical && row.picks_identical;
+    min_layout_speedup = std::min(min_layout_speedup, row.speedup());
+    layout_table.add_row(
+        {row.learner, support::format_double(row.legacy_p50_us, 3),
+         support::format_double(row.legacy_p99_us, 3),
+         support::format_double(row.batched_p50_us, 3),
+         support::format_double(row.batched_p99_us, 3),
+         support::format_double(row.speedup(), 2),
+         row.picks_identical ? "yes" : "NO"});
+    metrics.emplace_back(row.learner + ".grid_legacy_p50_us",
+                         row.legacy_p50_us);
+    metrics.emplace_back(row.learner + ".grid_legacy_p99_us",
+                         row.legacy_p99_us);
+    metrics.emplace_back(row.learner + ".grid_batched_p50_us",
+                         row.batched_p50_us);
+    metrics.emplace_back(row.learner + ".grid_batched_p99_us",
+                         row.batched_p99_us);
+    metrics.emplace_back(row.learner + ".layout_speedup_p50",
+                         row.speedup());
+  }
+  metrics.emplace_back("layout_speedup_min", min_layout_speedup);
+  std::ostringstream os_layout;
+  layout_table.print(os_layout);
+  std::fputs(os_layout.str().c_str(), stdout);
+
   bench::json_report(json_path, "prediction_latency", metrics);
   std::printf("\nwrote %s\n", json_path.c_str());
   if (!all_identical) {
@@ -317,6 +413,18 @@ int run_comparison(bool smoke, const std::string& json_path) {
     return 1;
   }
   std::printf("compiled picks bit-identical to interpreted: yes\n");
+  if (!layouts_identical) {
+    std::printf("FAIL: batched layout picks differ from the legacy "
+                "layout\n");
+    return 1;
+  }
+  std::printf("batched layout picks bit-identical to legacy: yes\n");
+  if (min_layout_speedup < 1.5) {
+    std::printf("FAIL: batched grid argmin speedup %.2fx below the 1.5x "
+                "gate\n",
+                min_layout_speedup);
+    return 1;
+  }
   return 0;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
+#include <utility>
 
 #include "ml/forest.hpp"
 #include "ml/gam.hpp"
@@ -95,7 +97,195 @@ int FlatBank::add(const Regressor& model) {
     MPICP_RAISE_ARG("cannot compile learner '" + model.name() + "'");
   }
   models_.push_back(m);
+  // The canonical pools are append-only, so global node indices never
+  // move — but the blocked prefixes are derived per model, so rebuild
+  // them whole (add() is a cold path; serving never lowers).
+  build_blocked();
   return idx;
+}
+
+void FlatBank::build_blocked() {
+  blk_tree_levels_.assign(tree_roots_.size(), 0);
+  blk_spill_.assign(tree_roots_.size(), 0);
+  blk_base_.assign(tree_roots_.size(), 0);
+  blk_exit_base_.assign(tree_roots_.size(), 0);
+  blk_thr_.clear();
+  blk_feat_.clear();
+  blk_exit_.clear();
+  blk_leaf_.clear();
+  // (node, depth) DFS stack and the slot→node assignment of one block,
+  // hoisted out of the per-tree loops.
+  std::vector<std::pair<std::int32_t, int>> stack;
+  stack.reserve(64);
+  std::vector<std::int32_t> assign;
+  for (std::size_t mi = 0; mi < models_.size(); ++mi) {
+    const FlatModel& m = models_[mi];
+    if (m.kind != FlatKind::kTreeEnsemble) continue;
+    for (int t = m.tree_begin; t < m.tree_end; ++t) {
+      // Blocked levels for this tree: its own deepest comparison
+      // level, capped — shallow trees never walk padding levels.
+      int levels = 0;
+      stack.clear();
+      stack.push_back({tree_roots_[t], 0});
+      while (!stack.empty()) {
+        const auto [n, d] = stack.back();
+        stack.pop_back();
+        if (nodes_[n].feature < 0) continue;
+        levels = std::max(levels, d + 1);
+        if (levels >= block_depth_cap_) {
+          levels = block_depth_cap_;
+          break;
+        }
+        stack.push_back({nodes_[n].left, d + 1});
+        stack.push_back({nodes_[n].right, d + 1});
+      }
+      blk_tree_levels_[t] = levels;
+      const std::size_t inner = (std::size_t{1} << levels) - 1;
+      const std::size_t exits = std::size_t{1} << levels;
+      assign.assign(inner + exits, -1);
+      blk_base_[t] = static_cast<std::int32_t>(blk_thr_.size());
+      blk_exit_base_[t] = static_cast<std::int32_t>(blk_exit_.size());
+      blk_thr_.resize(blk_thr_.size() + inner);
+      blk_feat_.resize(blk_feat_.size() + inner);
+      blk_exit_.resize(blk_exit_.size() + exits);
+      blk_leaf_.resize(blk_leaf_.size() + exits);
+      double* thr = blk_thr_.data() + blk_base_[t];
+      std::int32_t* ft = blk_feat_.data() + blk_base_[t];
+      std::int32_t* ex = blk_exit_.data() + blk_exit_base_[t];
+      double* leaf = blk_leaf_.data() + blk_exit_base_[t];
+      assign[0] = tree_roots_[t];
+      for (std::size_t s = 0; s < inner; ++s) {
+        const std::int32_t n = assign[s];
+        const FlatTreeNode& node = nodes_[n];
+        if (node.feature >= 0) {
+          ft[s] = node.feature;
+          thr[s] = node.threshold;
+          assign[2 * s + 1] = node.left;
+          assign[2 * s + 2] = node.right;
+        } else {
+          // Pass-through slot for a leaf shallower than the block: both
+          // children route to the same leaf, so the predicated step can
+          // take either branch (even on a NaN feature) and still land
+          // on the node the legacy walk stops at.
+          ft[s] = 0;
+          thr[s] = std::numeric_limits<double>::infinity();
+          assign[2 * s + 1] = n;
+          assign[2 * s + 2] = n;
+        }
+      }
+      bool spill = false;
+      for (std::size_t e = 0; e < exits; ++e) {
+        ex[e] = assign[inner + e];
+        const FlatTreeNode& node = nodes_[ex[e]];
+        // Spill-free exits carry the leaf value inline, so the hot
+        // walk finishes with one load instead of a node-pool visit.
+        leaf[e] = node.value;
+        spill = spill || node.feature >= 0;
+      }
+      blk_spill_[t] = spill ? 1 : 0;
+    }
+  }
+  build_rank_tables();
+}
+
+void FlatBank::build_rank_tables() {
+  rank_tables_.assign(models_.size(), RankTable{});
+  rank_thr_.clear();
+  cell_val_.clear();
+  std::vector<std::vector<double>> per_feat(kMaxRankFeatures);
+  std::vector<std::int32_t> node_rank;
+  std::vector<std::int32_t> ranks;
+  for (std::size_t mi = 0; mi < models_.size(); ++mi) {
+    const FlatModel& m = models_[mi];
+    if (m.kind != FlatKind::kTreeEnsemble) continue;
+    // The model's nodes are one contiguous pool range (lower_trees
+    // appends tree after tree), bounded by the next tree root.
+    const int node_begin = tree_roots_[m.tree_begin];
+    const int node_end =
+        static_cast<std::size_t>(m.tree_end) < tree_roots_.size()
+            ? tree_roots_[m.tree_end]
+            : static_cast<int>(nodes_.size());
+    // Distinct thresholds per feature, sorted; bail out on any shape
+    // the table cannot represent exactly (the blocked walk serves it).
+    RankTable& rt = rank_tables_[mi];
+    for (auto& v : per_feat) v.clear();
+    bool representable = true;
+    int dim = 0;
+    for (int n = node_begin; n < node_end && representable; ++n) {
+      const FlatTreeNode& node = nodes_[n];
+      if (node.feature < 0) continue;
+      if (node.feature >= kMaxRankFeatures ||
+          std::isnan(node.threshold)) {
+        representable = false;
+        break;
+      }
+      dim = std::max(dim, node.feature + 1);
+      // mpicp-lint: allow(no-alloc-in-loop) cold lowering path; the
+      // per-feature split is unknowable before this very scan.
+      per_feat[node.feature].push_back(node.threshold);
+    }
+    if (!representable) continue;
+    std::size_t cells = 1;
+    for (int f = 0; f < dim; ++f) {
+      auto& v = per_feat[f];
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+      cells *= v.size() + 1;
+      if (cells > kMaxRankCells) {
+        representable = false;
+        break;
+      }
+    }
+    if (!representable) continue;
+    rt.dim = dim;
+    std::size_t stride = 1;
+    for (int f = 0; f < dim; ++f) {
+      rt.thr_begin[f] = static_cast<std::int32_t>(rank_thr_.size());
+      rt.thr_len[f] = static_cast<std::int32_t>(per_feat[f].size());
+      rt.stride[f] = static_cast<std::int32_t>(stride);
+      stride *= per_feat[f].size() + 1;
+      rank_thr_.insert(rank_thr_.end(), per_feat[f].begin(),
+                       per_feat[f].end());
+    }
+    // Per-node threshold rank (index of its threshold in the feature's
+    // sorted strip), so the cell walks below are pure integer compares.
+    node_rank.assign(static_cast<std::size_t>(node_end - node_begin), -1);
+    for (int n = node_begin; n < node_end; ++n) {
+      const FlatTreeNode& node = nodes_[n];
+      if (node.feature < 0) continue;
+      const auto& v = per_feat[node.feature];
+      node_rank[n - node_begin] = static_cast<std::int32_t>(
+          std::lower_bound(v.begin(), v.end(), node.threshold) - v.begin());
+    }
+    // Enumerate cells in stride order. A cell's rank vector fixes the
+    // outcome of every comparison (`x < T[j]` iff `rank(x) <= j`), so
+    // walking each tree with those outcomes — in canonical tree order,
+    // with the same accumulation and link transform as the legacy walk
+    // — yields the exact double every instance in the cell would get.
+    rt.cells_begin = static_cast<std::int64_t>(cell_val_.size());
+    cell_val_.reserve(cell_val_.size() + cells);
+    ranks.assign(static_cast<std::size_t>(std::max(dim, 1)), 0);
+    const double num_trees = static_cast<double>(m.tree_end - m.tree_begin);
+    for (std::size_t c = 0; c < cells; ++c) {
+      double raw = m.base_score;
+      for (int t = m.tree_begin; t < m.tree_end; ++t) {
+        int cur = tree_roots_[t];
+        while (nodes_[cur].feature >= 0) {
+          cur = ranks[nodes_[cur].feature] <= node_rank[cur - node_begin]
+                    ? nodes_[cur].left
+                    : nodes_[cur].right;
+        }
+        raw += nodes_[cur].value;
+      }
+      if (m.mean_over_trees) raw /= num_trees;
+      cell_val_.push_back(m.exp_link ? std::exp(raw) : raw);
+      for (int f = 0; f < dim; ++f) {
+        if (++ranks[f] <= rt.thr_len[f]) break;
+        ranks[f] = 0;
+      }
+    }
+    rt.built = true;
+  }
 }
 
 void FlatBank::lower_trees(const std::vector<RegressionTree>& trees,
@@ -253,9 +443,26 @@ double FlatBank::predict_one(std::size_t i, std::span<const double> x,
   const FlatModel& m = models_[i];
   switch (m.kind) {
     case FlatKind::kTreeEnsemble: {
+      // Blocked branch-free walk: predicated index steps through each
+      // tree's packed prefix. Spill-free trees (the common case)
+      // finish with one inline leaf-value load; only spilling exits
+      // fall back to the legacy node-pool walk.
       double raw = m.base_score;
       for (int t = m.tree_begin; t < m.tree_end; ++t) {
-        int cur = tree_roots_[t];
+        const double* thr = blk_thr_.data() + blk_base_[t];
+        const std::int32_t* ft = blk_feat_.data() + blk_base_[t];
+        const int levels = blk_tree_levels_[t];
+        const std::uint32_t exit_off = (1u << levels) - 1;
+        std::uint32_t slot = 0;
+        for (int d = 0; d < levels; ++d) {
+          slot = 2 * slot + 1 +
+                 static_cast<std::uint32_t>(!(x[ft[slot]] < thr[slot]));
+        }
+        if (!blk_spill_[t]) {
+          raw += blk_leaf_[blk_exit_base_[t] + (slot - exit_off)];
+          continue;
+        }
+        std::int32_t cur = blk_exit_[blk_exit_base_[t] + (slot - exit_off)];
         while (nodes_[cur].feature >= 0) {
           cur = x[nodes_[cur].feature] < nodes_[cur].threshold
                     ? nodes_[cur].left
@@ -330,9 +537,122 @@ double FlatBank::predict_one(std::size_t i, std::span<const double> x,
   MPICP_RAISE_INTERNAL("unhandled FlatKind");
 }
 
-void FlatBank::save(std::ostream& os) const {
+double FlatBank::predict_one_legacy(std::size_t i, std::span<const double> x,
+                                    FlatScratch& s) const {
+  MPICP_ASSERT(i < models_.size(), "flat model index out of range");
+  const FlatModel& m = models_[i];
+  if (m.kind != FlatKind::kTreeEnsemble) return predict_one(i, x, s);
+  // The PR 5 data-dependent walk over the pointer-free node pool — the
+  // reference the blocked layout is differentially pinned against.
+  double raw = m.base_score;
+  for (int t = m.tree_begin; t < m.tree_end; ++t) {
+    int cur = tree_roots_[t];
+    while (nodes_[cur].feature >= 0) {
+      cur = x[nodes_[cur].feature] < nodes_[cur].threshold
+                ? nodes_[cur].left
+                : nodes_[cur].right;
+    }
+    raw += nodes_[cur].value;
+  }
+  if (m.mean_over_trees) {
+    raw /= static_cast<double>(m.tree_end - m.tree_begin);
+  }
+  return m.exp_link ? std::exp(raw) : raw;
+}
+
+void FlatBank::predict_tree_batch(std::size_t i, const double* xs,
+                                  std::size_t x_stride, std::size_t count,
+                                  double* out,
+                                  std::size_t out_stride) const {
+  MPICP_ASSERT(i < models_.size(), "flat model index out of range");
+  MPICP_ASSERT(count <= kTreeBatch, "tree batch wider than kTreeBatch");
+  const FlatModel& m = models_[i];
+  MPICP_ASSERT(m.kind == FlatKind::kTreeEnsemble,
+               "predict_tree_batch on a non-tree model");
+  const RankTable& rt = rank_tables_[i];
+  if (rt.built) {
+    // Rank-cell fast path: the instance's per-feature threshold ranks
+    // pick the precomputed cell, so the whole ensemble costs a few
+    // small binary searches plus one load per instance.
+    const double* cells = cell_val_.data() + rt.cells_begin;
+    for (std::size_t b = 0; b < count; ++b) {
+      const double* x = xs + b * x_stride;
+      std::int64_t idx = 0;
+      for (int f = 0; f < rt.dim; ++f) {
+        const double* T = rank_thr_.data() + rt.thr_begin[f];
+        const std::int32_t len = rt.thr_len[f];
+        const double v = x[f];
+        // rank = #{T <= v}; a NaN feature ranks past every threshold
+        // so every comparison takes the legacy `!(x < thr)` branch.
+        const std::int32_t r =
+            v != v ? len
+                   : static_cast<std::int32_t>(
+                         std::upper_bound(T, T + len, v) - T);
+        idx += static_cast<std::int64_t>(r) * rt.stride[f];
+      }
+      out[b * out_stride] = cells[idx];
+    }
+    return;
+  }
+  double raw[kTreeBatch];
+  for (std::size_t b = 0; b < count; ++b) raw[b] = m.base_score;
+  // Tree-outer, instance-inner: each tree's block is walked to
+  // completion by every instance of the batch while its thresholds sit
+  // in L1, and the per-instance register-resident walks are
+  // independent chains the core overlaps in flight. Spill-free trees
+  // (the common case) finish with one inline leaf-value load.
+  for (int t = m.tree_begin; t < m.tree_end; ++t) {
+    const double* thr = blk_thr_.data() + blk_base_[t];
+    const std::int32_t* ft = blk_feat_.data() + blk_base_[t];
+    const int levels = blk_tree_levels_[t];
+    const std::uint32_t exit_off = (1u << levels) - 1;
+    if (!blk_spill_[t]) {
+      const double* leaf = blk_leaf_.data() + blk_exit_base_[t];
+      for (std::size_t b = 0; b < count; ++b) {
+        const double* x = xs + b * x_stride;
+        std::uint32_t slot = 0;
+        for (int d = 0; d < levels; ++d) {
+          slot = 2 * slot + 1 +
+                 static_cast<std::uint32_t>(!(x[ft[slot]] < thr[slot]));
+        }
+        raw[b] += leaf[slot - exit_off];
+      }
+      continue;
+    }
+    const std::int32_t* ex = blk_exit_.data() + blk_exit_base_[t];
+    for (std::size_t b = 0; b < count; ++b) {
+      const double* x = xs + b * x_stride;
+      std::uint32_t slot = 0;
+      for (int d = 0; d < levels; ++d) {
+        slot = 2 * slot + 1 +
+               static_cast<std::uint32_t>(!(x[ft[slot]] < thr[slot]));
+      }
+      std::int32_t cur = ex[slot - exit_off];
+      while (nodes_[cur].feature >= 0) {
+        cur = x[nodes_[cur].feature] < nodes_[cur].threshold
+                  ? nodes_[cur].left
+                  : nodes_[cur].right;
+      }
+      raw[b] += nodes_[cur].value;
+    }
+  }
+  const double num_trees = static_cast<double>(m.tree_end - m.tree_begin);
+  for (std::size_t b = 0; b < count; ++b) {
+    double r = raw[b];
+    if (m.mean_over_trees) r /= num_trees;
+    out[b * out_stride] = m.exp_link ? std::exp(r) : r;
+  }
+}
+
+void FlatBank::save(std::ostream& os, int version) const {
+  MPICP_REQUIRE(version == 1 || version == 2,
+                "unsupported flatbank version");
   io::write_tag(os, "flatbank");
-  io::write_value(os, 1);
+  io::write_value(os, version);
+  // v2 carries the blocked-layout geometry; the payload below is
+  // identical in both versions (the blocked form is derived data and
+  // re-lowered on load).
+  if (version == 2) io::write_value(os, block_depth_cap_);
   io::write_value(os, models_.size());
   for (const FlatModel& m : models_) {
     io::write_value(os, static_cast<int>(m.kind));
@@ -396,7 +716,14 @@ void FlatBank::save(std::ostream& os) const {
 void FlatBank::load(std::istream& is) {
   io::expect_tag(is, "flatbank");
   const int version = io::read_value<int>(is);
-  MPICP_REQUIRE(version == 1, "unsupported flatbank version");
+  MPICP_REQUIRE(version == 1 || version == 2,
+                "unsupported flatbank version");
+  // v1 files predate the blocked layout: load the canonical pools and
+  // re-lower with the default geometry.
+  block_depth_cap_ = version >= 2 ? io::read_value<int>(is)
+                                  : kDefaultBlockDepthCap;
+  MPICP_REQUIRE(block_depth_cap_ >= 0 && block_depth_cap_ <= 20,
+                "implausible flatbank block depth");
   const auto num_models = io::read_value<std::size_t>(is);
   MPICP_REQUIRE(num_models < (1u << 20), "implausible flatbank size");
   models_.assign(num_models, FlatModel{});
@@ -475,6 +802,7 @@ void FlatBank::load(std::istream& is) {
     max_point_dim_ = std::max(max_point_dim_, m.point_dim);
     max_k_ = std::max(max_k_, m.k);
   }
+  build_blocked();
 }
 
 }  // namespace mpicp::ml

@@ -15,8 +15,25 @@
 // caller-owned `FlatScratch` that only grows on first use. Predictions
 // are bit-identical to the interpreted `Regressor::predict_one` — the
 // lowering reorders memory, never arithmetic.
+//
+// Tree ensembles additionally carry a *blocked* branch-free layout
+// (DESIGN.md §16): the first K levels of every tree are packed
+// level-order into a cache-line-aligned complete-binary-tree block, so
+// the hot traversal is predicated index arithmetic
+// (`slot = 2*slot + 1 + !(x[f] < thr)`) with no data-dependent
+// branches; subtrees deeper than K spill into the legacy node pool and
+// finish with the original walk. `predict_tree_batch` walks up to
+// kTreeBatch independent instances per tree level, so the comparisons
+// of a whole batch pipeline and auto-vectorize. On top of the block,
+// models whose distinct-threshold structure is small enough carry a
+// *rank-cell table*: the exact prediction precomputed for every cell
+// of the model's threshold-rank grid, collapsing batched dispatch to a
+// few small binary searches plus one load per model. Both forms are
+// derived data — rebuilt from the canonical pools on add() and load()
+// — and reproduce the legacy traversal bit for bit.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <iosfwd>
 #include <span>
@@ -25,6 +42,7 @@
 
 #include "ml/learner.hpp"
 #include "ml/spline.hpp"
+#include "support/aligned.hpp"
 
 namespace mpicp::ml {
 
@@ -104,6 +122,18 @@ struct FlatScratch {
 
 class FlatBank {
  public:
+  /// Instances walked per tree level by predict_tree_batch: enough
+  /// independent comparison chains to hide the gather latency, small
+  /// enough that slots and accumulators stay in registers.
+  static constexpr std::size_t kTreeBatch = 16;
+
+  /// Blocked levels per tree (capped by that tree's own depth, so
+  /// shallow trees never walk padding levels): at the cap, 2^8-1 = 255
+  /// inner slots ≈ 3 KB per tree — deep enough that the default GBT
+  /// (depth 6) fits entirely and fully-grown RF trees keep most of
+  /// their walk inside the block.
+  static constexpr int kDefaultBlockDepthCap = 8;
+
   /// Lower one fitted regressor into the pools; returns its model index.
   /// Raises kInvalidArgument for regressor types it cannot compile.
   int add(const Regressor& model);
@@ -119,15 +149,51 @@ class FlatBank {
 
   /// Predict with model `i` on the feature vector `x`. Bit-identical to
   /// the interpreted regressor's predict_one. Allocation-free once
-  /// `scratch` has warmed up.
+  /// `scratch` has warmed up. Tree ensembles go through the blocked
+  /// branch-free layout; everything else is the PR 5 path.
   double predict_one(std::size_t i, std::span<const double> x,
                      FlatScratch& scratch) const;
 
-  void save(std::ostream& os) const;
+  /// The PR 5 pointer-free traversal, kept as the differential
+  /// reference for the blocked layout (tests and the layout-comparison
+  /// benches). Identical to predict_one for non-tree models.
+  double predict_one_legacy(std::size_t i, std::span<const double> x,
+                            FlatScratch& scratch) const;
+
+  /// Batched tree-ensemble scoring: `xs` points at `count` feature
+  /// vectors of `x_stride` doubles each (count <= kTreeBatch); writes
+  /// the prediction for instance b to out[b * out_stride]. All trees
+  /// are walked level-by-level across the whole batch — independent
+  /// comparisons pipeline instead of serializing on one branchy walk.
+  /// Bit-identical to predict_one on every instance. Only valid for
+  /// kTreeEnsemble models.
+  void predict_tree_batch(std::size_t i, const double* xs,
+                          std::size_t x_stride, std::size_t count,
+                          double* out, std::size_t out_stride) const;
+
+  /// True when model `i` is served by the blocked batched kernel.
+  bool is_tree_ensemble(std::size_t i) const {
+    return models_[i].kind == FlatKind::kTreeEnsemble;
+  }
+
+  int block_depth_cap() const { return block_depth_cap_; }
+
+  /// Persist the bank. Version 2 (the default) records the blocked
+  /// layout geometry; version 1 emits the PR 5 format byte-for-byte so
+  /// downgrade paths and the envelope-compat tests can produce legacy
+  /// files. Both versions load — v1 files re-lower their blocked form
+  /// with the default geometry.
+  void save(std::ostream& os) const { save(os, 2); }
+  void save(std::ostream& os, int version) const;
   void load(std::istream& is);
 
  private:
   void lower_trees(const std::vector<RegressionTree>& trees, FlatModel& m);
+  /// Rebuild the derived blocked layout for every tree ensemble from
+  /// the canonical node pool (add() and load() both end here).
+  void build_blocked();
+  /// Rebuild the derived rank-cell tables (called by build_blocked).
+  void build_rank_tables();
   void lower_knn(const KnnRegressor& knn, FlatModel& m);
   void lower_gam(const GamRegressor& gam, FlatModel& m);
   int intern_basis(const BSplineBasis& basis);
@@ -157,6 +223,49 @@ class FlatBank {
   int max_basis_size_ = 0;
   int max_point_dim_ = 0;
   int max_k_ = 0;
+
+  // Blocked branch-free layout (derived, never serialized as data —
+  // only its geometry travels in the v2 envelope). Per tree: its own
+  // blocked level count (min of the cap and the tree's depth), the
+  // offsets of its inner-slot block and exit rows, and whether any
+  // exit spills. Exit slots hold indices into the canonical `nodes_`
+  // pool — a leaf for paths that terminate inside the block, or the
+  // root of a spill subtree deeper than the block — and, for
+  // spill-free trees, the leaf *values* directly (blk_leaf_), so the
+  // hot walk never touches the node pool at all.
+  int block_depth_cap_ = kDefaultBlockDepthCap;
+  std::vector<std::int32_t> blk_tree_levels_;  ///< per tree
+  std::vector<std::uint8_t> blk_spill_;        ///< per tree: any deep exit?
+  std::vector<std::int32_t> blk_base_;       ///< per tree: inner-slot offset
+  std::vector<std::int32_t> blk_exit_base_;  ///< per tree: exit-row offset
+  support::AlignedVec<double> blk_thr_;
+  support::AlignedVec<std::int32_t> blk_feat_;
+  support::AlignedVec<std::int32_t> blk_exit_;
+  support::AlignedVec<double> blk_leaf_;  ///< exit-row leaf values
+
+  // Rank-cell tables (derived, never serialized): every comparison of
+  // a tree-ensemble model tests x[f] against one of the model's few
+  // distinct thresholds, so the instance's per-feature threshold ranks
+  // fix the outcome of every comparison — and the model's whole
+  // prediction is constant on each rank cell. build_blocked()
+  // enumerates the cells and stores the exact prediction (computed by
+  // the canonical tree-order walk), turning batched dispatch into a
+  // handful of small binary searches plus one load. Models whose cell
+  // count exceeds kMaxRankCells (continuous features) skip the table
+  // and serve through the blocked walk.
+  static constexpr int kMaxRankFeatures = 8;
+  static constexpr std::size_t kMaxRankCells = std::size_t{1} << 14;
+  struct RankTable {
+    bool built = false;
+    int dim = 0;  ///< features the model's trees reference
+    std::array<std::int32_t, kMaxRankFeatures> thr_begin{};
+    std::array<std::int32_t, kMaxRankFeatures> thr_len{};
+    std::array<std::int32_t, kMaxRankFeatures> stride{};
+    std::int64_t cells_begin = 0;
+  };
+  std::vector<RankTable> rank_tables_;  ///< per model
+  support::AlignedVec<double> rank_thr_;  ///< sorted distinct thresholds
+  support::AlignedVec<double> cell_val_;  ///< final per-cell predictions
 };
 
 }  // namespace mpicp::ml

@@ -1,0 +1,44 @@
+// Cache-line-aligned storage for the blocked serving layouts
+// (DESIGN.md §16). The blocked tree prefixes are walked every few
+// nanoseconds under load; starting each pool on a cache-line boundary
+// guarantees a block of N lines touches exactly N lines, never N+1.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace mpicp::support {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Minimal aligned allocator: every allocation starts on a cache-line
+/// boundary. Stateless, so any two instances compare equal and
+/// containers can exchange storage freely.
+template <typename T>
+struct CacheAlignedAllocator {
+  using value_type = T;
+
+  CacheAlignedAllocator() = default;
+  template <typename U>
+  CacheAlignedAllocator(const CacheAlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(
+        n * sizeof(T), std::align_val_t{kCacheLineBytes}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kCacheLineBytes});
+  }
+
+  template <typename U>
+  bool operator==(const CacheAlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+/// The vector type the blocked layouts store their node pools in.
+template <typename T>
+using AlignedVec = std::vector<T, CacheAlignedAllocator<T>>;
+
+}  // namespace mpicp::support

@@ -1,5 +1,6 @@
 #include "tune/compiled_bank.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 
@@ -22,6 +23,14 @@ namespace {
 ml::FlatScratch& thread_scratch() {
   thread_local ml::FlatScratch scratch;
   return scratch;
+}
+
+/// Per-thread prediction matrix of the batched grid argmin
+/// (model-major, ml::FlatBank::kTreeBatch instances wide). Grows to
+/// the largest bank served on this thread and is never shrunk.
+std::vector<double>& thread_batch_preds() {
+  thread_local std::vector<double> preds;
+  return preds;
 }
 
 }  // namespace
@@ -153,22 +162,144 @@ int CompiledBank::select_uid_or_invalid(const bench::Instance& inst) const {
   return argmin_uid_cached(inst);
 }
 
-std::vector<int> CompiledBank::select_grid(
-    std::span<const bench::Instance> grid) const {
+void CompiledBank::argmin_batch(const bench::Instance* insts,
+                                std::size_t count, int* out) const {
+  constexpr std::size_t kBatch = ml::FlatBank::kTreeBatch;
+  const std::size_t dim = feature_dim(features_);
+  double feats[kBatch * kMaxInstanceFeatures];
+  for (std::size_t b = 0; b < count; ++b) {
+    instance_features_into(
+        insts[b], features_,
+        std::span<double>(feats + b * kMaxInstanceFeatures, dim));
+  }
+  const std::size_t num_models = uids_.size();
+  std::vector<double>& preds = thread_batch_preds();
+  if (preds.size() < num_models * kBatch) {
+    preds.resize(num_models * kBatch);
+  }
+  ml::FlatScratch& scratch = thread_scratch();
+  // Two passes over the bank. Non-tree models (GAM/KNN/linear/constant)
+  // keep the per-instance order: begin_query stamps the slot memo per
+  // query vector, so all of an instance's GAM evaluations must share
+  // one query epoch. Tree ensembles have no cross-model query state and
+  // go model-major through the blocked batched kernel, where the win is.
+  for (std::size_t b = 0; b < count; ++b) {
+    const std::span<const double> x{feats + b * kMaxInstanceFeatures, dim};
+    bank_.begin_query(scratch);
+    for (std::size_t i = 0; i < num_models; ++i) {
+      if (bank_.is_tree_ensemble(i)) continue;
+      preds[i * kBatch + b] = bank_.predict_one(i, x, scratch);
+    }
+  }
+  for (std::size_t i = 0; i < num_models; ++i) {
+    if (!bank_.is_tree_ensemble(i)) continue;
+    bank_.predict_tree_batch(i, feats, kMaxInstanceFeatures, count,
+                             preds.data() + i * kBatch, 1);
+  }
+  // Reduce in ascending model (= uid) order per instance: identical
+  // usability screen and tie-breaking to argmin_uid.
+  const bool faults = support::faultinject::active();
+  std::size_t excluded = 0;
+  for (std::size_t b = 0; b < count; ++b) {
+    int best_uid = -1;
+    double best_time = 0.0;
+    for (std::size_t i = 0; i < num_models; ++i) {
+      double t = preds[i * kBatch + b];
+      if (faults) {
+        if (const auto forced =
+                support::faultinject::forced_prediction(uids_[i])) {
+          t = *forced;
+        }
+      }
+      if (!(std::isfinite(t) && t >= 0.0)) {
+        ++excluded;
+        continue;
+      }
+      if (best_uid < 0 || t < best_time) {
+        best_uid = uids_[i];
+        best_time = t;
+      }
+    }
+    out[b] = best_uid;
+  }
+  if (excluded > 0) {
+    metrics::counter("compiled.select.argmin_excluded").inc(excluded);
+  }
+}
+
+void CompiledBank::select_grid_into(std::span<const bench::Instance> grid,
+                                    std::span<int> out) const {
   MPICP_SPAN("compiled.select_grid");
   MPICP_REQUIRE(!uids_.empty(), "serving from an empty compiled bank");
+  MPICP_REQUIRE(out.size() == grid.size(),
+                "grid selection buffer size mismatch");
   metrics::counter("compiled.select.grid_requests").inc();
   metrics::counter("compiled.select.grid_instances").inc(grid.size());
+  if (cache_enabled_) {
+    // The memo is the faster tier for repeated cells; serve through it
+    // per instance rather than re-scoring whole batches.
+    support::parallel_for(grid.size(), 8, [&](std::size_t i) {
+      out[i] = argmin_uid_cached(grid[i]);
+    });
+  } else {
+    constexpr std::size_t kBatch = ml::FlatBank::kTreeBatch;
+    const std::size_t batches = (grid.size() + kBatch - 1) / kBatch;
+    // Parallelize over whole batches so each worker walks the blocked
+    // layout level-by-level across kTreeBatch independent instances.
+    support::parallel_for(batches, 4, [&](std::size_t blk) {
+      const std::size_t lo = blk * kBatch;
+      const std::size_t n = std::min(kBatch, grid.size() - lo);
+      argmin_batch(grid.data() + lo, n, out.data() + lo);
+    });
+  }
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    MPICP_REQUIRE(out[i] > 0,
+                  "no usable model prediction for a grid instance (use "
+                  "select_uid_or_default for graceful degradation)");
+  }
+}
+
+std::vector<int> CompiledBank::select_grid(
+    std::span<const bench::Instance> grid) const {
   std::vector<int> out(grid.size(), -1);
-  // Batched argmin: parallelize over the instances (each of which scans
-  // the whole bank serially) instead of over the uids of one query —
-  // grids are the abundant axis, and per-query state stays thread-local.
-  support::parallel_for(grid.size(), 8, [&](std::size_t i) {
-    const int best_uid = argmin_uid_cached(grid[i]);
+  select_grid_into(grid, out);
+  return out;
+}
+
+std::vector<int> CompiledBank::select_grid_legacy(
+    std::span<const bench::Instance> grid) const {
+  MPICP_SPAN("compiled.select_grid_legacy");
+  MPICP_REQUIRE(!uids_.empty(), "serving from an empty compiled bank");
+  std::vector<int> out(grid.size(), -1);
+  // The PR 8 shape: per-instance fused predict+argmin over the
+  // pointer-free layout, parallelized over instances.
+  support::parallel_for(grid.size(), 8, [&](std::size_t g) {
+    double feat[kMaxInstanceFeatures];
+    const std::size_t dim = feature_dim(features_);
+    instance_features_into(grid[g], features_,
+                           std::span<double>(feat, dim));
+    ml::FlatScratch& scratch = thread_scratch();
+    bank_.begin_query(scratch);
+    int best_uid = -1;
+    double best_time = 0.0;
+    for (std::size_t i = 0; i < uids_.size(); ++i) {
+      double t = bank_.predict_one_legacy(i, {feat, dim}, scratch);
+      if (support::faultinject::active()) {
+        if (const auto forced =
+                support::faultinject::forced_prediction(uids_[i])) {
+          t = *forced;
+        }
+      }
+      if (!(std::isfinite(t) && t >= 0.0)) continue;
+      if (best_uid < 0 || t < best_time) {
+        best_uid = uids_[i];
+        best_time = t;
+      }
+    }
     MPICP_REQUIRE(best_uid > 0,
                   "no usable model prediction for a grid instance (use "
                   "select_uid_or_default for graceful degradation)");
-    out[i] = best_uid;
+    out[g] = best_uid;
   });
   return out;
 }
@@ -192,8 +323,11 @@ CompiledBank::CacheStats CompiledBank::cache_stats() const {
           cache_->misses.load(std::memory_order_relaxed)};
 }
 
-void CompiledBank::save(const std::filesystem::path& path) const {
+void CompiledBank::save(const std::filesystem::path& path,
+                        int version) const {
   MPICP_REQUIRE(!uids_.empty(), "saving an empty compiled bank");
+  MPICP_REQUIRE(version == 1 || version == 2,
+                "unsupported compiled bank save version");
   if (path.has_parent_path()) {
     std::filesystem::create_directories(path.parent_path());
   }
@@ -201,10 +335,12 @@ void CompiledBank::save(const std::filesystem::path& path) const {
   if (!os) {
     MPICP_RAISE_ERROR("cannot open " + path.string() + " for writing");
   }
-  os << "mpicp-compiled-bank 1\n";
+  os << "mpicp-compiled-bank " << version << '\n';
   os << (features_.include_total_processes ? 1 : 0) << '\n';
   ml::io::write_vector(os, uids_);
-  bank_.save(os);
+  // The nested flatbank envelope carries the blocked-layout geometry in
+  // v2; v1 reproduces the PR 5 file byte-for-byte.
+  bank_.save(os, version);
   if (!os) {
     MPICP_RAISE_ERROR("failed writing compiled bank to " + path.string());
   }
@@ -217,7 +353,8 @@ CompiledBank CompiledBank::load(const std::filesystem::path& path) {
   }
   ml::io::expect_tag(is, "mpicp-compiled-bank");
   const int version = ml::io::read_value<int>(is);
-  MPICP_CHECK_PARSE(version == 1, "unsupported compiled bank version");
+  MPICP_CHECK_PARSE(version == 1 || version == 2,
+                    "unsupported compiled bank version");
   CompiledBank bank;
   bank.features_.include_total_processes =
       ml::io::read_value<int>(is) != 0;

@@ -69,10 +69,26 @@ class CompiledBank {
   /// (tune/registry.hpp) builds its fallback policy on this.
   [[nodiscard]] int select_uid_or_invalid(const bench::Instance& inst) const;
 
-  /// Batched selection over a whole instance grid: one result per
-  /// instance, parallelized over the grid. Throws if any instance has
-  /// no usable prediction.
+  /// Batched selection over a whole instance grid, into a caller-owned
+  /// buffer of exactly grid.size() entries. Batches of
+  /// ml::FlatBank::kTreeBatch instances are scored together — tree
+  /// ensembles walk the blocked layout level-by-level across the whole
+  /// batch, so the grid argmin pipelines instead of serializing on one
+  /// branchy walk per instance. Bit-identical to per-instance
+  /// select_uid. Throws if any instance has no usable prediction.
+  /// (With the memo cache enabled, selection degrades to the cached
+  /// per-instance path — the memo is the faster tier for repeats.)
+  void select_grid_into(std::span<const bench::Instance> grid,
+                        std::span<int> out) const;
+
+  /// Allocating convenience wrapper around select_grid_into.
   [[nodiscard]] std::vector<int> select_grid(
+      std::span<const bench::Instance> grid) const;
+
+  /// The PR 8 per-instance grid argmin over the pointer-free layout —
+  /// the differential reference for the blocked batched kernel (tests
+  /// and the layout-comparison bench). Same picks, branchier walks.
+  [[nodiscard]] std::vector<int> select_grid_legacy(
       std::span<const bench::Instance> grid) const;
 
   /// Enable/disable the (m, n, N)-keyed selection memo. Clears the
@@ -86,7 +102,12 @@ class CompiledBank {
   CacheStats cache_stats() const;
 
   /// Persist / restore the compiled form (text format, exact doubles).
-  void save(const std::filesystem::path& path) const;
+  /// Version 2 (the default) nests the v2 flatbank envelope with the
+  /// blocked-layout geometry; version 1 reproduces the PR 5 file format
+  /// byte-for-byte. Both versions load — v1 re-lowers the blocked form
+  /// with the default geometry.
+  void save(const std::filesystem::path& path) const { save(path, 2); }
+  void save(const std::filesystem::path& path, int version) const;
   static CompiledBank load(const std::filesystem::path& path);
 
  private:
@@ -97,6 +118,10 @@ class CompiledBank {
   int argmin_uid(const bench::Instance& inst) const;
   /// argmin_uid behind the memo cache (when enabled).
   int argmin_uid_cached(const bench::Instance& inst) const;
+  /// Batched fused predict+argmin over up to ml::FlatBank::kTreeBatch
+  /// instances; writes one uid (or -1) per instance.
+  void argmin_batch(const bench::Instance* insts, std::size_t count,
+                    int* out) const;
 
   FeatureOptions features_;
   std::vector<int> uids_;  ///< ascending; parallel to bank_ models

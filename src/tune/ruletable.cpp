@@ -1,9 +1,12 @@
 #include "tune/ruletable.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "ml/io.hpp"
 #include "support/error.hpp"
@@ -15,6 +18,66 @@
 namespace mpicp::tune {
 
 namespace metrics = support::metrics;
+
+namespace {
+
+/// The dispatch features, identical to DecisionRules::feature_of
+/// evaluated once per instance: log2 is the only one that costs
+/// anything. `feat` must hold at least 3 doubles.
+inline void features_of(const bench::Instance& inst, double* feat) {
+  feat[0] = std::log2(
+      static_cast<double>(std::max<std::uint64_t>(inst.msize, 1)));
+  feat[1] = static_cast<double>(inst.nodes);
+  feat[2] = static_cast<double>(inst.ppn);
+}
+
+/// Per-instance feature stride in the batched kernel: 3 live features
+/// padded to 4 so the row offset is a shift, not a multiply.
+constexpr std::size_t kFeatStride = 4;
+
+/// The legacy double comparison `feature(v) < thr` is monotone
+/// non-increasing in the raw instance value v (uint64 -> double
+/// conversion and log2 are both monotone), so the smallest v on which
+/// it turns false — found by binary search *with the exact legacy
+/// transform* — is an integer bound with the same truth table:
+/// `v < integer_bound(f, thr)` takes the same branch as the legacy
+/// compare on every representable instance. This moves std::log2 out
+/// of the dispatch path entirely, into lowering.
+///
+/// When the comparison holds even at UINT64_MAX (thr = +inf, which
+/// only the synthetic pass-through slots use), the bound saturates:
+/// `v < UINT64_MAX` diverges only at v == UINT64_MAX, and pass-through
+/// slots route both children to the same leaf, so the result is still
+/// identical.
+std::uint64_t integer_bound(int feature, double thr) {
+  const auto below = [feature, thr](std::uint64_t v) {
+    const double f =
+        feature == 0
+            ? std::log2(static_cast<double>(std::max<std::uint64_t>(v, 1)))
+            : static_cast<double>(v);
+    return f < thr;
+  };
+  if (!below(0)) return 0;
+  std::uint64_t lo = 0;  // invariant: below(lo)
+  std::uint64_t hi = std::numeric_limits<std::uint64_t>::max();
+  if (below(hi)) return hi;  // saturate (see above)
+  while (hi - lo > 1) {      // invariant: !below(hi)
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    (below(mid) ? lo : hi) = mid;
+  }
+  return hi;
+}
+
+/// The raw integer features the integerized comparisons consume, in
+/// the same order as DecisionRules::feature_of.
+inline void raw_features_of(const bench::Instance& inst,
+                            std::uint64_t* u) {
+  u[0] = inst.msize;
+  u[1] = static_cast<std::uint64_t>(inst.nodes);
+  u[2] = static_cast<std::uint64_t>(inst.ppn);
+}
+
+}  // namespace
 
 RuleTable RuleTable::lower(const DecisionRules& rules) {
   MPICP_SPAN("tune.ruletable.lower");
@@ -45,7 +108,65 @@ RuleTable RuleTable::lower(const DecisionRules& rules) {
     }
   }
   metrics::counter("ruletable.lowered").inc();
+  table.build_blocked();
   return table;
+}
+
+void RuleTable::build_blocked() {
+  MPICP_ASSERT(!feature_.empty(), "blocking an empty rule table");
+  // Integerized thresholds for the whole pool (the spill walk uses
+  // them; the block below copies its prefix).
+  ithr_.assign(feature_.size(), 0);
+  for (std::size_t i = 0; i < feature_.size(); ++i) {
+    if (feature_[i] >= 0) {
+      ithr_[i] = integer_bound(feature_[i], threshold_[i]);
+    }
+  }
+  // Blocked levels: the deepest comparison level, capped so the block
+  // stays a few cache lines. Subtrees below the cap spill back into
+  // the flat pool.
+  int levels = 0;
+  std::vector<std::pair<std::int32_t, int>> stack;
+  stack.reserve(64);
+  stack.push_back({0, 0});
+  while (!stack.empty()) {
+    const auto [i, d] = stack.back();
+    stack.pop_back();
+    if (feature_[i] < 0) continue;
+    levels = std::max(levels, d + 1);
+    if (levels >= block_depth_cap_) {
+      levels = block_depth_cap_;
+      break;
+    }
+    stack.push_back({left_[i], d + 1});
+    stack.push_back({right_[i], d + 1});
+  }
+  blk_levels_ = levels;
+  const std::size_t inner = (std::size_t{1} << levels) - 1;
+  const std::size_t exits = std::size_t{1} << levels;
+  blk_ithr_.assign(inner, 0);
+  blk_feat_.assign(inner, 0);
+  blk_exit_.assign(exits, 0);
+  std::vector<std::int32_t> assign(inner + exits, -1);
+  assign[0] = 0;
+  for (std::size_t s = 0; s < inner; ++s) {
+    const std::int32_t i = assign[s];
+    if (feature_[i] >= 0) {
+      blk_feat_[s] = feature_[i];
+      blk_ithr_[s] = ithr_[i];
+      assign[2 * s + 1] = left_[i];
+      assign[2 * s + 2] = right_[i];
+    } else {
+      // Pass-through slot for a leaf shallower than the block: both
+      // children route to the same leaf, so the predicated step lands
+      // where the legacy walk stops regardless of the comparison.
+      blk_feat_[s] = 0;
+      blk_ithr_[s] = std::numeric_limits<std::uint64_t>::max();
+      assign[2 * s + 1] = i;
+      assign[2 * s + 2] = i;
+    }
+  }
+  for (std::size_t e = 0; e < exits; ++e) blk_exit_[e] = assign[inner + e];
 }
 
 int RuleTable::num_leaves() const {
@@ -56,14 +177,30 @@ int RuleTable::num_leaves() const {
 
 int RuleTable::uid_for(const bench::Instance& inst) const {
   MPICP_ASSERT(!feature_.empty(), "dispatch on an empty rule table");
-  // Same arithmetic as DecisionRules::feature_of, evaluated once: the
-  // table promises a bit-identical walk, and log2 is the only feature
-  // that costs anything.
+  std::uint64_t u[3];
+  raw_features_of(inst, u);
+  // Predicated walk through the blocked prefix — no data-dependent
+  // branches, no log2 (integerized thresholds) — then the flat pool
+  // finishes any spill (a no-op when the exit slot is already a leaf).
+  const std::uint32_t exit_off = (1u << blk_levels_) - 1;
+  std::uint32_t slot = 0;
+  for (int d = 0; d < blk_levels_; ++d) {
+    slot = 2 * slot + 1 +
+           static_cast<std::uint32_t>(
+               !(u[blk_feat_[slot]] < blk_ithr_[slot]));
+  }
+  std::int32_t cur = blk_exit_[slot - exit_off];
+  while (feature_[cur] >= 0) {
+    cur = u[feature_[cur]] < ithr_[cur] ? left_[cur] : right_[cur];
+  }
+  return left_[cur];
+}
+
+int RuleTable::uid_for_legacy(const bench::Instance& inst) const {
+  MPICP_ASSERT(!feature_.empty(), "dispatch on an empty rule table");
+  // The PR 8 walk: same arithmetic, data-dependent branches.
   double feat[3];
-  feat[0] = std::log2(
-      static_cast<double>(std::max<std::uint64_t>(inst.msize, 1)));
-  feat[1] = static_cast<double>(inst.nodes);
-  feat[2] = static_cast<double>(inst.ppn);
+  features_of(inst, feat);
   std::int32_t cur = 0;
   std::int8_t f = feature_[0];
   while (f >= 0) {
@@ -79,13 +216,57 @@ void RuleTable::select_grid_into(std::span<const bench::Instance> grid,
   MPICP_REQUIRE(!feature_.empty(), "dispatch on an empty rule table");
   MPICP_REQUIRE(out.size() == grid.size(),
                 "rule table output buffer size mismatch");
-  metrics::counter("ruletable.grid_requests").inc();
-  metrics::counter("ruletable.grid_instances").inc(grid.size());
-  // A single dispatch is a few ns; large chunks keep the pool dispatch
-  // amortized and small grids serial.
-  support::parallel_for(grid.size(), 1024, [&](std::size_t i) {
-    out[i] = uid_for(grid[i]);
-  });
+  // Cached references: registration takes a mutex + map walk, and the
+  // registry never deallocates instruments, so pay it once per process
+  // instead of once per ns-scale grid call.
+  static metrics::Counter& grid_requests =
+      metrics::counter("ruletable.grid_requests");
+  static metrics::Counter& grid_instances =
+      metrics::counter("ruletable.grid_instances");
+  grid_requests.inc();
+  grid_instances.inc(grid.size());
+  const std::size_t n = grid.size();
+  const std::size_t batches = (n + kDispatchBatch - 1) / kDispatchBatch;
+  const std::uint32_t exit_off = (1u << blk_levels_) - 1;
+  // Batched level-synchronous dispatch: each batch walks the block one
+  // level at a time across all its instances, so the independent
+  // comparisons pipeline instead of serializing on one branchy walk.
+  const auto dispatch_batch = [&](std::size_t bi) {
+    const std::size_t lo = bi * kDispatchBatch;
+    const std::size_t count = std::min(kDispatchBatch, n - lo);
+    std::uint64_t u[kDispatchBatch * kFeatStride];
+    std::uint32_t slot[kDispatchBatch];
+    for (std::size_t b = 0; b < count; ++b) {
+      raw_features_of(grid[lo + b], u + b * kFeatStride);
+      slot[b] = 0;
+    }
+    for (int d = 0; d < blk_levels_; ++d) {
+      for (std::size_t b = 0; b < count; ++b) {
+        const std::uint32_t s = slot[b];
+        slot[b] = 2 * s + 1 +
+                  static_cast<std::uint32_t>(
+                      !(u[b * kFeatStride + blk_feat_[s]] <
+                        blk_ithr_[s]));
+      }
+    }
+    for (std::size_t b = 0; b < count; ++b) {
+      std::int32_t cur = blk_exit_[slot[b] - exit_off];
+      const std::uint64_t* f = u + b * kFeatStride;
+      while (feature_[cur] >= 0) {
+        cur = f[feature_[cur]] < ithr_[cur] ? left_[cur] : right_[cur];
+      }
+      out[lo + b] = left_[cur];
+    }
+  };
+  // Grids of one pool chunk (64 batches ≈ 1024 instances) or less run
+  // inline: parallel_for would serialize them anyway, and skipping it
+  // skips a std::function construction per ns-scale call.
+  constexpr std::size_t kGridChunk = 64;
+  if (batches <= kGridChunk) {
+    for (std::size_t bi = 0; bi < batches; ++bi) dispatch_batch(bi);
+  } else {
+    support::parallel_for(batches, kGridChunk, dispatch_batch);
+  }
 }
 
 std::vector<int> RuleTable::select_grid(
@@ -95,17 +276,22 @@ std::vector<int> RuleTable::select_grid(
   return out;
 }
 
-void RuleTable::save(const std::filesystem::path& path) const {
+void RuleTable::save(const std::filesystem::path& path,
+                     int version) const {
   MPICP_SPAN("tune.ruletable.save");
   MPICP_REQUIRE(!feature_.empty(), "saving an empty rule table");
+  MPICP_REQUIRE(version == 1 || version == 2,
+                "unsupported rule table version");
   if (path.has_parent_path()) {
     std::filesystem::create_directories(path.parent_path());
   }
   // Envelope discipline of the model files: serialize the payload to a
   // buffer first so the header carries its exact byte count and FNV-1a
-  // checksum.
+  // checksum. v2 adds the blocked-layout geometry right after the
+  // agreement; the node pool payload is identical in both versions.
   std::ostringstream payload;
   ml::io::write_value(payload, agreement_);
+  if (version == 2) ml::io::write_value(payload, block_depth_cap_);
   std::vector<int> features(feature_.begin(), feature_.end());
   ml::io::write_vector(payload, features);
   ml::io::write_vector(payload, threshold_);
@@ -119,8 +305,8 @@ void RuleTable::save(const std::filesystem::path& path) const {
   if (!os) {
     MPICP_RAISE_ERROR("cannot open " + path.string() + " for writing");
   }
-  os << "mpicp-ruletable 1 " << body.size() << ' ' << std::hex
-     << ml::io::fnv1a64(body) << std::dec << '\n'
+  os << "mpicp-ruletable " << version << ' ' << body.size() << ' '
+     << std::hex << ml::io::fnv1a64(body) << std::dec << '\n'
      << body;
   if (!os) {
     MPICP_RAISE_ERROR("failed writing rule table to " + path.string());
@@ -135,7 +321,8 @@ RuleTable RuleTable::load(const std::filesystem::path& path) {
   }
   ml::io::expect_tag(is, "mpicp-ruletable");
   const int version = ml::io::read_value<int>(is);
-  MPICP_CHECK_PARSE(version == 1, "unsupported rule table version");
+  MPICP_CHECK_PARSE(version == 1 || version == 2,
+                    "unsupported rule table version");
   const auto bytes = ml::io::read_value<std::size_t>(is);
   MPICP_CHECK_PARSE(bytes < (1u << 28), "implausible rule table size");
   std::string checksum_hex;
@@ -160,6 +347,14 @@ RuleTable RuleTable::load(const std::filesystem::path& path) {
   std::istringstream ps(body);
   RuleTable table;
   table.agreement_ = ml::io::read_value<double>(ps);
+  // v1 envelopes predate the blocked layout: re-lower with the default
+  // geometry after the pool is parsed.
+  if (version >= 2) {
+    table.block_depth_cap_ = ml::io::read_value<int>(ps);
+    MPICP_CHECK_PARSE(
+        table.block_depth_cap_ >= 0 && table.block_depth_cap_ <= 20,
+        "rule table: implausible block depth");
+  }
   const std::vector<int> features = ml::io::read_vector<int>(ps);
   table.threshold_ = ml::io::read_vector<double>(ps);
   const std::vector<int> left = ml::io::read_vector<int>(ps);
@@ -185,6 +380,7 @@ RuleTable RuleTable::load(const std::filesystem::path& path) {
       MPICP_CHECK_PARSE(in_range, "rule table: child index out of range");
     }
   }
+  table.build_blocked();
   return table;
 }
 

@@ -19,6 +19,20 @@
 // traversal), and both match the C source `DecisionRules::to_c_code`
 // emits — tests/test_ruletable.cpp compiles and executes the generated
 // C to pin all three against each other on every grid point.
+//
+// Dispatch runs through a *blocked* branch-free layout (DESIGN.md §16):
+// the first K tree levels packed level-order into one cache-line-
+// aligned block walked by predicated index arithmetic, deeper subtrees
+// spilling into the flat SoA pool; `select_grid_into` walks batches of
+// independent instances level-by-level so their comparisons pipeline.
+// The double thresholds are additionally rewritten into *integer
+// bounds*: `log2(msize) < thr` is monotone in msize, so a binary
+// search with the exact legacy transform finds the smallest raw value
+// on which the comparison flips, and dispatch compares (msize, nodes,
+// ppn) directly — no log2 in the hot path, provably the same branch on
+// every possible instance. The PR 8 pointer-free walk survives as
+// `uid_for_legacy`, the differential reference the blocked layout is
+// pinned against.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +41,7 @@
 #include <vector>
 
 #include "collbench/dataset.hpp"
+#include "support/aligned.hpp"
 #include "tune/rulegen.hpp"
 
 namespace mpicp::tune {
@@ -56,13 +71,29 @@ class RuleTable {
   double agreement() const { return agreement_; }
   void set_agreement(double agreement) { agreement_ = agreement; }
 
-  /// ns-scale dispatch: an iterative walk over the flat node pool.
-  /// Never allocates and never throws on a non-empty table.
+  /// Instances walked per level by the batched grid kernel.
+  static constexpr std::size_t kDispatchBatch = 16;
+
+  /// Blocked levels cap: 2^8-1 = 255 inner slots (~2 KB of thresholds)
+  /// covers the default depth-8 distillation entirely, so the whole hot
+  /// walk usually never leaves the block.
+  static constexpr int kDefaultBlockDepthCap = 8;
+
+  /// ns-scale dispatch through the blocked branch-free layout:
+  /// predicated index steps through the packed prefix, then the flat
+  /// pool finishes any spill. Never allocates and never throws on a
+  /// non-empty table.
   int uid_for(const bench::Instance& inst) const;
 
+  /// The PR 8 data-dependent walk over the flat node pool — the
+  /// differential reference for the blocked layout (tests and the
+  /// layout-comparison bench). Same result, branchier traversal.
+  int uid_for_legacy(const bench::Instance& inst) const;
+
   /// Batched dispatch into a caller-owned buffer of grid.size()
-  /// entries, parallelized over the instances (allocation-free per
-  /// instance).
+  /// entries: kDispatchBatch instances walk the block level-by-level
+  /// together (their comparisons pipeline), batches parallelized over
+  /// the pool. Allocation-free per instance.
   void select_grid_into(std::span<const bench::Instance> grid,
                         std::span<int> out) const;
 
@@ -73,11 +104,17 @@ class RuleTable {
   /// Persistence with the model-file envelope discipline: the header
   /// carries the payload byte count and FNV-1a checksum, so a truncated
   /// or bit-flipped table fails loudly at load instead of silently
-  /// serving wrong rules.
-  void save(const std::filesystem::path& path) const;
+  /// serving wrong rules. Version 2 (the default) records the blocked
+  /// geometry; version 1 emits the PR 8 envelope byte-for-byte. Both
+  /// load — v1 files re-lower their blocked form with the default
+  /// geometry.
+  void save(const std::filesystem::path& path) const { save(path, 2); }
+  void save(const std::filesystem::path& path, int version) const;
   static RuleTable load(const std::filesystem::path& path);
 
  private:
+  void build_blocked();
+
   // SoA node pool in DecisionRules order (node 0 is the root):
   // feature_[i] is 0 (log2 msize), 1 (nodes) or 2 (ppn) for an inner
   // node and -1 for a leaf; leaves store their uid in left_[i].
@@ -86,6 +123,21 @@ class RuleTable {
   std::vector<std::int32_t> left_;
   std::vector<std::int32_t> right_;
   double agreement_ = 0.0;
+
+  // Blocked branch-free prefix (derived from the pool above; only the
+  // geometry is serialized). Exit slots hold indices into the node
+  // pool: a leaf when the path terminated inside the block, or the
+  // root of a spill subtree deeper than the block. Thresholds are the
+  // integerized bounds: `u < blk_ithr_` takes the same branch as the
+  // legacy `feature(u) < threshold_` on every possible instance (see
+  // integer_bound in ruletable.cpp); `ithr_` is the same rewrite for
+  // the whole node pool, used by the spill walk.
+  int block_depth_cap_ = kDefaultBlockDepthCap;
+  int blk_levels_ = 0;
+  support::AlignedVec<std::uint64_t> blk_ithr_;
+  support::AlignedVec<std::int32_t> blk_feat_;
+  support::AlignedVec<std::int32_t> blk_exit_;
+  std::vector<std::uint64_t> ithr_;
 };
 
 /// Everything one distillation produces: the fitted tree, its flat

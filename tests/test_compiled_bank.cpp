@@ -160,6 +160,77 @@ TEST(CompiledBank, ForcedPredictionsMatchInterpretedPath) {
   }
 }
 
+// ---- blocked batched layout vs legacy fused argmin ------------------------
+
+TEST(CompiledBankLayouts, BatchedGridAndBothEnvelopesMatchLegacyArgmin) {
+  const bench::Dataset ds = random_dataset(19);
+  std::vector<bench::Instance> grid = ds.instances();
+  const std::vector<bench::Instance> off = random_instances(57, 48);
+  grid.insert(grid.end(), off.begin(), off.end());
+
+  for (const char* learner : kAllLearners) {
+    tune::Selector selector(tune::SelectorOptions{.learner = learner});
+    ASSERT_GT(selector.fit(ds, ds.node_counts()).uids_total(), 0u)
+        << learner;
+    const tune::CompiledBank bank = selector.compile();
+
+    // Both envelope versions load: v1 is the PR 8 format byte-for-byte,
+    // v2 nests the blocked flatbank geometry. Each re-lowers its
+    // blocked form on load.
+    namespace fs = std::filesystem;
+    const fs::path p1 = fs::temp_directory_path() /
+                        (std::string("mpicp_cb_v1_") + learner + ".txt");
+    const fs::path p2 = fs::temp_directory_path() /
+                        (std::string("mpicp_cb_v2_") + learner + ".txt");
+    bank.save(p1, 1);
+    bank.save(p2, 2);
+    const tune::CompiledBank v1 = tune::CompiledBank::load(p1);
+    const tune::CompiledBank v2 = tune::CompiledBank::load(p2);
+    fs::remove(p1);
+    fs::remove(p2);
+
+    std::vector<int> batched(grid.size(), 0);
+    for (const int threads : {1, 4}) {
+      support::ScopedThreads scoped(threads);
+      const std::vector<int> legacy = bank.select_grid_legacy(grid);
+      bank.select_grid_into(grid, batched);
+      ASSERT_EQ(legacy.size(), grid.size());
+      for (std::size_t i = 0; i < grid.size(); ++i) {
+        ASSERT_EQ(batched[i], legacy[i])
+            << learner << " batched argmin @" << threads << " threads, m="
+            << grid[i].msize << " n=" << grid[i].nodes
+            << " ppn=" << grid[i].ppn;
+      }
+      EXPECT_EQ(v1.select_grid(grid), legacy)
+          << learner << " v1 envelope @" << threads << " threads";
+      EXPECT_EQ(v2.select_grid(grid), legacy)
+          << learner << " v2 envelope @" << threads << " threads";
+    }
+  }
+}
+
+TEST(CompiledBankLayouts, BatchedGridHonorsFaultInjection) {
+  const bench::Dataset ds = random_dataset(19);
+  const std::vector<bench::Instance> grid = ds.instances();
+  for (const char* learner : {"xgboost", "rf"}) {
+    tune::Selector selector(tune::SelectorOptions{.learner = learner});
+    ASSERT_GT(selector.fit(ds, ds.node_counts()).uids_total(), 2u)
+        << learner;
+    const tune::CompiledBank bank = selector.compile();
+    const std::vector<int> uids = selector.uids();
+
+    // Poison one uid: the batched path must exclude it exactly like the
+    // legacy fused walk does.
+    fi::ScopedFaults faults({.forced_predictions = {{uids.front(), -1.0}}});
+    const std::vector<int> legacy = bank.select_grid_legacy(grid);
+    const std::vector<int> batched = bank.select_grid(grid);
+    EXPECT_EQ(batched, legacy) << learner;
+    for (const int pick : batched) {
+      EXPECT_NE(pick, uids.front()) << learner;
+    }
+  }
+}
+
 // ---- selection cache ------------------------------------------------------
 
 TEST(CompiledBank, SelectionCacheCountsHitsAndMisses) {

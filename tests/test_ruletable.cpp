@@ -195,6 +195,59 @@ TEST(RuleTableDifferential, TreeTableAndGeneratedCAgreeEverywhere) {
   }
 }
 
+// ---- blocked layout vs legacy walk, both envelope versions ---------------
+
+TEST(RuleTableBlocked, BlockedBatchedAndBothEnvelopesMatchLegacyWalk) {
+  const bench::Dataset ds = random_dataset(29);
+  const std::vector<bench::Instance> grid = ds.instances();
+  std::vector<bench::Instance> probes = grid;
+  const std::vector<bench::Instance> off_grid = random_instances(101, 96);
+  probes.insert(probes.end(), off_grid.begin(), off_grid.end());
+
+  for (const char* learner : kAllLearners) {
+    tune::Selector selector(tune::SelectorOptions{.learner = learner});
+    ASSERT_GT(selector.fit(ds, ds.node_counts()).uids_total(), 0u)
+        << learner;
+    const tune::RuleDistillation dist =
+        selector.distill(grid, {.max_depth = 32});
+    const tune::RuleTable& table = dist.table;
+
+    // Both envelope versions load and re-lower the blocked form: v1 is
+    // the PR 8 format byte-for-byte, v2 carries the blocked geometry.
+    namespace fs = std::filesystem;
+    const fs::path p1 = fs::temp_directory_path() /
+                        (std::string("mpicp_rt_v1_") + learner + ".txt");
+    const fs::path p2 = fs::temp_directory_path() /
+                        (std::string("mpicp_rt_v2_") + learner + ".txt");
+    table.save(p1, 1);
+    table.save(p2, 2);
+    const tune::RuleTable v1 = tune::RuleTable::load(p1);
+    const tune::RuleTable v2 = tune::RuleTable::load(p2);
+    fs::remove(p1);
+    fs::remove(p2);
+    EXPECT_EQ(v2.agreement(), table.agreement()) << learner;
+
+    std::vector<int> batched(probes.size(), 0);
+    for (const int threads : {1, 4}) {
+      support::ScopedThreads scoped(threads);
+      table.select_grid_into(probes, batched);
+      for (std::size_t i = 0; i < probes.size(); ++i) {
+        const int legacy = table.uid_for_legacy(probes[i]);
+        ASSERT_EQ(table.uid_for(probes[i]), legacy)
+            << learner << " blocked walk @" << threads << " threads, m="
+            << probes[i].msize << " n=" << probes[i].nodes
+            << " ppn=" << probes[i].ppn;
+        ASSERT_EQ(batched[i], legacy)
+            << learner << " batched dispatch @" << threads << " threads";
+        ASSERT_EQ(v1.uid_for(probes[i]), legacy)
+            << learner << " v1 envelope @" << threads << " threads";
+        ASSERT_EQ(v2.uid_for(probes[i]), legacy)
+            << learner << " v2 envelope @" << threads << " threads";
+      }
+    }
+  }
+}
+
 // ---- persistence contracts -----------------------------------------------
 
 TEST(RuleTable, LoadRejectsCorruptAndTruncatedFiles) {
